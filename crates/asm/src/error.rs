@@ -1,0 +1,43 @@
+//! Assembler error type.
+
+use std::fmt;
+
+/// An assembly error with the 1-based source line it occurred on.
+///
+/// # Examples
+///
+/// ```
+/// use hirata_asm::assemble;
+/// let err = assemble("li r1").unwrap_err();
+/// assert_eq!(err.line(), 1);
+/// assert!(err.to_string().contains("line 1"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    line: usize,
+    message: String,
+}
+
+impl AsmError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        AsmError { line, message: message.into() }
+    }
+
+    /// The 1-based source line the error occurred on.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// The diagnostic message, without the line prefix.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}

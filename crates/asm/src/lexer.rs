@@ -1,0 +1,150 @@
+//! Line-level tokenization: comments, labels, mnemonics, operands.
+
+use crate::error::AsmError;
+
+/// One meaningful source line, after comment stripping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Line {
+    /// 1-based source line number.
+    pub num: usize,
+    /// Labels defined at the start of this line (`foo: bar: insn`).
+    pub labels: Vec<String>,
+    /// The statement, if any.
+    pub stmt: Option<Stmt>,
+}
+
+/// A directive or instruction with raw operand strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Stmt {
+    /// Lower-cased mnemonic or directive (directives keep their `.`).
+    pub head: String,
+    /// Comma-separated operand texts, trimmed.
+    pub operands: Vec<String>,
+}
+
+fn valid_label(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Splits source text into [`Line`]s. Blank/comment-only lines are
+/// dropped.
+pub(crate) fn lex(src: &str) -> Result<Vec<Line>, AsmError> {
+    let mut lines = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let num = idx + 1;
+        let text = match raw.find(';') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let mut rest = text.trim();
+        if rest.is_empty() {
+            continue;
+        }
+        let mut labels = Vec::new();
+        // Labels must appear before the statement: `name:`.
+        while let Some(colon) = rest.find(':') {
+            let candidate = rest[..colon].trim();
+            // A colon later in the line (no valid label before it) is
+            // not a label separator; e.g. there is no other use of ':'
+            // in the grammar, so a malformed label is an error.
+            if !valid_label(candidate) {
+                return Err(AsmError::new(num, format!("invalid label name `{candidate}`")));
+            }
+            labels.push(candidate.to_owned());
+            rest = rest[colon + 1..].trim_start();
+        }
+        let stmt = if rest.is_empty() {
+            None
+        } else {
+            let (head, tail) = match rest.find(char::is_whitespace) {
+                Some(pos) => (&rest[..pos], rest[pos..].trim()),
+                None => (rest, ""),
+            };
+            let operands = if tail.is_empty() {
+                Vec::new()
+            } else {
+                tail.split(',').map(|s| s.trim().to_owned()).collect()
+            };
+            if operands.iter().any(String::is_empty) {
+                return Err(AsmError::new(num, "empty operand (stray comma?)"));
+            }
+            Some(Stmt { head: head.to_ascii_lowercase(), operands })
+        };
+        lines.push(Line { num, labels, stmt });
+    }
+    Ok(lines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(src: &str) -> Line {
+        let mut v = lex(src).unwrap();
+        assert_eq!(v.len(), 1);
+        v.remove(0)
+    }
+
+    #[test]
+    fn comments_and_blanks_dropped() {
+        assert!(lex("; just a comment\n\n   \n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn label_and_instruction() {
+        let line = one("main: li r1, #3 ; init");
+        assert_eq!(line.labels, ["main"]);
+        let stmt = line.stmt.unwrap();
+        assert_eq!(stmt.head, "li");
+        assert_eq!(stmt.operands, ["r1", "#3"]);
+    }
+
+    #[test]
+    fn multiple_labels_one_line() {
+        let line = one("a: b: halt");
+        assert_eq!(line.labels, ["a", "b"]);
+        assert_eq!(line.stmt.unwrap().head, "halt");
+    }
+
+    #[test]
+    fn bare_label_line() {
+        let line = one("start:");
+        assert_eq!(line.labels, ["start"]);
+        assert!(line.stmt.is_none());
+    }
+
+    #[test]
+    fn mnemonics_lowercased() {
+        assert_eq!(one("HALT").stmt.unwrap().head, "halt");
+    }
+
+    #[test]
+    fn invalid_label_rejected() {
+        assert!(lex("3x: halt").is_err());
+        assert!(lex(" : halt").is_err());
+    }
+
+    #[test]
+    fn stray_comma_rejected() {
+        let err = lex("add r1, , r2").unwrap_err();
+        assert!(err.to_string().contains("empty operand"));
+    }
+
+    #[test]
+    fn line_numbers_track_source() {
+        let lines = lex("\n\nhalt\n\nnop").unwrap();
+        assert_eq!(lines[0].num, 3);
+        assert_eq!(lines[1].num, 5);
+    }
+
+    #[test]
+    fn memory_operand_survives_lexing() {
+        let stmt = one("lw r1, 4(r2)").stmt.unwrap();
+        assert_eq!(stmt.operands, ["r1", "4(r2)"]);
+    }
+}

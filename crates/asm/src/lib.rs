@@ -1,0 +1,53 @@
+//! Two-pass assembler for the Hirata 1992 ISA.
+//!
+//! The syntax is a conventional RISC assembly with one instruction per
+//! line, `;` comments, `label:` definitions, and a small set of
+//! directives:
+//!
+//! ```text
+//! .data                   ; switch to the data segment
+//! vec:    .word 1, 2, 3   ; initialized integer words
+//! coef:   .float 0.5, 2.0 ; initialized floating words
+//! buf:    .space 16       ; 16 zeroed words
+//!         .org 256        ; move the data cursor
+//! .text                   ; switch to the code segment (default)
+//! .entry main             ; entry point (defaults to address 0)
+//! main:   li   r1, #vec   ; data labels are immediates
+//!         lw   r2, 0(r1)
+//!         lw   r3, vec(r0)   ; labels may be memory offsets too
+//!         add  r4, r2, r3
+//!         bne  r4, #0, main
+//!         halt
+//! ```
+//!
+//! All of Table 1's operations are available, as are the paper's
+//! special instructions (`fastfork`, `chgpri`, `killothers`, `swp`/`sfp`
+//! priority-gated stores, `qmap`/`qunmap`, `setrot`, `lpid`). The
+//! pseudo-instruction `mv rd, rs` expands to `add rd, rs, #0`.
+//!
+//! # Examples
+//!
+//! ```
+//! use hirata_asm::assemble;
+//!
+//! let prog = assemble("
+//!     li   r1, #10
+//! loop:
+//!     sub  r1, r1, #1
+//!     bne  r1, #0, loop
+//!     halt
+//! ")?;
+//! assert_eq!(prog.len(), 4);
+//! assert_eq!(prog.label("loop"), Some(1));
+//! # Ok::<(), hirata_asm::AsmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assemble;
+mod error;
+mod lexer;
+
+pub use assemble::assemble;
+pub use error::AsmError;

@@ -1,0 +1,30 @@
+//! Component microbenchmarks: assembler throughput, raw simulator
+//! speed (simulated cycles per wall second), and the concurrent
+//! multithreading machinery.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hirata_bench::run;
+use hirata_sim::Config;
+use hirata_workloads::raytrace::{raytrace_program, RayTraceParams};
+use hirata_workloads::synthetic::{mix_program, MixParams};
+
+fn assembler(c: &mut Criterion) {
+    // A representative source: the full ray tracer text is built and
+    // assembled from scratch each iteration.
+    let params = RayTraceParams { width: 8, height: 8, spheres: 8, seed: 1, shadows: true };
+    c.bench_function("assemble-raytracer", |b| b.iter(|| raytrace_program(&params)));
+}
+
+fn simulator_speed(c: &mut Criterion) {
+    let program = mix_program(&MixParams::default());
+    let cycles = run(Config::multithreaded(4), &program).cycles;
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(cycles));
+    group.bench_function("mix-4slots-cycles", |b| {
+        b.iter(|| run(Config::multithreaded(4), &program))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, assembler, simulator_speed);
+criterion_main!(benches);

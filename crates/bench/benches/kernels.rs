@@ -1,0 +1,38 @@
+//! Kernel-sweep benchmark: every workload in the suite on the
+//! one-load/store-unit machine across widths — the broader evaluation
+//! the paper's §5 calls for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hirata_bench::run;
+use hirata_sched::Strategy;
+use hirata_sim::Config;
+use hirata_workloads::linked_list::{eager_program, ListShape};
+use hirata_workloads::livermore;
+use hirata_workloads::radiosity::{radiosity_program, RadiosityParams};
+
+fn kernels(c: &mut Criterion) {
+    let programs = vec![
+        ("lk1", livermore::kernel1_program(64, Strategy::ListA)),
+        ("lk3", livermore::kernel3_program(64)),
+        ("lk5", livermore::kernel5_program(64)),
+        ("lk7", livermore::kernel7_program(48, Strategy::ListA)),
+        (
+            "radiosity",
+            radiosity_program(&RadiosityParams { patches: 12, iterations: 2, seed: 7 }),
+        ),
+        ("eager-list", eager_program(ListShape { nodes: 48, break_at: Some(47) })),
+    ];
+    let mut group = c.benchmark_group("kernels");
+    for (name, program) in &programs {
+        for slots in [1usize, 4] {
+            let id = BenchmarkId::from_parameter(format!("{name}-s{slots}"));
+            group.bench_with_input(id, &(), |b, ()| {
+                b.iter(|| run(Config::multithreaded(slots), program))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, kernels);
+criterion_main!(benches);

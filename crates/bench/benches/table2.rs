@@ -1,0 +1,36 @@
+//! Table 2 benchmark: the parallel-multithreading speed-up experiment
+//! (ray tracing on 2/4/8 slots, one or two load/store units, standby
+//! stations on or off) at benchmark scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hirata_bench::{bench_scene, run};
+use hirata_isa::FuConfig;
+use hirata_sim::Config;
+use hirata_workloads::raytrace::raytrace_program;
+
+fn table2(c: &mut Criterion) {
+    let program = raytrace_program(&bench_scene());
+    let mut group = c.benchmark_group("table2");
+    group.bench_function("baseline-risc", |b| {
+        b.iter(|| run(Config::base_risc(), &program))
+    });
+    for slots in [2usize, 4, 8] {
+        for (ls, fu) in [(1, FuConfig::paper_one_ls()), (2, FuConfig::paper_two_ls())] {
+            for standby in [false, true] {
+                let id = BenchmarkId::from_parameter(format!(
+                    "s{slots}-ls{ls}-{}",
+                    if standby { "sb" } else { "nosb" }
+                ));
+                let config =
+                    Config::multithreaded(slots).with_fu(fu.clone()).with_standby(standby);
+                group.bench_with_input(id, &config, |b, config| {
+                    b.iter(|| run(config.clone(), &program))
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table2);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Table 3 benchmark: the (D,S) hybrid sweep — superscalar width
+//! versus thread slots at equal issue budget on eight functional
+//! units.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hirata_bench::{bench_scene, run};
+use hirata_sim::Config;
+use hirata_workloads::raytrace::raytrace_program;
+
+fn table3(c: &mut Criterion) {
+    let program = raytrace_program(&bench_scene());
+    let mut group = c.benchmark_group("table3");
+    for total in [2usize, 4, 8] {
+        let mut width = 1;
+        while width <= total {
+            let slots = total / width;
+            let id = BenchmarkId::from_parameter(format!("d{width}-s{slots}"));
+            let config = Config::hybrid(width, slots);
+            group.bench_with_input(id, &config, |b, config| {
+                b.iter(|| run(config.clone(), &program))
+            });
+            width *= 2;
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table3);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Table 4 benchmark: Livermore Kernel 1 under the three §2.3.2
+//! static-scheduling strategies, across machine widths. Also
+//! benchmarks the schedulers themselves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hirata_bench::run;
+use hirata_sched::{apply_strategy, Strategy};
+use hirata_sim::Config;
+use hirata_workloads::livermore::{kernel1_body, kernel1_program};
+
+fn table4(c: &mut Criterion) {
+    let n = 128;
+    let mut group = c.benchmark_group("table4");
+    for slots in [1usize, 4, 8] {
+        for (name, strategy) in [
+            ("none", Strategy::None),
+            ("listA", Strategy::ListA),
+            ("reservationB", Strategy::ReservationB { threads: slots }),
+        ] {
+            let program = kernel1_program(n, strategy);
+            let id = BenchmarkId::from_parameter(format!("s{slots}-{name}"));
+            group.bench_with_input(id, &(), |b, ()| {
+                b.iter(|| run(Config::multithreaded(slots), &program))
+            });
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("schedulers");
+    let body = kernel1_body();
+    group.bench_function("listA", |b| b.iter(|| apply_strategy(&body, Strategy::ListA)));
+    group.bench_function("reservationB", |b| {
+        b.iter(|| apply_strategy(&body, Strategy::ReservationB { threads: 8 }))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table4);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Table 5 benchmark: sequential versus eager execution of the
+//! Figure 6 linked-list while loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hirata_bench::run;
+use hirata_sim::Config;
+use hirata_workloads::linked_list::{eager_program, sequential_program, ListShape};
+
+fn table5(c: &mut Criterion) {
+    let shape = ListShape { nodes: 64, break_at: Some(63) };
+    let mut group = c.benchmark_group("table5");
+    let seq = sequential_program(shape);
+    group.bench_function("sequential", |b| b.iter(|| run(Config::base_risc(), &seq)));
+    let eager = eager_program(shape);
+    for slots in [2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("eager-s{slots}")), &(), |b, ()| {
+            b.iter(|| run(Config::multithreaded(slots), &eager))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table5);
+criterion_main!(benches);

@@ -1,0 +1,481 @@
+//! Command-line front end for the Hirata 1992 reproduction.
+//!
+//! ```text
+//! hirata check  <file.s>                  assemble, report errors
+//! hirata disasm <file.s>                  assemble and print the listing
+//! hirata run    <file.s> [options]        assemble and simulate
+//! hirata debug  <file.s> [--slots N]      scriptable single-step debugger
+//! hirata emu    <file.s> [--slots N] [--dump A..B]
+//!                                          architectural emulator (no timing)
+//!
+//! run options:
+//!   --slots N         thread slots (default 1)
+//!   --base            use the Figure 3(b) baseline RISC pipeline
+//!   --width D         per-slot issue width (default 1)
+//!   --two-ls          second load/store unit
+//!   --no-standby      disable standby stations
+//!   --private-fetch   private per-slot instruction caches
+//!   --trace           print every issue event
+//!   --timeline        per-cycle issue grid (one column per slot)
+//!   --dump A..B       print data memory words [A, B) after the run
+//!   --max-cycles N    watchdog limit
+//! ```
+//!
+//! The command logic lives in this library (returning the would-be
+//! terminal output) so it can be tested without spawning processes;
+//! `main.rs` is a thin wrapper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod debugger;
+
+pub use debugger::debug_session;
+
+use std::fmt::Write as _;
+
+use hirata_isa::{FuClass, FuConfig};
+use hirata_sim::{Config, Machine};
+
+/// A CLI failure: the message to print to stderr (exit status 1) or a
+/// usage error (exit status 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// Operational failure (bad source file, machine error).
+    Failure(String),
+    /// Command-line misuse; the usage text should be shown.
+    Usage(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Failure(m) | CliError::Usage(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// The usage text.
+pub const USAGE: &str = "usage:
+  hirata check  <file.s>
+  hirata disasm <file.s>
+  hirata run    <file.s> [--slots N] [--base] [--width D] [--two-ls]
+                         [--no-standby] [--private-fetch] [--trace]
+                         [--timeline] [--dump A..B] [--max-cycles N]
+  hirata debug  <file.s> [--slots N]    (commands on stdin: s/c/b/r/f/m/i/q)
+  hirata emu    <file.s> [--slots N] [--dump A..B]";
+
+/// Executes the command line (without the program name); returns the
+/// stdout text.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] for malformed invocations, [`CliError::Failure`]
+/// for assembly or simulation failures.
+pub fn execute(args: &[String], read: impl Fn(&str) -> std::io::Result<String>) -> Result<String, CliError> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or_else(|| CliError::Usage(USAGE.into()))?;
+    match cmd.as_str() {
+        "check" | "disasm" => {
+            let path = it.next().ok_or_else(|| CliError::Usage(USAGE.into()))?;
+            if it.next().is_some() {
+                return Err(CliError::Usage(USAGE.into()));
+            }
+            let source = read(path)
+                .map_err(|e| CliError::Failure(format!("cannot read `{path}`: {e}")))?;
+            let program = hirata_asm::assemble(&source)
+                .map_err(|e| CliError::Failure(format!("{path}:{e}")))?;
+            if cmd == "check" {
+                Ok(format!(
+                    "{path}: ok ({} instructions, {} data words)\n",
+                    program.len(),
+                    program.data.iter().map(|s| s.words.len()).sum::<usize>()
+                ))
+            } else {
+                Ok(program.listing())
+            }
+        }
+        "run" => run(&args[1..], read),
+        "emu" => {
+            let mut path: Option<&String> = None;
+            let mut slots = 1usize;
+            let mut dump: Option<(u64, u64)> = None;
+            let mut rest = args[1..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--slots" => slots = parse_num("--slots", rest.next())?,
+                    "--dump" => {
+                        let spec = rest.next().ok_or_else(|| {
+                            CliError::Usage(format!("--dump needs A..B\n{USAGE}"))
+                        })?;
+                        let (a, b) = spec.split_once("..").ok_or_else(|| {
+                            CliError::Usage(format!("--dump needs A..B\n{USAGE}"))
+                        })?;
+                        let lo = a.parse().map_err(|_| {
+                            CliError::Usage(format!("invalid --dump range\n{USAGE}"))
+                        })?;
+                        let hi = b.parse().map_err(|_| {
+                            CliError::Usage(format!("invalid --dump range\n{USAGE}"))
+                        })?;
+                        dump = Some((lo, hi));
+                    }
+                    a if a.starts_with("--") => {
+                        return Err(CliError::Usage(format!("unknown flag `{a}`\n{USAGE}")))
+                    }
+                    _ if path.is_none() => path = Some(arg),
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unexpected argument `{other}`\n{USAGE}"
+                        )))
+                    }
+                }
+            }
+            let path = path.ok_or_else(|| CliError::Usage(USAGE.into()))?;
+            let source = read(path)
+                .map_err(|e| CliError::Failure(format!("cannot read `{path}`: {e}")))?;
+            let program = hirata_asm::assemble(&source)
+                .map_err(|e| CliError::Failure(format!("{path}:{e}")))?;
+            let outcome =
+                hirata_sim::Emulator::execute(&program, slots, 1 << 20, 500_000_000)
+                    .map_err(|e| CliError::Failure(e.to_string()))?;
+            let mut out = String::new();
+            let _ = writeln!(out, "instructions:  {}", outcome.instructions);
+            let _ = writeln!(out, "threads killed: {}", outcome.threads_killed);
+            if let Some((lo, hi)) = dump {
+                let _ = writeln!(out, "memory [{lo}..{hi}):");
+                for addr in lo..hi {
+                    let bits = outcome
+                        .memory
+                        .read(addr)
+                        .map_err(|e| CliError::Failure(e.to_string()))?;
+                    let _ = writeln!(
+                        out,
+                        "  [{addr:>6}] {bits:#018x}  i64 {:<20}  f64 {}",
+                        bits as i64,
+                        f64::from_bits(bits)
+                    );
+                }
+            }
+            Ok(out)
+        }
+        "debug" => {
+            let mut path: Option<&String> = None;
+            let mut slots = 1usize;
+            let mut rest = args[1..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--slots" => slots = parse_num("--slots", rest.next())?,
+                    a if a.starts_with("--") => {
+                        return Err(CliError::Usage(format!("unknown flag `{a}`\n{USAGE}")))
+                    }
+                    _ if path.is_none() => path = Some(arg),
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unexpected argument `{other}`\n{USAGE}"
+                        )))
+                    }
+                }
+            }
+            let path = path.ok_or_else(|| CliError::Usage(USAGE.into()))?;
+            let source = read(path)
+                .map_err(|e| CliError::Failure(format!("cannot read `{path}`: {e}")))?;
+            let program = hirata_asm::assemble(&source)
+                .map_err(|e| CliError::Failure(format!("{path}:{e}")))?;
+            let mut input = String::new();
+            std::io::Read::read_to_string(&mut std::io::stdin(), &mut input)
+                .map_err(|e| CliError::Failure(format!("cannot read stdin: {e}")))?;
+            debugger::debug_session(Config::multithreaded(slots), &program, &input)
+        }
+        other => Err(CliError::Usage(format!("unknown command `{other}`\n{USAGE}"))),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result<T, CliError> {
+    value
+        .ok_or_else(|| CliError::Usage(format!("{flag} needs a value\n{USAGE}")))?
+        .parse()
+        .map_err(|_| CliError::Usage(format!("invalid value for {flag}\n{USAGE}")))
+}
+
+fn run(args: &[String], read: impl Fn(&str) -> std::io::Result<String>) -> Result<String, CliError> {
+    let mut path: Option<&String> = None;
+    let mut slots = 1usize;
+    let mut width = 1usize;
+    let mut base = false;
+    let mut two_ls = false;
+    let mut standby = true;
+    let mut private_fetch = false;
+    let mut trace = false;
+    let mut timeline = false;
+    let mut dump: Option<(u64, u64)> = None;
+    let mut max_cycles: Option<u64> = None;
+
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--slots" => slots = parse_num("--slots", it.next())?,
+            "--width" => width = parse_num("--width", it.next())?,
+            "--base" => base = true,
+            "--two-ls" => two_ls = true,
+            "--no-standby" => standby = false,
+            "--private-fetch" => private_fetch = true,
+            "--trace" => trace = true,
+            "--timeline" => timeline = true,
+            "--max-cycles" => max_cycles = Some(parse_num("--max-cycles", it.next())?),
+            "--dump" => {
+                let spec = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage(format!("--dump needs A..B\n{USAGE}")))?;
+                let (a, b) = spec
+                    .split_once("..")
+                    .ok_or_else(|| CliError::Usage(format!("--dump needs A..B\n{USAGE}")))?;
+                let lo: u64 = a
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("invalid --dump range\n{USAGE}")))?;
+                let hi: u64 = b
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("invalid --dump range\n{USAGE}")))?;
+                if hi < lo {
+                    return Err(CliError::Usage(format!("invalid --dump range\n{USAGE}")));
+                }
+                dump = Some((lo, hi));
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown flag `{flag}`\n{USAGE}")))
+            }
+            _ if path.is_none() => path = Some(arg),
+            _ => return Err(CliError::Usage(format!("unexpected argument `{arg}`\n{USAGE}"))),
+        }
+    }
+    let path = path.ok_or_else(|| CliError::Usage(USAGE.into()))?;
+    let source =
+        read(path).map_err(|e| CliError::Failure(format!("cannot read `{path}`: {e}")))?;
+    let program = hirata_asm::assemble(&source)
+        .map_err(|e| CliError::Failure(format!("{path}:{e}")))?;
+
+    let mut config = if base {
+        let mut c = Config::base_risc();
+        c.thread_slots = slots; // >1 rejected by validation below
+        c
+    } else {
+        Config::multithreaded(slots)
+    };
+    config.issue_width = width;
+    if two_ls {
+        config.fu = FuConfig::paper_two_ls();
+    }
+    config.standby_stations = standby;
+    config.private_fetch = private_fetch;
+    if let Some(limit) = max_cycles {
+        config.max_cycles = limit;
+    }
+    config.validate().map_err(|e| CliError::Failure(e.to_string()))?;
+
+    let slots_used = config.thread_slots;
+    let mut machine =
+        Machine::new(config, &program).map_err(|e| CliError::Failure(e.to_string()))?;
+    machine.set_trace(trace || timeline);
+    let stats = machine.run().map_err(|e| CliError::Failure(e.to_string()))?;
+
+    let mut out = String::new();
+    if trace {
+        for e in machine.trace() {
+            let _ = writeln!(
+                out,
+                "cycle {:>6}  slot {}  @{:<5} {}",
+                e.cycle, e.slot, e.pc, program.insts[e.pc as usize]
+            );
+        }
+        let _ = writeln!(out);
+    }
+    if timeline {
+        out.push_str(&render_timeline(machine.trace(), slots_used, 120));
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out, "cycles:        {}", stats.cycles);
+    let _ = writeln!(out, "instructions:  {}", stats.instructions);
+    let _ = writeln!(out, "ipc:           {:.3}", stats.ipc());
+    let (busiest, util) = stats.busiest_unit();
+    let _ = writeln!(out, "busiest unit:  {busiest} ({util:.1}%)");
+    for class in FuClass::ALL {
+        let i = class.index();
+        if stats.fu_invocations[i] > 0 {
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>8} ops  {:>5.1}%",
+                class.name(),
+                stats.fu_invocations[i],
+                stats.utilization(class)
+            );
+        }
+    }
+    if let Some((lo, hi)) = dump {
+        let _ = writeln!(out, "memory [{lo}..{hi}):");
+        for addr in lo..hi {
+            let bits = machine
+                .memory()
+                .read(addr)
+                .map_err(|e| CliError::Failure(e.to_string()))?;
+            let _ = writeln!(
+                out,
+                "  [{addr:>6}] {bits:#018x}  i64 {:<20}  f64 {}",
+                bits as i64,
+                f64::from_bits(bits)
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// Renders the first `max_cycles` cycles of an issue trace as a grid:
+/// one column per thread slot, the issued instruction address in each
+/// cell, `.` for a cycle with no issue from that slot.
+fn render_timeline(
+    trace: &[hirata_sim::IssueEvent],
+    slots: usize,
+    max_cycles: u64,
+) -> String {
+    let mut out = String::new();
+    if trace.is_empty() {
+        return out;
+    }
+    let last = trace.iter().map(|e| e.cycle).max().expect("non-empty").min(max_cycles);
+    let _ = write!(out, "{:>6} ", "cycle");
+    for s in 0..slots {
+        let _ = write!(out, "{:>6}", format!("s{s}"));
+    }
+    let _ = writeln!(out);
+    let mut idx = 0usize;
+    for cycle in 0..=last {
+        let mut cells = vec![String::from("."); slots];
+        while idx < trace.len() && trace[idx].cycle == cycle {
+            cells[trace[idx].slot] = format!("@{}", trace[idx].pc);
+            idx += 1;
+        }
+        if cells.iter().all(|c| c == ".") {
+            continue; // skip fully idle cycles
+        }
+        let _ = write!(out, "{cycle:>6} ");
+        for cell in cells {
+            let _ = write!(out, "{cell:>6}");
+        }
+        let _ = writeln!(out);
+    }
+    if trace.iter().any(|e| e.cycle > max_cycles) {
+        let _ = writeln!(out, "  ... (truncated at cycle {max_cycles})");
+    }
+    out
+}
+
+/// Reads files from the real filesystem (the production `read`).
+pub fn read_file(path: &str) -> std::io::Result<String> {
+    std::fs::read_to_string(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_fs(src: &'static str) -> impl Fn(&str) -> std::io::Result<String> {
+        move |path| {
+            if path == "prog.s" {
+                Ok(src.to_owned())
+            } else {
+                Err(std::io::Error::new(std::io::ErrorKind::NotFound, "no such file"))
+            }
+        }
+    }
+
+    fn args(text: &str) -> Vec<String> {
+        text.split_whitespace().map(String::from).collect()
+    }
+
+    const PROG: &str = "
+        fastfork
+        lpid r1
+        mul  r2, r1, r1
+        sw   r2, 100(r1)
+        halt
+    ";
+
+    #[test]
+    fn check_reports_counts() {
+        let out = execute(&args("check prog.s"), fake_fs(PROG)).unwrap();
+        assert!(out.contains("ok (5 instructions, 0 data words)"));
+    }
+
+    #[test]
+    fn disasm_prints_listing() {
+        let out = execute(&args("disasm prog.s"), fake_fs(PROG)).unwrap();
+        assert!(out.contains("fastfork"));
+        assert!(out.contains("@4"));
+    }
+
+    #[test]
+    fn run_reports_stats_and_dump() {
+        let out =
+            execute(&args("run prog.s --slots 4 --dump 100..104"), fake_fs(PROG)).unwrap();
+        assert!(out.contains("cycles:"), "{out}");
+        assert!(out.contains("int-mul"), "{out}");
+        assert!(out.contains("i64 9"), "thread 3 squares to 9: {out}");
+    }
+
+    #[test]
+    fn run_trace_lists_issues() {
+        let out = execute(&args("run prog.s --trace --base"), fake_fs(PROG)).unwrap();
+        assert!(out.contains("slot 0"), "{out}");
+        assert!(out.contains("mul  r2, r1, r1") || out.contains("mul r2, r1, r1"), "{out}");
+    }
+
+    #[test]
+    fn assembly_errors_carry_path_and_line() {
+        let err = execute(&args("check prog.s"), fake_fs("bogus r1")).unwrap_err();
+        match err {
+            CliError::Failure(m) => {
+                assert!(m.contains("prog.s:line 1"), "{m}");
+                assert!(m.contains("unknown mnemonic"), "{m}");
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_file_is_a_failure() {
+        let err = execute(&args("run missing.s"), fake_fs(PROG)).unwrap_err();
+        assert!(matches!(err, CliError::Failure(m) if m.contains("missing.s")));
+    }
+
+    #[test]
+    fn usage_errors() {
+        for bad in [
+            "",
+            "frobnicate prog.s",
+            "run prog.s --slots",
+            "run prog.s --dump 5",
+            "run prog.s --dump 9..3",
+            "run prog.s --bogus",
+            "run prog.s extra.s",
+        ] {
+            let err = execute(&args(bad), fake_fs(PROG)).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{bad:?} -> {err:?}");
+        }
+    }
+
+    #[test]
+    fn watchdog_is_reported_as_failure() {
+        let err = execute(
+            &args("run prog.s --max-cycles 3"),
+            fake_fs("loop: j loop"),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CliError::Failure(m) if m.contains("watchdog")));
+    }
+
+    #[test]
+    fn base_flag_conflicts_with_slots() {
+        let err = execute(&args("run prog.s --base --slots 4"), fake_fs(PROG)).unwrap_err();
+        assert!(matches!(err, CliError::Failure(m) if m.contains("single-threaded")));
+    }
+}

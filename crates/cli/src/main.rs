@@ -1,0 +1,16 @@
+//! Thin binary wrapper over [`hirata_cli::execute`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match hirata_cli::execute(&args, hirata_cli::read_file) {
+        Ok(out) => print!("{out}"),
+        Err(hirata_cli::CliError::Failure(msg)) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+        Err(hirata_cli::CliError::Usage(msg)) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}

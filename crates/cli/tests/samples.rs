@@ -1,0 +1,97 @@
+//! The shipped sample programs under `examples/asm/` must assemble and
+//! run through the CLI.
+
+use hirata_cli::{execute, read_file};
+
+fn sample(name: &str) -> String {
+    format!("{}/../../examples/asm/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn args(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn fib_runs_and_dumps_the_sequence() {
+    let out = execute(
+        &args(&["run", &sample("fib.s"), "--base", "--dump", "100..108"]),
+        read_file,
+    )
+    .unwrap();
+    for fib in [0i64, 1, 1, 2, 3, 5, 8, 13] {
+        assert!(out.contains(&format!("i64 {fib} ")), "fib {fib} missing:\n{out}");
+    }
+}
+
+#[test]
+fn saxpy_runs_on_four_slots() {
+    let out = execute(
+        &args(&["run", &sample("saxpy.s"), "--slots", "4", "--dump", "3000..3002"]),
+        read_file,
+    )
+    .unwrap();
+    // y[1] = 2.5 * 0.25 + 0 = 0.625
+    assert!(out.contains("0.625"), "{out}");
+}
+
+#[test]
+fn ring_token_crosses_every_slot_twice() {
+    let out = execute(
+        &args(&["run", &sample("ring_token.s"), "--slots", "4", "--dump", "100..101"]),
+        read_file,
+    )
+    .unwrap();
+    // 4 slots x 2 laps = token incremented 8 times.
+    assert!(out.contains("i64 8 "), "{out}");
+}
+
+#[test]
+fn timeline_renders_a_grid() {
+    let out = execute(
+        &args(&["run", &sample("fib.s"), "--timeline", "--max-cycles", "100000"]),
+        read_file,
+    )
+    .unwrap();
+    assert!(out.contains("cycle     s0"), "{out}");
+    assert!(out.contains("@0"), "{out}");
+}
+
+#[test]
+fn every_sample_checks_clean() {
+    for name in ["fib.s", "saxpy.s", "ring_token.s"] {
+        let out = execute(&args(&["check", &sample(name)]), read_file).unwrap();
+        assert!(out.contains(": ok ("), "{name}: {out}");
+    }
+}
+
+#[test]
+fn emulator_subcommand_runs_samples() {
+    let out = execute(
+        &args(&["emu", &sample("fib.s"), "--dump", "105..106"]),
+        read_file,
+    )
+    .unwrap();
+    assert!(out.contains("instructions:"), "{out}");
+    assert!(out.contains("i64 5 "), "fib(5)=5: {out}");
+}
+
+#[test]
+fn emulator_and_machine_agree_on_saxpy() {
+    let run_out = execute(
+        &args(&["run", &sample("saxpy.s"), "--slots", "4", "--dump", "3000..3064"]),
+        read_file,
+    )
+    .unwrap();
+    let emu_out = execute(
+        &args(&["emu", &sample("saxpy.s"), "--slots", "4", "--dump", "3000..3064"]),
+        read_file,
+    )
+    .unwrap();
+    let tail = |s: &str| {
+        s.lines()
+            .filter(|l| l.trim_start().starts_with('['))
+            .map(str::to_owned)
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(tail(&run_out), tail(&emu_out));
+}

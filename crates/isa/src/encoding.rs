@@ -1,0 +1,507 @@
+//! Binary instruction encoding.
+//!
+//! Instruction memory words are 64 bits wide (like data words). Most
+//! instructions encode in one word; `lif` needs two (the second word
+//! carries the raw IEEE-754 immediate, so round-trips are exact).
+//!
+//! One-word layout (fields unused by a format are zero):
+//!
+//! ```text
+//!  63..56  opcode
+//!  55..48  rd / fd / dst register index (bit 7 set = FP file)
+//!  47..40  rs / fs / src register index (bit 7 set = FP file)
+//!  39..32  rt / ft / base register index (bit 7 set = FP file)
+//!  31      second-source-is-immediate flag
+//!  30..0   sign-magnitude immediate / absolute target (bit 30 = sign)
+//! ```
+//!
+//! The 31-bit immediate field covers every offset, literal and target
+//! the assembler accepts for one-word forms; anything larger is an
+//! [`EncodeError`].
+
+use std::fmt;
+
+use crate::inst::{BranchCond, FpBinOp, FpUnOp, GSrc, Inst, IntOp, RotationMode};
+use crate::reg::{FReg, GReg, Reg};
+
+/// Error produced by [`encode`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EncodeError {
+    /// An immediate, offset, or rotation interval exceeds the 30-bit
+    /// magnitude the word format carries.
+    ImmediateOutOfRange {
+        /// The instruction that failed to encode.
+        inst: Inst,
+    },
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ImmediateOutOfRange { inst } => {
+                write!(f, "immediate out of encodable range in `{inst}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+/// Error produced by [`decode_program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Unknown opcode byte.
+    BadOpcode {
+        /// The offending opcode value.
+        opcode: u8,
+        /// Word index in the input.
+        at: usize,
+    },
+    /// A register field held an out-of-range index.
+    BadRegister {
+        /// Word index in the input.
+        at: usize,
+    },
+    /// A two-word instruction was cut off at the end of the input.
+    Truncated,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode { opcode, at } => {
+                write!(f, "unknown opcode {opcode:#04x} at word {at}")
+            }
+            DecodeError::BadRegister { at } => write!(f, "invalid register field at word {at}"),
+            DecodeError::Truncated => write!(f, "truncated two-word instruction"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// Opcode space. Grouped: integer ops mirror IntOp order, etc.
+const OP_INT_BASE: u8 = 0x00; // 15 IntOps: 0x00..=0x0e
+const OP_LI: u8 = 0x10;
+const OP_LIF: u8 = 0x11; // two words
+const OP_FPBIN_BASE: u8 = 0x14; // 4 FpBinOps: 0x14..=0x17
+const OP_FPUN_BASE: u8 = 0x18; // 3 FpUnOps: 0x18..=0x1a
+const OP_FPCMP_BASE: u8 = 0x1c; // 6 conds: 0x1c..=0x21
+const OP_CVTIF: u8 = 0x22;
+const OP_CVTFI: u8 = 0x23;
+const OP_LOAD: u8 = 0x28;
+const OP_STORE: u8 = 0x29;
+const OP_STORE_GATED: u8 = 0x2a;
+const OP_BRANCH_BASE: u8 = 0x30; // 6 conds: 0x30..=0x35
+const OP_JUMP: u8 = 0x38;
+const OP_JUMP_REG: u8 = 0x39;
+const OP_HALT: u8 = 0x3a;
+const OP_NOP: u8 = 0x3b;
+const OP_FASTFORK: u8 = 0x40;
+const OP_CHGPRI: u8 = 0x41;
+const OP_KILLOTHERS: u8 = 0x42;
+const OP_SETROT_IMPLICIT: u8 = 0x43;
+const OP_SETROT_EXPLICIT: u8 = 0x44;
+const OP_QMAP: u8 = 0x45;
+const OP_QUNMAP: u8 = 0x46;
+const OP_LPID: u8 = 0x47;
+const OP_NLP: u8 = 0x48;
+const OP_DRAIN: u8 = 0x49;
+
+const FP_BIT: u64 = 0x80;
+const IMM_FLAG: u64 = 1 << 31;
+const IMM_SIGN: u64 = 1 << 30;
+const IMM_MAG: u64 = IMM_SIGN - 1;
+
+fn reg_field(r: Reg) -> u64 {
+    match r {
+        Reg::G(GReg(n)) => n as u64,
+        Reg::F(FReg(n)) => FP_BIT | n as u64,
+    }
+}
+
+fn imm_field(v: i64) -> Option<u64> {
+    let mag = v.unsigned_abs();
+    if mag > IMM_MAG {
+        return None;
+    }
+    Some(if v < 0 { IMM_SIGN | mag } else { mag })
+}
+
+fn word(op: u8, d: u64, s: u64, t: u64, imm: u64) -> u64 {
+    ((op as u64) << 56) | (d << 48) | (s << 40) | (t << 32) | imm
+}
+
+/// Encodes one instruction into one or two 64-bit words appended to
+/// `out`.
+///
+/// # Errors
+///
+/// [`EncodeError::ImmediateOutOfRange`] if a literal exceeds the
+/// 30-bit magnitude field.
+pub fn encode(inst: &Inst, out: &mut Vec<u64>) -> Result<(), EncodeError> {
+    let err = || EncodeError::ImmediateOutOfRange { inst: *inst };
+    let gsrc = |src2: GSrc| -> Result<(u64, u64), EncodeError> {
+        match src2 {
+            GSrc::Reg(r) => Ok((reg_field(Reg::G(r)), 0)),
+            GSrc::Imm(v) => Ok((0, IMM_FLAG | imm_field(v).ok_or_else(err)?)),
+        }
+    };
+    let w = match *inst {
+        Inst::IntOp { op, rd, rs, src2 } => {
+            let opc = OP_INT_BASE + IntOp::ALL.iter().position(|o| *o == op).expect("known op") as u8;
+            let (t, imm) = gsrc(src2)?;
+            word(opc, reg_field(Reg::G(rd)), reg_field(Reg::G(rs)), t, imm)
+        }
+        Inst::Li { rd, imm } => {
+            word(OP_LI, reg_field(Reg::G(rd)), 0, 0, imm_field(imm).ok_or_else(err)?)
+        }
+        Inst::LiF { fd, imm } => {
+            out.push(word(OP_LIF, reg_field(Reg::F(fd)), 0, 0, 0));
+            out.push(imm.to_bits());
+            return Ok(());
+        }
+        Inst::FpBin { op, fd, fs, ft } => {
+            let opc =
+                OP_FPBIN_BASE + FpBinOp::ALL.iter().position(|o| *o == op).expect("known op") as u8;
+            word(opc, reg_field(Reg::F(fd)), reg_field(Reg::F(fs)), reg_field(Reg::F(ft)), 0)
+        }
+        Inst::FpUn { op, fd, fs } => {
+            let opc =
+                OP_FPUN_BASE + FpUnOp::ALL.iter().position(|o| *o == op).expect("known op") as u8;
+            word(opc, reg_field(Reg::F(fd)), reg_field(Reg::F(fs)), 0, 0)
+        }
+        Inst::FpCmp { cond, rd, fs, ft } => {
+            let opc = OP_FPCMP_BASE
+                + BranchCond::ALL.iter().position(|c| *c == cond).expect("known cond") as u8;
+            word(opc, reg_field(Reg::G(rd)), reg_field(Reg::F(fs)), reg_field(Reg::F(ft)), 0)
+        }
+        Inst::CvtIF { fd, rs } => {
+            word(OP_CVTIF, reg_field(Reg::F(fd)), reg_field(Reg::G(rs)), 0, 0)
+        }
+        Inst::CvtFI { rd, fs } => {
+            word(OP_CVTFI, reg_field(Reg::G(rd)), reg_field(Reg::F(fs)), 0, 0)
+        }
+        Inst::Load { dst, base, off } => word(
+            OP_LOAD,
+            reg_field(dst),
+            0,
+            reg_field(Reg::G(base)),
+            imm_field(off).ok_or_else(err)?,
+        ),
+        Inst::Store { src, base, off, gated } => word(
+            if gated { OP_STORE_GATED } else { OP_STORE },
+            0,
+            reg_field(src),
+            reg_field(Reg::G(base)),
+            imm_field(off).ok_or_else(err)?,
+        ),
+        Inst::Branch { cond, rs, src2, target } => {
+            let opc = OP_BRANCH_BASE
+                + BranchCond::ALL.iter().position(|c| *c == cond).expect("known cond") as u8;
+            let (t, imm_bits) = gsrc(src2)?;
+            // Register-comparand branches carry the target in the
+            // immediate field; immediate-comparand branches need both
+            // a literal and a target, so they take a second word
+            // (d = 1 marks the two-word form).
+            if imm_bits == 0 {
+                word(
+                    opc,
+                    0,
+                    reg_field(Reg::G(rs)),
+                    t,
+                    imm_field(target as i64).ok_or_else(err)?,
+                )
+            } else {
+                out.push(word(opc, 1, reg_field(Reg::G(rs)), 0, imm_bits));
+                out.push(target as u64);
+                return Ok(());
+            }
+        }
+        Inst::Jump { target } => word(OP_JUMP, 0, 0, 0, imm_field(target as i64).ok_or_else(err)?),
+        Inst::JumpReg { rs } => word(OP_JUMP_REG, 0, reg_field(Reg::G(rs)), 0, 0),
+        Inst::Halt => word(OP_HALT, 0, 0, 0, 0),
+        Inst::Nop => word(OP_NOP, 0, 0, 0, 0),
+        Inst::FastFork => word(OP_FASTFORK, 0, 0, 0, 0),
+        Inst::ChgPri => word(OP_CHGPRI, 0, 0, 0, 0),
+        Inst::KillOthers => word(OP_KILLOTHERS, 0, 0, 0, 0),
+        Inst::SetRotation { mode } => match mode {
+            RotationMode::Implicit { interval } => word(
+                OP_SETROT_IMPLICIT,
+                0,
+                0,
+                0,
+                imm_field(interval as i64).ok_or_else(err)?,
+            ),
+            RotationMode::Explicit => word(OP_SETROT_EXPLICIT, 0, 0, 0, 0),
+        },
+        Inst::QMap { read, write } => word(OP_QMAP, reg_field(read), reg_field(write), 0, 0),
+        Inst::QUnmap => word(OP_QUNMAP, 0, 0, 0, 0),
+        Inst::Lpid { rd } => word(OP_LPID, reg_field(Reg::G(rd)), 0, 0, 0),
+        Inst::Nlp { rd } => word(OP_NLP, reg_field(Reg::G(rd)), 0, 0, 0),
+        Inst::Drain => word(OP_DRAIN, 0, 0, 0, 0),
+    };
+    out.push(w);
+    Ok(())
+}
+
+/// Encodes a whole instruction sequence.
+///
+/// # Errors
+///
+/// Propagates the first [`EncodeError`].
+pub fn encode_program(insts: &[Inst]) -> Result<Vec<u64>, EncodeError> {
+    let mut out = Vec::with_capacity(insts.len());
+    for inst in insts {
+        encode(inst, &mut out)?;
+    }
+    Ok(out)
+}
+
+struct Fields {
+    op: u8,
+    d: u64,
+    s: u64,
+    t: u64,
+    imm_flag: bool,
+    imm: i64,
+    raw_imm: u64,
+}
+
+fn split(w: u64) -> Fields {
+    let raw_imm = w & ((1 << 31) - 1);
+    let mag = (raw_imm & IMM_MAG) as i64;
+    Fields {
+        op: (w >> 56) as u8,
+        d: (w >> 48) & 0xff,
+        s: (w >> 40) & 0xff,
+        t: (w >> 32) & 0xff,
+        imm_flag: w & IMM_FLAG != 0,
+        imm: if raw_imm & IMM_SIGN != 0 { -mag } else { mag },
+        raw_imm,
+    }
+}
+
+fn reg_of(field: u64, at: usize) -> Result<Reg, DecodeError> {
+    let idx = (field & 0x7f) as u8;
+    let reg = if field & FP_BIT != 0 { Reg::F(FReg(idx)) } else { Reg::G(GReg(idx)) };
+    if reg.is_valid() {
+        Ok(reg)
+    } else {
+        Err(DecodeError::BadRegister { at })
+    }
+}
+
+fn greg_of(field: u64, at: usize) -> Result<GReg, DecodeError> {
+    match reg_of(field, at)? {
+        Reg::G(r) => Ok(r),
+        Reg::F(_) => Err(DecodeError::BadRegister { at }),
+    }
+}
+
+fn freg_of(field: u64, at: usize) -> Result<FReg, DecodeError> {
+    match reg_of(field, at)? {
+        Reg::F(r) => Ok(r),
+        Reg::G(_) => Err(DecodeError::BadRegister { at }),
+    }
+}
+
+/// Decodes a word stream produced by [`encode_program`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for unknown opcodes, malformed register
+/// fields, or a truncated two-word instruction.
+pub fn decode_program(words: &[u64]) -> Result<Vec<Inst>, DecodeError> {
+    let mut out = Vec::with_capacity(words.len());
+    let mut i = 0usize;
+    while i < words.len() {
+        let at = i;
+        let f = split(words[i]);
+        i += 1;
+        let mut second = || -> Result<u64, DecodeError> {
+            let w = *words.get(i).ok_or(DecodeError::Truncated)?;
+            i += 1;
+            Ok(w)
+        };
+        let inst = match f.op {
+            op if (OP_INT_BASE..OP_INT_BASE + 15).contains(&op) => {
+                let int_op = IntOp::ALL[(op - OP_INT_BASE) as usize];
+                let src2 = if f.imm_flag {
+                    GSrc::Imm(f.imm)
+                } else {
+                    GSrc::Reg(greg_of(f.t, at)?)
+                };
+                Inst::IntOp { op: int_op, rd: greg_of(f.d, at)?, rs: greg_of(f.s, at)?, src2 }
+            }
+            OP_LI => Inst::Li { rd: greg_of(f.d, at)?, imm: f.imm },
+            OP_LIF => Inst::LiF { fd: freg_of(f.d, at)?, imm: f64::from_bits(second()?) },
+            op if (OP_FPBIN_BASE..OP_FPBIN_BASE + 4).contains(&op) => Inst::FpBin {
+                op: FpBinOp::ALL[(op - OP_FPBIN_BASE) as usize],
+                fd: freg_of(f.d, at)?,
+                fs: freg_of(f.s, at)?,
+                ft: freg_of(f.t, at)?,
+            },
+            op if (OP_FPUN_BASE..OP_FPUN_BASE + 3).contains(&op) => Inst::FpUn {
+                op: FpUnOp::ALL[(op - OP_FPUN_BASE) as usize],
+                fd: freg_of(f.d, at)?,
+                fs: freg_of(f.s, at)?,
+            },
+            op if (OP_FPCMP_BASE..OP_FPCMP_BASE + 6).contains(&op) => Inst::FpCmp {
+                cond: BranchCond::ALL[(op - OP_FPCMP_BASE) as usize],
+                rd: greg_of(f.d, at)?,
+                fs: freg_of(f.s, at)?,
+                ft: freg_of(f.t, at)?,
+            },
+            OP_CVTIF => Inst::CvtIF { fd: freg_of(f.d, at)?, rs: greg_of(f.s, at)? },
+            OP_CVTFI => Inst::CvtFI { rd: greg_of(f.d, at)?, fs: freg_of(f.s, at)? },
+            OP_LOAD => Inst::Load { dst: reg_of(f.d, at)?, base: greg_of(f.t, at)?, off: f.imm },
+            OP_STORE | OP_STORE_GATED => Inst::Store {
+                src: reg_of(f.s, at)?,
+                base: greg_of(f.t, at)?,
+                off: f.imm,
+                gated: f.op == OP_STORE_GATED,
+            },
+            op if (OP_BRANCH_BASE..OP_BRANCH_BASE + 6).contains(&op) => {
+                let cond = BranchCond::ALL[(op - OP_BRANCH_BASE) as usize];
+                let rs = greg_of(f.s, at)?;
+                if f.d == 1 {
+                    // two-word immediate-comparand form
+                    let mag = (f.raw_imm & IMM_MAG) as i64;
+                    let val = if f.raw_imm & IMM_SIGN != 0 { -mag } else { mag };
+                    Inst::Branch { cond, rs, src2: GSrc::Imm(val), target: second()? as u32 }
+                } else {
+                    Inst::Branch {
+                        cond,
+                        rs,
+                        src2: GSrc::Reg(greg_of(f.t, at)?),
+                        target: f.imm as u32,
+                    }
+                }
+            }
+            OP_JUMP => Inst::Jump { target: f.imm as u32 },
+            OP_JUMP_REG => Inst::JumpReg { rs: greg_of(f.s, at)? },
+            OP_HALT => Inst::Halt,
+            OP_NOP => Inst::Nop,
+            OP_FASTFORK => Inst::FastFork,
+            OP_CHGPRI => Inst::ChgPri,
+            OP_KILLOTHERS => Inst::KillOthers,
+            OP_SETROT_IMPLICIT => Inst::SetRotation {
+                mode: RotationMode::Implicit { interval: f.imm as u32 },
+            },
+            OP_SETROT_EXPLICIT => Inst::SetRotation { mode: RotationMode::Explicit },
+            OP_QMAP => Inst::QMap { read: reg_of(f.d, at)?, write: reg_of(f.s, at)? },
+            OP_QUNMAP => Inst::QUnmap,
+            OP_LPID => Inst::Lpid { rd: greg_of(f.d, at)? },
+            OP_NLP => Inst::Nlp { rd: greg_of(f.d, at)? },
+            OP_DRAIN => Inst::Drain,
+            opcode => return Err(DecodeError::BadOpcode { opcode, at }),
+        };
+        out.push(inst);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rt(inst: Inst) {
+        let mut words = Vec::new();
+        encode(&inst, &mut words).expect("encodes");
+        let back = decode_program(&words).expect("decodes");
+        assert_eq!(back, vec![inst]);
+    }
+
+    #[test]
+    fn every_simple_form_round_trips() {
+        rt(Inst::IntOp { op: IntOp::Add, rd: GReg(1), rs: GReg(2), src2: GSrc::Reg(GReg(3)) });
+        rt(Inst::IntOp { op: IntOp::Sra, rd: GReg(31), rs: GReg(0), src2: GSrc::Imm(-12345) });
+        rt(Inst::Li { rd: GReg(9), imm: -(1 << 29) });
+        rt(Inst::LiF { fd: FReg(3), imm: 1.0e30 });
+        rt(Inst::LiF { fd: FReg(3), imm: -0.0 });
+        rt(Inst::FpBin { op: FpBinOp::FDiv, fd: FReg(1), fs: FReg(2), ft: FReg(3) });
+        rt(Inst::FpUn { op: FpUnOp::FMov, fd: FReg(31), fs: FReg(0) });
+        rt(Inst::FpCmp { cond: BranchCond::Le, rd: GReg(4), fs: FReg(5), ft: FReg(6) });
+        rt(Inst::CvtIF { fd: FReg(1), rs: GReg(2) });
+        rt(Inst::CvtFI { rd: GReg(1), fs: FReg(2) });
+        rt(Inst::Load { dst: Reg::F(FReg(7)), base: GReg(8), off: -4096 });
+        rt(Inst::Store { src: Reg::G(GReg(7)), base: GReg(8), off: 20_000, gated: true });
+        rt(Inst::Branch {
+            cond: BranchCond::Ne,
+            rs: GReg(1),
+            src2: GSrc::Reg(GReg(2)),
+            target: 1234,
+        });
+        rt(Inst::Branch { cond: BranchCond::Lt, rs: GReg(1), src2: GSrc::Imm(-7), target: 99 });
+        rt(Inst::Jump { target: 0 });
+        rt(Inst::JumpReg { rs: GReg(31) });
+        rt(Inst::Halt);
+        rt(Inst::Nop);
+        rt(Inst::FastFork);
+        rt(Inst::ChgPri);
+        rt(Inst::KillOthers);
+        rt(Inst::SetRotation { mode: RotationMode::Implicit { interval: 256 } });
+        rt(Inst::SetRotation { mode: RotationMode::Explicit });
+        rt(Inst::QMap { read: Reg::F(FReg(10)), write: Reg::G(GReg(11)) });
+        rt(Inst::QUnmap);
+        rt(Inst::Lpid { rd: GReg(1) });
+        rt(Inst::Nlp { rd: GReg(2) });
+        rt(Inst::Drain);
+    }
+
+    #[test]
+    fn nan_float_immediates_round_trip_bitwise() {
+        let imm = f64::from_bits(0x7ff8_0000_dead_beef);
+        let mut words = Vec::new();
+        encode(&Inst::LiF { fd: FReg(1), imm }, &mut words).unwrap();
+        match decode_program(&words).unwrap()[0] {
+            Inst::LiF { imm: back, .. } => assert_eq!(back.to_bits(), imm.to_bits()),
+            ref other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_immediates_rejected() {
+        let mut words = Vec::new();
+        let big = Inst::Li { rd: GReg(1), imm: 1 << 40 };
+        assert!(matches!(
+            encode(&big, &mut words),
+            Err(EncodeError::ImmediateOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_opcode_and_truncation_detected() {
+        assert!(matches!(
+            decode_program(&[0xff_u64 << 56]),
+            Err(DecodeError::BadOpcode { opcode: 0xff, at: 0 })
+        ));
+        let mut words = Vec::new();
+        encode(&Inst::LiF { fd: FReg(1), imm: 2.5 }, &mut words).unwrap();
+        words.pop();
+        assert_eq!(decode_program(&words), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn register_file_mismatch_detected() {
+        // Hand-craft an integer add whose rd field claims the FP file.
+        let w = ((OP_INT_BASE as u64) << 56) | (0x81u64 << 48);
+        assert!(matches!(decode_program(&[w]), Err(DecodeError::BadRegister { at: 0 })));
+    }
+
+    #[test]
+    fn program_level_round_trip() {
+        let insts = vec![
+            Inst::FastFork,
+            Inst::Lpid { rd: GReg(1) },
+            Inst::LiF { fd: FReg(2), imm: 0.1 },
+            Inst::Branch { cond: BranchCond::Eq, rs: GReg(1), src2: GSrc::Imm(0), target: 5 },
+            Inst::Store { src: Reg::F(FReg(2)), base: GReg(1), off: 100, gated: false },
+            Inst::Halt,
+        ];
+        let words = encode_program(&insts).unwrap();
+        assert_eq!(words.len(), insts.len() + 2); // lif + imm-branch pay one extra word each
+        assert_eq!(decode_program(&words).unwrap(), insts);
+    }
+}

@@ -1,0 +1,226 @@
+//! Functional-unit classes and the latency table (paper Table 1).
+//!
+//! The processor of Figure 2 shares a pool of functional units between
+//! all thread slots. The paper evaluates two pools: seven heterogeneous
+//! units, and the same plus a second load/store unit (§3.1). Each unit
+//! class has an *issue latency* (cycles before the unit accepts another
+//! instruction) and each operation a *result latency* (number of EX
+//! stages before the result is written back), per Table 1.
+
+use std::fmt;
+
+/// Number of distinct functional-unit classes.
+pub const FU_CLASS_COUNT: usize = 7;
+
+/// The class of functional unit an instruction executes on.
+///
+/// One physical unit of each class exists in the paper's seven-unit
+/// configuration; [`FuConfig`] controls how many units of each class a
+/// simulated processor has.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FuClass {
+    /// Integer ALU: add/subtract, logical, compare.
+    IntAlu,
+    /// Barrel shifter.
+    Shifter,
+    /// Integer multiplier (multiply and divide).
+    IntMul,
+    /// Floating-point adder (add/sub/compare/absolute/negate/convert).
+    FpAdd,
+    /// Floating-point multiplier.
+    FpMul,
+    /// Floating-point divider.
+    FpDiv,
+    /// Load/store unit (data-cache port).
+    LoadStore,
+}
+
+impl FuClass {
+    /// All classes, in a fixed canonical order.
+    pub const ALL: [FuClass; FU_CLASS_COUNT] = [
+        FuClass::IntAlu,
+        FuClass::Shifter,
+        FuClass::IntMul,
+        FuClass::FpAdd,
+        FuClass::FpMul,
+        FuClass::FpDiv,
+        FuClass::LoadStore,
+    ];
+
+    /// Dense index of the class, for table lookups.
+    pub fn index(self) -> usize {
+        match self {
+            FuClass::IntAlu => 0,
+            FuClass::Shifter => 1,
+            FuClass::IntMul => 2,
+            FuClass::FpAdd => 3,
+            FuClass::FpMul => 4,
+            FuClass::FpDiv => 5,
+            FuClass::LoadStore => 6,
+        }
+    }
+
+    /// Short human-readable name used in statistics tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            FuClass::IntAlu => "int-alu",
+            FuClass::Shifter => "shifter",
+            FuClass::IntMul => "int-mul",
+            FuClass::FpAdd => "fp-add",
+            FuClass::FpMul => "fp-mul",
+            FuClass::FpDiv => "fp-div",
+            FuClass::LoadStore => "load-store",
+        }
+    }
+}
+
+impl fmt::Display for FuClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Issue/result latency pair for one operation (Table 1).
+///
+/// *Issue latency* is the number of cycles before another instruction
+/// of the same type may be issued to the same unit; *result latency* is
+/// the number of EX stages (cycles until the result may be consumed,
+/// see §2.1.2: a dependent instruction can enter its S stage
+/// `result + 1` cycles after the producer's).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Latency {
+    /// Cycles the functional unit stays busy accepting this op.
+    pub issue: u32,
+    /// Number of EX stages until the result is available.
+    pub result: u32,
+}
+
+impl Latency {
+    /// Convenience constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `issue` is zero (every operation occupies its unit for
+    /// at least one cycle).
+    pub const fn new(issue: u32, result: u32) -> Self {
+        assert!(issue >= 1, "issue latency must be at least one cycle");
+        Latency { issue, result }
+    }
+}
+
+/// How many functional units of each class a processor has.
+///
+/// The paper's two evaluated configurations are provided as
+/// constructors; arbitrary pools can be built for ablations.
+///
+/// # Examples
+///
+/// ```
+/// use hirata_isa::{FuClass, FuConfig};
+///
+/// let one = FuConfig::paper_one_ls();
+/// assert_eq!(one.count(FuClass::LoadStore), 1);
+/// assert_eq!(one.total_units(), 7);
+///
+/// let two = FuConfig::paper_two_ls();
+/// assert_eq!(two.count(FuClass::LoadStore), 2);
+/// assert_eq!(two.total_units(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FuConfig {
+    counts: [u8; FU_CLASS_COUNT],
+}
+
+impl FuConfig {
+    /// The paper's seven-heterogeneous-unit pool (one unit per class).
+    pub fn paper_one_ls() -> Self {
+        FuConfig { counts: [1; FU_CLASS_COUNT] }
+    }
+
+    /// The paper's eight-unit pool: one unit per class plus a second
+    /// load/store unit (the abstract's "nine-functional-unit processor",
+    /// which also counts the branch unit in the decode stage).
+    pub fn paper_two_ls() -> Self {
+        let mut cfg = Self::paper_one_ls();
+        cfg.counts[FuClass::LoadStore.index()] = 2;
+        cfg
+    }
+
+    /// A custom pool. `counts` maps [`FuClass::ALL`] order to unit counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every count is zero.
+    pub fn custom(counts: [u8; FU_CLASS_COUNT]) -> Self {
+        assert!(
+            counts.iter().any(|&c| c > 0),
+            "a processor needs at least one functional unit"
+        );
+        FuConfig { counts }
+    }
+
+    /// Number of units of the given class.
+    pub fn count(&self, class: FuClass) -> usize {
+        self.counts[class.index()] as usize
+    }
+
+    /// Sets the number of units of a class, returning `self` for chaining.
+    pub fn with_count(mut self, class: FuClass, count: u8) -> Self {
+        self.counts[class.index()] = count;
+        self
+    }
+
+    /// Total number of functional units in the pool.
+    pub fn total_units(&self) -> usize {
+        self.counts.iter().map(|&c| c as usize).sum()
+    }
+}
+
+impl Default for FuConfig {
+    /// Defaults to the paper's seven-unit configuration.
+    fn default() -> Self {
+        Self::paper_one_ls()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_covers_every_class_once() {
+        let mut seen = [false; FU_CLASS_COUNT];
+        for class in FuClass::ALL {
+            assert!(!seen[class.index()]);
+            seen[class.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn paper_configs_match_section_3_1() {
+        assert_eq!(FuConfig::paper_one_ls().total_units(), 7);
+        assert_eq!(FuConfig::paper_two_ls().total_units(), 8);
+        assert_eq!(FuConfig::default(), FuConfig::paper_one_ls());
+    }
+
+    #[test]
+    fn with_count_overrides() {
+        let cfg = FuConfig::paper_one_ls().with_count(FuClass::IntAlu, 3);
+        assert_eq!(cfg.count(FuClass::IntAlu), 3);
+        assert_eq!(cfg.total_units(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one functional unit")]
+    fn empty_pool_rejected() {
+        FuConfig::custom([0; FU_CLASS_COUNT]);
+    }
+
+    #[test]
+    fn display_names_are_distinct() {
+        let names: std::collections::HashSet<_> =
+            FuClass::ALL.iter().map(|c| c.to_string()).collect();
+        assert_eq!(names.len(), FU_CLASS_COUNT);
+    }
+}

@@ -1,0 +1,779 @@
+//! Instruction forms, operand accessors, latency and functional-unit
+//! classification, and the canonical assembly text rendering.
+//!
+//! The set follows the paper's assumptions (§2.1.1): RISC, load/store,
+//! branches executed inside the decode unit, and the special
+//! multithreading operations of §2.2–2.3. Instruction *timing* comes
+//! from Table 1 via [`Inst::latency`].
+
+use std::fmt;
+
+use crate::fu::{FuClass, Latency};
+use crate::reg::{FReg, GReg, Reg};
+
+/// Integer operations executed by the ALU, barrel shifter, or integer
+/// multiplier, depending on the opcode (see [`IntOp::fu_class`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IntOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive-or.
+    Xor,
+    /// Set-if-less-than (signed): `rd = (rs < src2) as i64`.
+    Slt,
+    /// Set-if-less-or-equal (signed).
+    Sle,
+    /// Set-if-equal.
+    Seq,
+    /// Set-if-not-equal.
+    Sne,
+    /// Shift left logical.
+    Sll,
+    /// Shift right logical.
+    Srl,
+    /// Shift right arithmetic.
+    Sra,
+    /// Multiplication (integer multiplier unit).
+    Mul,
+    /// Division (integer multiplier unit). Division by zero yields 0.
+    Div,
+    /// Remainder (integer multiplier unit). Remainder by zero yields 0.
+    Rem,
+}
+
+impl IntOp {
+    /// The functional-unit class executing this operation.
+    pub fn fu_class(self) -> FuClass {
+        match self {
+            IntOp::Sll | IntOp::Srl | IntOp::Sra => FuClass::Shifter,
+            IntOp::Mul | IntOp::Div | IntOp::Rem => FuClass::IntMul,
+            _ => FuClass::IntAlu,
+        }
+    }
+
+    /// Mnemonic used by the assembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            IntOp::Add => "add",
+            IntOp::Sub => "sub",
+            IntOp::And => "and",
+            IntOp::Or => "or",
+            IntOp::Xor => "xor",
+            IntOp::Slt => "slt",
+            IntOp::Sle => "sle",
+            IntOp::Seq => "seq",
+            IntOp::Sne => "sne",
+            IntOp::Sll => "sll",
+            IntOp::Srl => "srl",
+            IntOp::Sra => "sra",
+            IntOp::Mul => "mul",
+            IntOp::Div => "div",
+            IntOp::Rem => "rem",
+        }
+    }
+
+    /// All integer opcodes.
+    pub const ALL: [IntOp; 15] = [
+        IntOp::Add,
+        IntOp::Sub,
+        IntOp::And,
+        IntOp::Or,
+        IntOp::Xor,
+        IntOp::Slt,
+        IntOp::Sle,
+        IntOp::Seq,
+        IntOp::Sne,
+        IntOp::Sll,
+        IntOp::Srl,
+        IntOp::Sra,
+        IntOp::Mul,
+        IntOp::Div,
+        IntOp::Rem,
+    ];
+}
+
+/// Floating-point two-source operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpBinOp {
+    /// Addition (FP adder).
+    FAdd,
+    /// Subtraction (FP adder).
+    FSub,
+    /// Multiplication (FP multiplier).
+    FMul,
+    /// Division (FP divider). Division by zero follows IEEE-754.
+    FDiv,
+}
+
+impl FpBinOp {
+    /// The functional-unit class executing this operation.
+    pub fn fu_class(self) -> FuClass {
+        match self {
+            FpBinOp::FAdd | FpBinOp::FSub => FuClass::FpAdd,
+            FpBinOp::FMul => FuClass::FpMul,
+            FpBinOp::FDiv => FuClass::FpDiv,
+        }
+    }
+
+    /// Mnemonic used by the assembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FpBinOp::FAdd => "fadd",
+            FpBinOp::FSub => "fsub",
+            FpBinOp::FMul => "fmul",
+            FpBinOp::FDiv => "fdiv",
+        }
+    }
+
+    /// All FP binary opcodes.
+    pub const ALL: [FpBinOp; 4] = [FpBinOp::FAdd, FpBinOp::FSub, FpBinOp::FMul, FpBinOp::FDiv];
+}
+
+/// Floating-point single-source operations (FP adder, Table 1's
+/// "absolute/negate" row with result latency 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpUnOp {
+    /// Absolute value.
+    FAbs,
+    /// Negation.
+    FNeg,
+    /// Register-to-register move.
+    FMov,
+}
+
+impl FpUnOp {
+    /// Mnemonic used by the assembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            FpUnOp::FAbs => "fabs",
+            FpUnOp::FNeg => "fneg",
+            FpUnOp::FMov => "fmov",
+        }
+    }
+
+    /// All FP unary opcodes.
+    pub const ALL: [FpUnOp; 3] = [FpUnOp::FAbs, FpUnOp::FNeg, FpUnOp::FMov];
+}
+
+/// Branch conditions. Branches compare a general register against a
+/// register-or-immediate and are resolved inside the decode unit
+/// (§2.1.2); they occupy no functional unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Branch if equal.
+    Eq,
+    /// Branch if not equal.
+    Ne,
+    /// Branch if less than (signed).
+    Lt,
+    /// Branch if less or equal (signed).
+    Le,
+    /// Branch if greater than (signed).
+    Gt,
+    /// Branch if greater or equal (signed).
+    Ge,
+}
+
+impl BranchCond {
+    /// Evaluates the condition on concrete operand values.
+    pub fn eval(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            BranchCond::Eq => lhs == rhs,
+            BranchCond::Ne => lhs != rhs,
+            BranchCond::Lt => lhs < rhs,
+            BranchCond::Le => lhs <= rhs,
+            BranchCond::Gt => lhs > rhs,
+            BranchCond::Ge => lhs >= rhs,
+        }
+    }
+
+    /// Mnemonic used by the assembler (`beq`, `bne`, ...).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BranchCond::Eq => "beq",
+            BranchCond::Ne => "bne",
+            BranchCond::Lt => "blt",
+            BranchCond::Le => "ble",
+            BranchCond::Gt => "bgt",
+            BranchCond::Ge => "bge",
+        }
+    }
+
+    /// All branch conditions.
+    pub const ALL: [BranchCond; 6] = [
+        BranchCond::Eq,
+        BranchCond::Ne,
+        BranchCond::Lt,
+        BranchCond::Le,
+        BranchCond::Gt,
+        BranchCond::Ge,
+    ];
+}
+
+/// Second source operand of integer and branch instructions: either a
+/// general register or a small immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GSrc {
+    /// Register operand.
+    Reg(GReg),
+    /// Immediate operand.
+    Imm(i64),
+}
+
+impl GSrc {
+    /// The register read by this operand, if any.
+    pub fn reg(self) -> Option<GReg> {
+        match self {
+            GSrc::Reg(r) => Some(r),
+            GSrc::Imm(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for GSrc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GSrc::Reg(r) => r.fmt(f),
+            GSrc::Imm(i) => write!(f, "#{i}"),
+        }
+    }
+}
+
+impl From<GReg> for GSrc {
+    fn from(r: GReg) -> Self {
+        GSrc::Reg(r)
+    }
+}
+
+impl From<i64> for GSrc {
+    fn from(i: i64) -> Self {
+        GSrc::Imm(i)
+    }
+}
+
+/// Priority-rotation mode of the instruction schedule units (§2.2),
+/// switched through the privileged `setrot` instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RotationMode {
+    /// Rotate every `interval` cycles (Figure 4).
+    Implicit {
+        /// Rotation interval in cycles; the paper sweeps 2^0..2^8 and
+        /// uses 8 for the Table 2 experiments.
+        interval: u32,
+    },
+    /// Rotate only when the highest-priority logical processor executes
+    /// a `chgpri` instruction; data-absence context switches are
+    /// suppressed in this mode (§2.3.1).
+    Explicit,
+}
+
+impl fmt::Display for RotationMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RotationMode::Implicit { interval } => write!(f, "implicit #{interval}"),
+            RotationMode::Explicit => f.write_str("explicit"),
+        }
+    }
+}
+
+/// One machine instruction.
+///
+/// The variants map one-to-one onto the assembler's mnemonics; see the
+/// crate-level docs of `hirata-asm` for the textual grammar. Branch and
+/// jump targets are absolute instruction addresses (indices into
+/// [`crate::Program::insts`]), already resolved from labels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Inst {
+    /// Integer register-register(-immediate) operation.
+    IntOp {
+        /// Opcode.
+        op: IntOp,
+        /// Destination register.
+        rd: GReg,
+        /// First source register.
+        rs: GReg,
+        /// Second source (register or immediate).
+        src2: GSrc,
+    },
+    /// Load immediate into a general register (integer ALU).
+    Li {
+        /// Destination register.
+        rd: GReg,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// Load floating immediate into an FP register (FP adder).
+    LiF {
+        /// Destination register.
+        fd: FReg,
+        /// Immediate value.
+        imm: f64,
+    },
+    /// Floating-point two-source operation.
+    FpBin {
+        /// Opcode.
+        op: FpBinOp,
+        /// Destination register.
+        fd: FReg,
+        /// First source register.
+        fs: FReg,
+        /// Second source register.
+        ft: FReg,
+    },
+    /// Floating-point single-source operation.
+    FpUn {
+        /// Opcode.
+        op: FpUnOp,
+        /// Destination register.
+        fd: FReg,
+        /// Source register.
+        fs: FReg,
+    },
+    /// Floating-point compare writing 0/1 into a general register
+    /// (FP adder; result feeds decode-unit branches).
+    FpCmp {
+        /// Condition evaluated between `fs` and `ft`.
+        cond: BranchCond,
+        /// Destination (general) register receiving 0 or 1.
+        rd: GReg,
+        /// Left operand.
+        fs: FReg,
+        /// Right operand.
+        ft: FReg,
+    },
+    /// Convert integer (general register) to floating point (FP adder).
+    CvtIF {
+        /// Destination register.
+        fd: FReg,
+        /// Source register.
+        rs: GReg,
+    },
+    /// Convert floating point to integer, truncating (FP adder).
+    CvtFI {
+        /// Destination register.
+        rd: GReg,
+        /// Source register.
+        fs: FReg,
+    },
+    /// Load a word from memory into a general or FP register.
+    Load {
+        /// Destination register (selects `lw` vs `lf`).
+        dst: Reg,
+        /// Base address register.
+        base: GReg,
+        /// Word offset added to the base.
+        off: i64,
+    },
+    /// Store a general or FP register to memory.
+    ///
+    /// With `gated` set this is the §2.3.3 special store performed only
+    /// by the thread with the highest priority (`swp`/`sfp`), used to
+    /// keep globally visible writes in source order during eager loop
+    /// execution.
+    Store {
+        /// Source register (selects `sw` vs `sf`).
+        src: Reg,
+        /// Base address register.
+        base: GReg,
+        /// Word offset added to the base.
+        off: i64,
+        /// Whether the store is priority-gated.
+        gated: bool,
+    },
+    /// Conditional branch (resolved in the decode unit).
+    Branch {
+        /// Condition.
+        cond: BranchCond,
+        /// Left operand register.
+        rs: GReg,
+        /// Right operand (register or immediate).
+        src2: GSrc,
+        /// Absolute target instruction address.
+        target: u32,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Absolute target instruction address.
+        target: u32,
+    },
+    /// Indirect jump through a register.
+    JumpReg {
+        /// Register holding the target instruction address.
+        rs: GReg,
+    },
+    /// Terminate the executing thread.
+    Halt,
+    /// No operation.
+    Nop,
+    /// Spawn one thread per thread slot at the next instruction
+    /// address, assigning each logical processor its identifier
+    /// (§2.3.1). The forking thread becomes logical processor 0.
+    FastFork,
+    /// Explicit priority rotation (§2.2); interlocks until the issuing
+    /// logical processor holds the highest priority.
+    ChgPri,
+    /// Kill all other running threads (§2.3.3); interlocks until the
+    /// issuing logical processor holds the highest priority.
+    KillOthers,
+    /// Privileged: switch the schedule units' rotation mode (§2.2).
+    SetRotation {
+        /// New rotation mode.
+        mode: RotationMode,
+    },
+    /// Map the incoming and outgoing queue registers onto two
+    /// architectural registers (§2.3.1). Reads of `read` dequeue from
+    /// the previous logical processor; writes to `write` enqueue to the
+    /// next. Full/empty bits act as scoreboard bits.
+    QMap {
+        /// Register through which the incoming queue is read.
+        read: Reg,
+        /// Register through which the outgoing queue is written.
+        write: Reg,
+    },
+    /// Remove the queue-register mapping.
+    QUnmap,
+    /// Read the logical-processor identifier set by `fastfork` into a
+    /// general register.
+    Lpid {
+        /// Destination register.
+        rd: GReg,
+    },
+    /// Read the number of logical processors (thread slots) into a
+    /// general register, so one binary can stride work across any
+    /// machine width.
+    Nlp {
+        /// Destination register.
+        rd: GReg,
+    },
+    /// Drain: interlock until every instruction this logical processor
+    /// has issued has been performed (standby stations empty). One of
+    /// the §2.3.3 "instructions ... provided to ensure consistency
+    /// between contexts of threads"; used as a store fence before
+    /// inter-thread synchronisation through queue registers or memory.
+    Drain,
+}
+
+impl Inst {
+    /// The functional-unit class this instruction executes on, or
+    /// `None` for instructions executed entirely inside the decode
+    /// unit (branches, jumps, thread control, `nop`).
+    pub fn fu_class(&self) -> Option<FuClass> {
+        match self {
+            Inst::IntOp { op, .. } => Some(op.fu_class()),
+            Inst::Li { .. } | Inst::Lpid { .. } | Inst::Nlp { .. } => Some(FuClass::IntAlu),
+            Inst::FpBin { op, .. } => Some(op.fu_class()),
+            Inst::FpUn { .. }
+            | Inst::FpCmp { .. }
+            | Inst::CvtIF { .. }
+            | Inst::CvtFI { .. }
+            | Inst::LiF { .. } => Some(FuClass::FpAdd),
+            Inst::Load { .. } | Inst::Store { .. } => Some(FuClass::LoadStore),
+            Inst::Branch { .. }
+            | Inst::Jump { .. }
+            | Inst::JumpReg { .. }
+            | Inst::Halt
+            | Inst::Nop
+            | Inst::FastFork
+            | Inst::ChgPri
+            | Inst::KillOthers
+            | Inst::SetRotation { .. }
+            | Inst::QMap { .. }
+            | Inst::QUnmap
+            | Inst::Drain => None,
+        }
+    }
+
+    /// Issue/result latency per Table 1. Decode-executed instructions
+    /// report `Latency::new(1, 0)`.
+    pub fn latency(&self) -> Latency {
+        match self {
+            Inst::IntOp { op, .. } => match op.fu_class() {
+                FuClass::IntMul => Latency::new(1, 6),
+                _ => Latency::new(1, 2),
+            },
+            Inst::Li { .. } | Inst::Lpid { .. } | Inst::Nlp { .. } => Latency::new(1, 2),
+            Inst::FpBin { op, .. } => match op {
+                FpBinOp::FAdd | FpBinOp::FSub => Latency::new(1, 4),
+                FpBinOp::FMul => Latency::new(1, 6),
+                FpBinOp::FDiv => Latency::new(1, 20),
+            },
+            Inst::FpCmp { .. } | Inst::CvtIF { .. } | Inst::CvtFI { .. } => Latency::new(1, 4),
+            Inst::FpUn { .. } | Inst::LiF { .. } => Latency::new(1, 2),
+            Inst::Load { .. } => Latency::new(2, 4),
+            Inst::Store { .. } => Latency::new(2, 0),
+            _ => Latency::new(1, 0),
+        }
+    }
+
+    /// Issue latency (cycles the functional unit is held).
+    pub fn issue_latency(&self) -> u32 {
+        self.latency().issue
+    }
+
+    /// Result latency (EX stages until the destination is readable).
+    pub fn result_latency(&self) -> u32 {
+        self.latency().result
+    }
+
+    /// Destination register written by this instruction, if any.
+    pub fn dest(&self) -> Option<Reg> {
+        match *self {
+            Inst::IntOp { rd, .. }
+            | Inst::Li { rd, .. }
+            | Inst::FpCmp { rd, .. }
+            | Inst::CvtFI { rd, .. }
+            | Inst::Lpid { rd }
+            | Inst::Nlp { rd } => Some(Reg::G(rd)),
+            Inst::LiF { fd, .. }
+            | Inst::FpBin { fd, .. }
+            | Inst::FpUn { fd, .. }
+            | Inst::CvtIF { fd, .. } => Some(Reg::F(fd)),
+            Inst::Load { dst, .. } => Some(dst),
+            _ => None,
+        }
+    }
+
+    /// Source registers read by this instruction (at most two).
+    pub fn srcs(&self) -> [Option<Reg>; 2] {
+        match *self {
+            Inst::IntOp { rs, src2, .. } => [Some(Reg::G(rs)), src2.reg().map(Reg::G)],
+            Inst::FpBin { fs, ft, .. } | Inst::FpCmp { fs, ft, .. } => {
+                [Some(Reg::F(fs)), Some(Reg::F(ft))]
+            }
+            Inst::FpUn { fs, .. } | Inst::CvtFI { fs, .. } => [Some(Reg::F(fs)), None],
+            Inst::CvtIF { rs, .. } => [Some(Reg::G(rs)), None],
+            Inst::Load { base, .. } => [Some(Reg::G(base)), None],
+            Inst::Store { src, base, .. } => [Some(src), Some(Reg::G(base))],
+            Inst::Branch { rs, src2, .. } => [Some(Reg::G(rs)), src2.reg().map(Reg::G)],
+            Inst::JumpReg { rs } => [Some(Reg::G(rs)), None],
+            _ => [None, None],
+        }
+    }
+
+    /// True for instructions that redirect control flow (and therefore
+    /// trigger the branch handling of §2.1.2: fetch request at the end
+    /// of D1 and a branch shadow until the redirect completes).
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Inst::Branch { .. } | Inst::Jump { .. } | Inst::JumpReg { .. }
+        )
+    }
+
+    /// True for the §2.2/§2.3.3 instructions that interlock until the
+    /// issuing logical processor holds the highest priority.
+    pub fn needs_highest_priority(&self) -> bool {
+        matches!(self, Inst::ChgPri | Inst::KillOthers)
+            || matches!(self, Inst::Store { gated: true, .. })
+    }
+
+    /// True for memory operations (load/store unit).
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Inst::Load { .. } | Inst::Store { .. })
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::IntOp { op, rd, rs, src2 } => {
+                write!(f, "{} {rd}, {rs}, {src2}", op.mnemonic())
+            }
+            Inst::Li { rd, imm } => write!(f, "li {rd}, #{imm}"),
+            Inst::LiF { fd, imm } => write!(f, "lif {fd}, #{imm:?}"),
+            Inst::FpBin { op, fd, fs, ft } => {
+                write!(f, "{} {fd}, {fs}, {ft}", op.mnemonic())
+            }
+            Inst::FpUn { op, fd, fs } => write!(f, "{} {fd}, {fs}", op.mnemonic()),
+            Inst::FpCmp { cond, rd, fs, ft } => {
+                write!(f, "fcmp{} {rd}, {fs}, {ft}", cond.suffix())
+            }
+            Inst::CvtIF { fd, rs } => write!(f, "cvtif {fd}, {rs}"),
+            Inst::CvtFI { rd, fs } => write!(f, "cvtfi {rd}, {fs}"),
+            Inst::Load { dst, base, off } => match dst {
+                Reg::G(r) => write!(f, "lw {r}, {off}({base})"),
+                Reg::F(r) => write!(f, "lf {r}, {off}({base})"),
+            },
+            Inst::Store { src, base, off, gated } => {
+                let m = match (src, gated) {
+                    (Reg::G(_), false) => "sw",
+                    (Reg::G(_), true) => "swp",
+                    (Reg::F(_), false) => "sf",
+                    (Reg::F(_), true) => "sfp",
+                };
+                write!(f, "{m} {src}, {off}({base})")
+            }
+            Inst::Branch { cond, rs, src2, target } => {
+                write!(f, "{} {rs}, {src2}, @{target}", cond.mnemonic())
+            }
+            Inst::Jump { target } => write!(f, "j @{target}"),
+            Inst::JumpReg { rs } => write!(f, "jr {rs}"),
+            Inst::Halt => f.write_str("halt"),
+            Inst::Nop => f.write_str("nop"),
+            Inst::FastFork => f.write_str("fastfork"),
+            Inst::ChgPri => f.write_str("chgpri"),
+            Inst::KillOthers => f.write_str("killothers"),
+            Inst::SetRotation { mode } => write!(f, "setrot {mode}"),
+            Inst::QMap { read, write } => write!(f, "qmap {read}, {write}"),
+            Inst::QUnmap => f.write_str("qunmap"),
+            Inst::Lpid { rd } => write!(f, "lpid {rd}"),
+            Inst::Nlp { rd } => write!(f, "nlp {rd}"),
+            Inst::Drain => f.write_str("drain"),
+        }
+    }
+}
+
+impl BranchCond {
+    /// Two-letter condition suffix used by `fcmp` mnemonics.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            BranchCond::Eq => "eq",
+            BranchCond::Ne => "ne",
+            BranchCond::Lt => "lt",
+            BranchCond::Le => "le",
+            BranchCond::Gt => "gt",
+            BranchCond::Ge => "ge",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_fu_inst() -> Inst {
+        Inst::IntOp { op: IntOp::Add, rd: GReg(1), rs: GReg(2), src2: GSrc::Imm(3) }
+    }
+
+    #[test]
+    fn table1_latencies() {
+        let alu = sample_fu_inst();
+        assert_eq!(alu.latency(), Latency::new(1, 2));
+
+        let shift =
+            Inst::IntOp { op: IntOp::Sll, rd: GReg(1), rs: GReg(2), src2: GSrc::Imm(3) };
+        assert_eq!(shift.latency(), Latency::new(1, 2));
+        assert_eq!(shift.fu_class(), Some(FuClass::Shifter));
+
+        let mul =
+            Inst::IntOp { op: IntOp::Mul, rd: GReg(1), rs: GReg(2), src2: GSrc::Reg(GReg(3)) };
+        assert_eq!(mul.latency(), Latency::new(1, 6));
+        assert_eq!(mul.fu_class(), Some(FuClass::IntMul));
+
+        let fadd = Inst::FpBin { op: FpBinOp::FAdd, fd: FReg(1), fs: FReg(2), ft: FReg(3) };
+        assert_eq!(fadd.latency(), Latency::new(1, 4));
+
+        let fneg = Inst::FpUn { op: FpUnOp::FNeg, fd: FReg(1), fs: FReg(2) };
+        assert_eq!(fneg.latency(), Latency::new(1, 2));
+
+        let load = Inst::Load { dst: Reg::G(GReg(1)), base: GReg(2), off: 0 };
+        assert_eq!(load.latency(), Latency::new(2, 4));
+
+        let store = Inst::Store { src: Reg::G(GReg(1)), base: GReg(2), off: 0, gated: false };
+        assert_eq!(store.latency(), Latency::new(2, 0));
+    }
+
+    #[test]
+    fn decode_unit_instructions_use_no_fu() {
+        let decode_only = [
+            Inst::Branch { cond: BranchCond::Eq, rs: GReg(1), src2: GSrc::Imm(0), target: 0 },
+            Inst::Jump { target: 0 },
+            Inst::JumpReg { rs: GReg(31) },
+            Inst::Halt,
+            Inst::Nop,
+            Inst::FastFork,
+            Inst::ChgPri,
+            Inst::KillOthers,
+            Inst::SetRotation { mode: RotationMode::Explicit },
+            Inst::QMap { read: Reg::G(GReg(4)), write: Reg::G(GReg(5)) },
+            Inst::QUnmap,
+            Inst::Drain,
+        ];
+        for inst in decode_only {
+            assert_eq!(inst.fu_class(), None, "{inst}");
+            assert_eq!(inst.result_latency(), 0, "{inst}");
+        }
+    }
+
+    #[test]
+    fn operand_accessors() {
+        let store = Inst::Store { src: Reg::F(FReg(3)), base: GReg(7), off: 4, gated: false };
+        assert_eq!(store.dest(), None);
+        assert_eq!(store.srcs(), [Some(Reg::F(FReg(3))), Some(Reg::G(GReg(7)))]);
+
+        let load = Inst::Load { dst: Reg::F(FReg(2)), base: GReg(9), off: -1 };
+        assert_eq!(load.dest(), Some(Reg::F(FReg(2))));
+        assert_eq!(load.srcs(), [Some(Reg::G(GReg(9))), None]);
+
+        let branch =
+            Inst::Branch { cond: BranchCond::Lt, rs: GReg(1), src2: GSrc::Reg(GReg(2)), target: 9 };
+        assert_eq!(branch.dest(), None);
+        assert_eq!(branch.srcs(), [Some(Reg::G(GReg(1))), Some(Reg::G(GReg(2)))]);
+
+        let imm = sample_fu_inst();
+        assert_eq!(imm.srcs(), [Some(Reg::G(GReg(2))), None]);
+    }
+
+    #[test]
+    fn priority_interlocked_instructions() {
+        assert!(Inst::ChgPri.needs_highest_priority());
+        assert!(Inst::KillOthers.needs_highest_priority());
+        assert!(Inst::Store { src: Reg::G(GReg(1)), base: GReg(0), off: 0, gated: true }
+            .needs_highest_priority());
+        assert!(!Inst::Store { src: Reg::G(GReg(1)), base: GReg(0), off: 0, gated: false }
+            .needs_highest_priority());
+        assert!(!sample_fu_inst().needs_highest_priority());
+    }
+
+    #[test]
+    fn branch_condition_eval() {
+        assert!(BranchCond::Eq.eval(4, 4));
+        assert!(!BranchCond::Eq.eval(4, 5));
+        assert!(BranchCond::Ne.eval(4, 5));
+        assert!(BranchCond::Lt.eval(-2, 1));
+        assert!(BranchCond::Le.eval(1, 1));
+        assert!(BranchCond::Gt.eval(2, 1));
+        assert!(BranchCond::Ge.eval(1, 1));
+        assert!(!BranchCond::Ge.eval(0, 1));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(sample_fu_inst().to_string(), "add r1, r2, #3");
+        assert_eq!(
+            Inst::Load { dst: Reg::F(FReg(3)), base: GReg(2), off: 8 }.to_string(),
+            "lf f3, 8(r2)"
+        );
+        assert_eq!(
+            Inst::Store { src: Reg::G(GReg(3)), base: GReg(2), off: 0, gated: true }.to_string(),
+            "swp r3, 0(r2)"
+        );
+        assert_eq!(
+            Inst::Branch { cond: BranchCond::Ne, rs: GReg(1), src2: GSrc::Imm(0), target: 12 }
+                .to_string(),
+            "bne r1, #0, @12"
+        );
+        assert_eq!(
+            Inst::SetRotation { mode: RotationMode::Implicit { interval: 8 } }.to_string(),
+            "setrot implicit #8"
+        );
+        assert_eq!(
+            Inst::FpCmp { cond: BranchCond::Lt, rd: GReg(1), fs: FReg(2), ft: FReg(3) }
+                .to_string(),
+            "fcmplt r1, f2, f3"
+        );
+    }
+
+    #[test]
+    fn control_classification() {
+        assert!(Inst::Jump { target: 0 }.is_control());
+        assert!(!Inst::Halt.is_control());
+        assert!(!Inst::ChgPri.is_control());
+    }
+}

@@ -1,0 +1,44 @@
+//! Instruction set architecture for the Hirata et al. (ISCA 1992)
+//! multithreaded elementary processor.
+//!
+//! The paper assumes a "RISC type" load/store instruction set (§2.1.1)
+//! executed by seven heterogeneous functional units (Table 1), plus a
+//! small family of special instructions that drive the multithreading
+//! machinery of §2.2–2.3:
+//!
+//! * [`Inst::FastFork`] — spawn one thread per thread slot (§2.3.1),
+//! * [`Inst::ChgPri`] — explicit priority rotation (§2.2),
+//! * [`Inst::KillOthers`] — loop-exit thread kill (§2.3.3),
+//! * priority-gated stores ([`Inst::Store`] with `gated`) (§2.3.3),
+//! * queue-register mapping ([`Inst::QMap`]/[`Inst::QUnmap`]) (§2.3.1).
+//!
+//! This crate is purely the *architecture*: register names, instruction
+//! forms, functional-unit classes and latencies, and the [`Program`]
+//! container. The cycle-level behaviour lives in `hirata-sim`, the
+//! textual syntax in `hirata-asm`.
+//!
+//! # Examples
+//!
+//! ```
+//! use hirata_isa::{Inst, IntOp, GReg, GSrc, FuClass};
+//!
+//! let add = Inst::IntOp { op: IntOp::Add, rd: GReg(3), rs: GReg(1), src2: GSrc::Reg(GReg(2)) };
+//! assert_eq!(add.fu_class(), Some(FuClass::IntAlu));
+//! assert_eq!(add.result_latency(), 2);
+//! assert_eq!(add.to_string(), "add r3, r1, r2");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod encoding;
+mod fu;
+mod inst;
+mod program;
+mod reg;
+
+pub use encoding::{decode_program, encode, encode_program, DecodeError, EncodeError};
+pub use fu::{FuClass, FuConfig, Latency, FU_CLASS_COUNT};
+pub use inst::{BranchCond, FpBinOp, FpUnOp, GSrc, Inst, IntOp, RotationMode};
+pub use program::{DataSegment, Program, ProgramError};
+pub use reg::{FReg, GReg, ParseRegError, Reg, NUM_FREGS, NUM_GREGS};

@@ -1,0 +1,133 @@
+//! Kernel-language AST and its reference evaluator.
+
+use std::collections::BTreeMap;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+/// An expression over f64 values.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Float literal.
+    Num(f64),
+    /// A `const` or a `let` temporary (resolved during codegen).
+    Name(String),
+    /// Array element `arr[k + offset]`.
+    Elem {
+        /// Array name.
+        array: String,
+        /// Constant offset added to the induction variable.
+        offset: i64,
+    },
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Negation `-e`.
+    Neg(Box<Expr>),
+    /// Absolute value `abs(e)`.
+    Abs(Box<Expr>),
+}
+
+impl Expr {
+    /// Evaluates with the same left-to-right, bottom-up order the code
+    /// generator emits, so results match the machine bit for bit.
+    pub(crate) fn eval(
+        &self,
+        consts: &BTreeMap<&str, f64>,
+        temps: &BTreeMap<&str, f64>,
+        arrays: &BTreeMap<String, Vec<f64>>,
+        k: i64,
+    ) -> f64 {
+        match self {
+            Expr::Num(v) => *v,
+            Expr::Name(n) => temps
+                .get(n.as_str())
+                .or_else(|| consts.get(n.as_str()))
+                .copied()
+                .expect("names resolved at compile time"),
+            Expr::Elem { array, offset } => {
+                arrays.get(array).expect("declared array")[(k + offset) as usize]
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                let a = lhs.eval(consts, temps, arrays, k);
+                let b = rhs.eval(consts, temps, arrays, k);
+                match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    BinOp::Div => a / b,
+                }
+            }
+            Expr::Neg(e) => -e.eval(consts, temps, arrays, k),
+            Expr::Abs(e) => e.eval(consts, temps, arrays, k).abs(),
+        }
+    }
+
+    /// Visits every array element reference.
+    pub(crate) fn for_each_elem(&self, f: &mut impl FnMut(&str, i64)) {
+        match self {
+            Expr::Elem { array, offset } => f(array, *offset),
+            Expr::Bin { lhs, rhs, .. } => {
+                lhs.for_each_elem(f);
+                rhs.for_each_elem(f);
+            }
+            Expr::Neg(e) | Expr::Abs(e) => e.for_each_elem(f),
+            Expr::Num(_) | Expr::Name(_) => {}
+        }
+    }
+}
+
+/// A kernel-body statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let name = expr;`
+    Let {
+        /// Temporary name.
+        name: String,
+        /// Value.
+        value: Expr,
+    },
+    /// `array[k + offset] = expr;`
+    Store {
+        /// Destination array.
+        array: String,
+        /// Offset from the induction variable.
+        offset: i64,
+        /// Value.
+        value: Expr,
+    },
+}
+
+impl Stmt {
+    /// The statement's right-hand side.
+    pub(crate) fn rhs(&self) -> &Expr {
+        match self {
+            Stmt::Let { value, .. } | Stmt::Store { value, .. } => value,
+        }
+    }
+
+    /// Visits every array element reference (including the store
+    /// destination).
+    pub(crate) fn for_each_elem(&self, f: &mut impl FnMut(&str, i64)) {
+        self.rhs().for_each_elem(f);
+        if let Stmt::Store { array, offset, .. } = self {
+            f(array, *offset);
+        }
+    }
+}

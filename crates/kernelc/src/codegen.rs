@@ -1,0 +1,296 @@
+//! Code generation: kernel statements to straight-line [`Inst`]
+//! blocks.
+//!
+//! Register convention (matching the hand-written workloads):
+//!
+//! * `r4` — the induction variable `k` (word index), maintained by the
+//!   driver loop;
+//! * `f20..` — one register per `const`, preloaded by the driver;
+//! * `f1..f19` — expression and `let` temporaries, allocated here.
+//!
+//! Expressions evaluate left-to-right, bottom-up — the same order
+//! [`crate::Kernel::reference`] uses, so simulated results match the
+//! Rust reference exactly.
+
+use std::fmt;
+
+use hirata_isa::{FReg, FpBinOp, FpUnOp, GReg, Inst, Reg};
+
+use crate::ast::{BinOp, Expr, Stmt};
+
+/// Code-generation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodegenError {
+    /// The expression needs more live temporaries than the FP register
+    /// pool provides.
+    TooManyTemporaries,
+    /// Too many `const` declarations for the `f20..f31` bank.
+    TooManyConsts,
+    /// An undeclared name was referenced.
+    Unknown {
+        /// The name.
+        name: String,
+    },
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::TooManyTemporaries => {
+                f.write_str("expression needs more than 19 live FP temporaries")
+            }
+            CodegenError::TooManyConsts => f.write_str("more than 12 consts"),
+            CodegenError::Unknown { name } => write!(f, "unknown name `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+/// An expression result: either a register we own (and must free) or
+/// one borrowed from a const / let binding.
+#[derive(Debug, Clone, Copy)]
+enum Val {
+    Owned(u8),
+    Borrowed(u8),
+}
+
+impl Val {
+    fn reg(self) -> u8 {
+        match self {
+            Val::Owned(r) | Val::Borrowed(r) => r,
+        }
+    }
+}
+
+struct Ctx<'a> {
+    consts: &'a [(String, f64)],
+    arrays: &'a [(String, u64)],
+    lets: Vec<(String, u8)>,
+    free: Vec<u8>, // FP registers f1..f19, top of Vec = next
+    out: Vec<Inst>,
+}
+
+impl Ctx<'_> {
+    fn alloc(&mut self) -> Result<u8, CodegenError> {
+        self.free.pop().ok_or(CodegenError::TooManyTemporaries)
+    }
+
+    fn release(&mut self, v: Val) {
+        if let Val::Owned(r) = v {
+            self.free.push(r);
+        }
+    }
+
+    fn array_base(&self, name: &str) -> Result<u64, CodegenError> {
+        self.arrays
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, b)| *b)
+            .ok_or_else(|| CodegenError::Unknown { name: name.to_owned() })
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<Val, CodegenError> {
+        match e {
+            Expr::Num(v) => {
+                let r = self.alloc()?;
+                self.out.push(Inst::LiF { fd: FReg(r), imm: *v });
+                Ok(Val::Owned(r))
+            }
+            Expr::Name(name) => {
+                // Rebinding shadows: the most recent binding wins.
+                if let Some((_, r)) = self.lets.iter().rev().find(|(n, _)| n == name) {
+                    return Ok(Val::Borrowed(*r));
+                }
+                if let Some(i) = self.consts.iter().position(|(n, _)| n == name) {
+                    return Ok(Val::Borrowed(20 + i as u8));
+                }
+                Err(CodegenError::Unknown { name: name.clone() })
+            }
+            Expr::Elem { array, offset } => {
+                let base = self.array_base(array)?;
+                let r = self.alloc()?;
+                self.out.push(Inst::Load {
+                    dst: Reg::F(FReg(r)),
+                    base: GReg(4),
+                    off: base as i64 + offset,
+                });
+                Ok(Val::Owned(r))
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                let a = self.expr(lhs)?;
+                let b = self.expr(rhs)?;
+                // Reuse an owned operand as the destination; otherwise
+                // allocate.
+                let dst = match (a, b) {
+                    (Val::Owned(r), _) => r,
+                    (_, Val::Owned(r)) => r,
+                    _ => self.alloc()?,
+                };
+                let op = match op {
+                    BinOp::Add => FpBinOp::FAdd,
+                    BinOp::Sub => FpBinOp::FSub,
+                    BinOp::Mul => FpBinOp::FMul,
+                    BinOp::Div => FpBinOp::FDiv,
+                };
+                self.out.push(Inst::FpBin {
+                    op,
+                    fd: FReg(dst),
+                    fs: FReg(a.reg()),
+                    ft: FReg(b.reg()),
+                });
+                // Free the owned operand we did NOT reuse.
+                match (a, b) {
+                    (Val::Owned(r), other) if r == dst => self.release(other),
+                    (other, Val::Owned(r)) if r == dst => self.release(other),
+                    (a, b) => {
+                        self.release(a);
+                        self.release(b);
+                    }
+                }
+                Ok(Val::Owned(dst))
+            }
+            Expr::Neg(inner) | Expr::Abs(inner) => {
+                let v = self.expr(inner)?;
+                let dst = match v {
+                    Val::Owned(r) => r,
+                    Val::Borrowed(_) => self.alloc()?,
+                };
+                let op = if matches!(e, Expr::Neg(_)) { FpUnOp::FNeg } else { FpUnOp::FAbs };
+                self.out.push(Inst::FpUn { op, fd: FReg(dst), fs: FReg(v.reg()) });
+                Ok(Val::Owned(dst))
+            }
+        }
+    }
+}
+
+/// Generates the loop body for `stmts`.
+pub(crate) fn generate(
+    consts: &[(String, f64)],
+    arrays: &[(String, u64)],
+    stmts: &[Stmt],
+) -> Result<Vec<Inst>, CodegenError> {
+    if consts.len() > 12 {
+        return Err(CodegenError::TooManyConsts);
+    }
+    let mut ctx = Ctx {
+        consts,
+        arrays,
+        lets: Vec::new(),
+        free: (1..=19).rev().collect(),
+        out: Vec::new(),
+    };
+    for stmt in stmts {
+        match stmt {
+            Stmt::Let { name, value } => {
+                let v = ctx.expr(value)?;
+                // Pin the value in a dedicated register for the rest
+                // of the iteration (rebinding a name frees the old
+                // register only at iteration end, which is safe).
+                let reg = match v {
+                    Val::Owned(r) => r,
+                    Val::Borrowed(src) => {
+                        let r = ctx.alloc()?;
+                        ctx.out.push(Inst::FpUn {
+                            op: FpUnOp::FMov,
+                            fd: FReg(r),
+                            fs: FReg(src),
+                        });
+                        r
+                    }
+                };
+                ctx.lets.push((name.clone(), reg));
+            }
+            Stmt::Store { array, offset, value } => {
+                let base = ctx.array_base(array)?;
+                let v = ctx.expr(value)?;
+                ctx.out.push(Inst::Store {
+                    src: Reg::F(FReg(v.reg())),
+                    base: GReg(4),
+                    off: base as i64 + offset,
+                    gated: false,
+                });
+                ctx.release(v);
+            }
+        }
+    }
+    Ok(ctx.out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn consts() -> Vec<(String, f64)> {
+        vec![("a".into(), 2.0)]
+    }
+
+    fn arrays() -> Vec<(String, u64)> {
+        vec![("x".into(), 1000), ("y".into(), 2000)]
+    }
+
+    #[test]
+    fn simple_store_codegen() {
+        // x[k] = a * y[k]
+        let stmts = vec![Stmt::Store {
+            array: "x".into(),
+            offset: 0,
+            value: Expr::Bin {
+                op: BinOp::Mul,
+                lhs: Box::new(Expr::Name("a".into())),
+                rhs: Box::new(Expr::Elem { array: "y".into(), offset: 0 }),
+            },
+        }];
+        let body = generate(&consts(), &arrays(), &stmts).unwrap();
+        assert_eq!(body.len(), 3); // load, fmul, store
+        assert!(matches!(body[0], Inst::Load { off: 2000, .. }));
+        assert!(matches!(body[2], Inst::Store { off: 1000, .. }));
+    }
+
+    #[test]
+    fn registers_are_recycled() {
+        // A long sum chain must not exhaust the pool.
+        let mut value = Expr::Elem { array: "y".into(), offset: 0 };
+        for off in 1..60 {
+            value = Expr::Bin {
+                op: BinOp::Add,
+                lhs: Box::new(value),
+                rhs: Box::new(Expr::Elem { array: "y".into(), offset: off }),
+            };
+        }
+        let stmts = vec![Stmt::Store { array: "x".into(), offset: 0, value }];
+        let body = generate(&consts(), &arrays(), &stmts).unwrap();
+        assert_eq!(body.len(), 60 + 59 + 1);
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let stmts = vec![Stmt::Store {
+            array: "x".into(),
+            offset: 0,
+            value: Expr::Name("mystery".into()),
+        }];
+        assert_eq!(
+            generate(&consts(), &arrays(), &stmts),
+            Err(CodegenError::Unknown { name: "mystery".into() })
+        );
+    }
+
+    #[test]
+    fn deep_right_recursion_exhausts_the_pool() {
+        // Fully right-nested additions keep every left operand live.
+        let mut value = Expr::Elem { array: "y".into(), offset: 0 };
+        for off in 1..40 {
+            value = Expr::Bin {
+                op: BinOp::Add,
+                lhs: Box::new(Expr::Elem { array: "y".into(), offset: off }),
+                rhs: Box::new(value),
+            };
+        }
+        let stmts = vec![Stmt::Store { array: "x".into(), offset: 0, value }];
+        assert_eq!(
+            generate(&consts(), &arrays(), &stmts),
+            Err(CodegenError::TooManyTemporaries)
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! A small *doall-kernel* compiler for the Hirata 1992 processor.
+//!
+//! The paper leans on "the compiler" throughout §2.3 — it schedules
+//! loop bodies, inserts `chgpri`, and parallelises loops by assigning
+//! iterations to logical processors. This crate provides that front
+//! end for the doall case: a tiny kernel language compiles to the
+//! reproduced ISA, the §2.3.2 schedulers reorder the body, and the
+//! emitted program strides iterations across every logical processor
+//! exactly like the hand-written workloads.
+//!
+//! # Language
+//!
+//! ```text
+//! // Livermore Kernel 1 in the kernel language:
+//! const q = 0.5; const r = 1.25; const t = -0.75;
+//! array x at 1000; array y at 2000; array z at 3000;
+//! kernel hydro(k) {
+//!     x[k] = q + y[k] * (r * z[k + 10] + t * z[k + 11]);
+//! }
+//! ```
+//!
+//! * `const name = <float>;` — scalar constants (preloaded once);
+//! * `array name at <addr>;` — a f64 array at a fixed word address;
+//! * `kernel name(<ivar>) { <stmt>* }` — one statement per line:
+//!   `let tmp = expr;` or `arr[idx] = expr;`, where expressions use
+//!   `+ - * /`, parentheses, `abs(e)`, `-e`, constants, temporaries,
+//!   float literals, and array elements `arr[k]` / `arr[k + 3]` /
+//!   `arr[k - 1]` indexed by the induction variable.
+//!
+//! # Examples
+//!
+//! ```
+//! use hirata_kernelc::compile;
+//!
+//! let kernel = compile("
+//!     const a = 2.5;
+//!     array x at 1000; array y at 2000;
+//!     kernel saxpy(i) { y[i] = a * x[i] + y[i]; }
+//! ")?;
+//! assert_eq!(kernel.name(), "saxpy");
+//! # Ok::<(), hirata_kernelc::CompileError>(())
+//! ```
+//!
+//! [`Kernel::program`] wraps the compiled body in the strided doall
+//! driver; [`Kernel::reference`] evaluates the same kernel in Rust
+//! with the identical operation order, so simulator results can be
+//! compared bit for bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod codegen;
+mod parser;
+
+pub use ast::{BinOp, Expr, Stmt};
+pub use codegen::CodegenError;
+pub use parser::CompileError;
+
+use std::collections::BTreeMap;
+
+use hirata_isa::{Inst, Program};
+use hirata_sched::{apply_strategy, Strategy};
+
+/// A compiled kernel: declarations plus the straight-line loop body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    pub(crate) name: String,
+    pub(crate) ivar: String,
+    pub(crate) consts: Vec<(String, f64)>,
+    pub(crate) arrays: Vec<(String, u64)>,
+    pub(crate) stmts: Vec<Stmt>,
+    pub(crate) body: Vec<Inst>,
+}
+
+/// Compiles kernel-language source.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] for syntax errors, unknown names, too many
+/// live temporaries (the machine has a finite FP register file), or
+/// duplicate declarations.
+pub fn compile(src: &str) -> Result<Kernel, CompileError> {
+    parser::parse(src)
+}
+
+impl Kernel {
+    /// Kernel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The induction variable's name.
+    pub fn induction_var(&self) -> &str {
+        &self.ivar
+    }
+
+    /// The compiled loop body (before static scheduling).
+    pub fn body(&self) -> &[Inst] {
+        &self.body
+    }
+
+    /// Declared arrays as `(name, base address)` pairs.
+    pub fn arrays(&self) -> &[(String, u64)] {
+        &self.arrays
+    }
+
+    /// The word addresses `[lo, hi)` the kernel may touch for `n`
+    /// iterations (used to size inputs).
+    pub fn footprint(&self, name: &str, n: usize) -> Option<(i64, i64)> {
+        self.arrays.iter().find(|(a, _)| a == name)?;
+        let mut lo = i64::MAX;
+        let mut hi = i64::MIN;
+        for stmt in &self.stmts {
+            stmt.for_each_elem(&mut |arr, off| {
+                if arr == name {
+                    lo = lo.min(off);
+                    hi = hi.max(off + n as i64 - 1);
+                }
+            });
+        }
+        if lo == i64::MAX {
+            None
+        } else {
+            Some((lo, hi + 1))
+        }
+    }
+
+    /// Builds the runnable doall program: iterations `0..n` strided
+    /// across every logical processor, the body reordered by
+    /// `strategy`, with `inputs` as the arrays' initial contents
+    /// (missing arrays start zeroed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn program(
+        &self,
+        n: usize,
+        inputs: &BTreeMap<String, Vec<f64>>,
+        strategy: Strategy,
+    ) -> Program {
+        assert!(n > 0, "kernels need at least one iteration");
+        let body = apply_strategy(&self.body, strategy);
+        let body_text: String = body.iter().map(|i| format!("    {i}\n")).collect();
+        let mut data = String::new();
+        // Constants live at 500.. in declaration order.
+        if !self.consts.is_empty() {
+            let words = self
+                .consts
+                .iter()
+                .map(|(_, v)| format!("{v:?}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            data.push_str(&format!(".org 500\nconsts: .float {words}\n"));
+        }
+        for (name, base) in &self.arrays {
+            if let Some(values) = inputs.get(name) {
+                if !values.is_empty() {
+                    let words = values
+                        .iter()
+                        .map(|v| format!("{v:?}"))
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    data.push_str(&format!(".org {base}\n{name}_data: .float {words}\n"));
+                }
+            }
+        }
+        let const_loads: String = (0..self.consts.len())
+            .map(|i| format!("    lf   f{}, {}(r0)\n", 20 + i, 500 + i))
+            .collect();
+        let src = format!(
+            "
+.data
+{data}
+.text
+.entry main
+main:
+{const_loads}    fastfork
+    lpid r1
+    nlp  r2
+    mv   r4, r1
+loop:
+    slt  r5, r4, #{n}
+    beq  r5, #0, done
+{body_text}    add  r4, r4, r2
+    j    loop
+done:
+    halt
+"
+        );
+        hirata_asm::assemble(&src).expect("compiled kernel assembles")
+    }
+
+    /// Evaluates the kernel in Rust with the same operation order the
+    /// generated code uses, returning the final contents of every
+    /// declared array over its `n`-iteration footprint (keyed by array
+    /// name, indexed from the lowest address touched... from offset 0
+    /// of the array base, with the same length as the input or the
+    /// footprint, whichever is larger).
+    pub fn reference(
+        &self,
+        n: usize,
+        inputs: &BTreeMap<String, Vec<f64>>,
+    ) -> BTreeMap<String, Vec<f64>> {
+        let consts: BTreeMap<&str, f64> =
+            self.consts.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        let mut arrays: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+        for (name, _) in &self.arrays {
+            let needed = self.footprint(name, n).map_or(0, |(_, hi)| hi.max(0) as usize);
+            let mut v = inputs.get(name).cloned().unwrap_or_default();
+            if v.len() < needed {
+                v.resize(needed, 0.0);
+            }
+            arrays.insert(name.clone(), v);
+        }
+        for k in 0..n as i64 {
+            let mut temps: BTreeMap<&str, f64> = BTreeMap::new();
+            for stmt in &self.stmts {
+                let value = stmt.rhs().eval(&consts, &temps, &arrays, k);
+                match stmt {
+                    Stmt::Let { name, .. } => {
+                        temps.insert(name, value);
+                    }
+                    Stmt::Store { array, offset, .. } => {
+                        let idx = (k + offset) as usize;
+                        arrays.get_mut(array).expect("declared array")[idx] = value;
+                    }
+                }
+            }
+        }
+        arrays
+    }
+}

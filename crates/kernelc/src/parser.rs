@@ -1,0 +1,357 @@
+//! Recursive-descent parser for the kernel language.
+
+use std::fmt;
+
+use crate::ast::{BinOp, Expr, Stmt};
+use crate::codegen;
+use crate::Kernel;
+
+/// Compilation error with the 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileError {
+    line: usize,
+    message: String,
+}
+
+impl CompileError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
+        CompileError { line, message: message.into() }
+    }
+
+    /// The 1-based source line.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// The diagnostic text.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(f64),
+    Int(i64),
+    Punct(char),
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    tok: Tok,
+    line: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
+    let mut out = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let line = idx + 1;
+        let text = raw.split("//").next().unwrap_or("");
+        let mut chars = text.char_indices().peekable();
+        while let Some(&(start, c)) = chars.peek() {
+            if c.is_whitespace() {
+                chars.next();
+                continue;
+            }
+            if c.is_ascii_alphabetic() || c == '_' {
+                let mut end = start;
+                while let Some(&(j, d)) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        end = j + d.len_utf8();
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token { tok: Tok::Ident(text[start..end].to_owned()), line });
+            } else if c.is_ascii_digit()
+                || (c == '.' && matches!(chars.clone().nth(1), Some((_, d)) if d.is_ascii_digit()))
+            {
+                let mut end = start;
+                let mut is_float = false;
+                while let Some(&(j, d)) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        end = j + 1;
+                        chars.next();
+                    } else if d == '.' || d == 'e' || d == 'E' {
+                        is_float = true;
+                        end = j + 1;
+                        chars.next();
+                        // allow exponent sign
+                        if d == 'e' || d == 'E' {
+                            if let Some(&(j2, s)) = chars.peek() {
+                                if s == '+' || s == '-' {
+                                    end = j2 + 1;
+                                    chars.next();
+                                }
+                            }
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let body = &text[start..end];
+                let tok = if is_float {
+                    Tok::Num(body.parse().map_err(|_| {
+                        CompileError::new(line, format!("invalid number `{body}`"))
+                    })?)
+                } else {
+                    Tok::Int(body.parse().map_err(|_| {
+                        CompileError::new(line, format!("invalid integer `{body}`"))
+                    })?)
+                };
+                out.push(Token { tok, line });
+            } else if "=;{}()[]+-*/,".contains(c) {
+                chars.next();
+                out.push(Token { tok: Tok::Punct(c), line });
+            } else {
+                return Err(CompileError::new(line, format!("unexpected character `{c}`")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+    ivar: Option<String>,
+}
+
+impl Parser {
+    fn line(&self) -> usize {
+        self.toks.get(self.pos).or_else(|| self.toks.last()).map_or(1, |t| t.line)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> CompileError {
+        CompileError::new(self.line(), msg)
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|t| t.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), CompileError> {
+        match self.next() {
+            Some(Tok::Punct(p)) if p == c => Ok(()),
+            other => Err(self.err(format!("expected `{c}`, found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, CompileError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected a name, found {other:?}"))),
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Punct(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `ivar` or `ivar + int` or `ivar - int` inside brackets.
+    fn index(&mut self) -> Result<i64, CompileError> {
+        let name = self.expect_ident()?;
+        let ivar = self.ivar.as_deref().unwrap_or("k");
+        if name != ivar {
+            return Err(self.err(format!(
+                "arrays are indexed by the induction variable `{ivar}`, found `{name}`"
+            )));
+        }
+        let mut off = 0i64;
+        if self.eat_punct('+') {
+            match self.next() {
+                Some(Tok::Int(v)) => off = v,
+                other => return Err(self.err(format!("expected an offset, found {other:?}"))),
+            }
+        } else if self.eat_punct('-') {
+            match self.next() {
+                Some(Tok::Int(v)) => off = -v,
+                other => return Err(self.err(format!("expected an offset, found {other:?}"))),
+            }
+        }
+        Ok(off)
+    }
+
+    fn factor(&mut self) -> Result<Expr, CompileError> {
+        match self.next() {
+            Some(Tok::Num(v)) => Ok(Expr::Num(v)),
+            Some(Tok::Int(v)) => Ok(Expr::Num(v as f64)),
+            Some(Tok::Punct('-')) => Ok(Expr::Neg(Box::new(self.factor()?))),
+            Some(Tok::Punct('(')) => {
+                let e = self.expr()?;
+                self.expect_punct(')')?;
+                Ok(e)
+            }
+            Some(Tok::Ident(name)) if name == "abs" => {
+                self.expect_punct('(')?;
+                let e = self.expr()?;
+                self.expect_punct(')')?;
+                Ok(Expr::Abs(Box::new(e)))
+            }
+            Some(Tok::Ident(name)) => {
+                if self.eat_punct('[') {
+                    let offset = self.index()?;
+                    self.expect_punct(']')?;
+                    Ok(Expr::Elem { array: name, offset })
+                } else {
+                    Ok(Expr::Name(name))
+                }
+            }
+            other => Err(self.err(format!("expected an expression, found {other:?}"))),
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.factor()?;
+        loop {
+            let op = if self.eat_punct('*') {
+                BinOp::Mul
+            } else if self.eat_punct('/') {
+                BinOp::Div
+            } else {
+                return Ok(e);
+            };
+            let rhs = self.factor()?;
+            e = Expr::Bin { op, lhs: Box::new(e), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        let mut e = self.term()?;
+        loop {
+            let op = if self.eat_punct('+') {
+                BinOp::Add
+            } else if self.eat_punct('-') {
+                BinOp::Sub
+            } else {
+                return Ok(e);
+            };
+            let rhs = self.term()?;
+            e = Expr::Bin { op, lhs: Box::new(e), rhs: Box::new(rhs) };
+        }
+    }
+}
+
+/// Parses and code-generates a kernel.
+pub(crate) fn parse(src: &str) -> Result<Kernel, CompileError> {
+    let mut p = Parser { toks: lex(src)?, pos: 0, ivar: None };
+    let mut consts: Vec<(String, f64)> = Vec::new();
+    let mut arrays: Vec<(String, u64)> = Vec::new();
+    let mut kernel: Option<(String, String, Vec<Stmt>)> = None;
+
+    while let Some(tok) = p.peek().cloned() {
+        match tok {
+            Tok::Ident(kw) if kw == "const" => {
+                p.next();
+                let name = p.expect_ident()?;
+                p.expect_punct('=')?;
+                let value = match p.next() {
+                    Some(Tok::Num(v)) => v,
+                    Some(Tok::Int(v)) => v as f64,
+                    Some(Tok::Punct('-')) => match p.next() {
+                        Some(Tok::Num(v)) => -v,
+                        Some(Tok::Int(v)) => -(v as f64),
+                        other => {
+                            return Err(p.err(format!("expected a number, found {other:?}")))
+                        }
+                    },
+                    other => return Err(p.err(format!("expected a number, found {other:?}"))),
+                };
+                p.expect_punct(';')?;
+                if consts.iter().any(|(n, _)| *n == name) {
+                    return Err(p.err(format!("duplicate const `{name}`")));
+                }
+                consts.push((name, value));
+            }
+            Tok::Ident(kw) if kw == "array" => {
+                p.next();
+                let name = p.expect_ident()?;
+                let at = p.expect_ident()?;
+                if at != "at" {
+                    return Err(p.err("expected `at <address>`"));
+                }
+                let base = match p.next() {
+                    Some(Tok::Int(v)) if v >= 0 => v as u64,
+                    other => return Err(p.err(format!("expected an address, found {other:?}"))),
+                };
+                p.expect_punct(';')?;
+                if arrays.iter().any(|(n, _)| *n == name) {
+                    return Err(p.err(format!("duplicate array `{name}`")));
+                }
+                arrays.push((name, base));
+            }
+            Tok::Ident(kw) if kw == "kernel" => {
+                p.next();
+                if kernel.is_some() {
+                    return Err(p.err("only one kernel per source"));
+                }
+                let name = p.expect_ident()?;
+                p.expect_punct('(')?;
+                let ivar = p.expect_ident()?;
+                p.expect_punct(')')?;
+                p.expect_punct('{')?;
+                p.ivar = Some(ivar.clone());
+                let mut stmts = Vec::new();
+                while !p.eat_punct('}') {
+                    match p.next() {
+                        Some(Tok::Ident(kw)) if kw == "let" => {
+                            let tname = p.expect_ident()?;
+                            p.expect_punct('=')?;
+                            let value = p.expr()?;
+                            p.expect_punct(';')?;
+                            stmts.push(Stmt::Let { name: tname, value });
+                        }
+                        Some(Tok::Ident(arr)) => {
+                            p.expect_punct('[')?;
+                            let offset = p.index()?;
+                            p.expect_punct(']')?;
+                            p.expect_punct('=')?;
+                            let value = p.expr()?;
+                            p.expect_punct(';')?;
+                            stmts.push(Stmt::Store { array: arr, offset, value });
+                        }
+                        other => {
+                            return Err(
+                                p.err(format!("expected a statement, found {other:?}"))
+                            )
+                        }
+                    }
+                }
+                kernel = Some((name, ivar, stmts));
+            }
+            other => return Err(p.err(format!("expected a declaration, found {other:?}"))),
+        }
+    }
+
+    let (name, ivar, stmts) =
+        kernel.ok_or_else(|| CompileError::new(1, "source contains no kernel"))?;
+    if stmts.is_empty() {
+        return Err(CompileError::new(1, "kernel body is empty"));
+    }
+    let body = codegen::generate(&consts, &arrays, &stmts)
+        .map_err(|e| CompileError::new(1, e.to_string()))?;
+    Ok(Kernel { name, ivar, consts, arrays, stmts, body })
+}

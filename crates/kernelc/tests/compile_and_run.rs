@@ -1,0 +1,139 @@
+//! End-to-end compiler tests: kernel-language source through codegen,
+//! scheduling, and the cycle-level machine, compared against both the
+//! compiler's own reference evaluator and the hand-written workloads.
+
+use std::collections::BTreeMap;
+
+use hirata_kernelc::compile;
+use hirata_sched::Strategy;
+use hirata_sim::{Config, Machine};
+
+fn inputs(pairs: &[(&str, Vec<f64>)]) -> BTreeMap<String, Vec<f64>> {
+    pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+}
+
+fn run_and_read(
+    kernel: &hirata_kernelc::Kernel,
+    n: usize,
+    ins: &BTreeMap<String, Vec<f64>>,
+    strategy: Strategy,
+    slots: usize,
+    array: &str,
+    len: usize,
+) -> Vec<f64> {
+    let program = kernel.program(n, ins, strategy);
+    let mut m = Machine::new(Config::multithreaded(slots), &program).unwrap();
+    m.run().unwrap();
+    let base = kernel
+        .arrays()
+        .iter()
+        .find(|(name, _)| name == array)
+        .map(|(_, b)| *b)
+        .unwrap();
+    (0..len).map(|i| m.memory().read_f64(base + i as u64).unwrap()).collect()
+}
+
+#[test]
+fn saxpy_compiles_and_matches_reference() {
+    let kernel = compile(
+        "const a = 2.5; array x at 1000; array y at 2000;
+         kernel saxpy(i) { y[i] = a * x[i] + y[i]; }",
+    )
+    .unwrap();
+    let n = 32;
+    let ins = inputs(&[
+        ("x", (0..n).map(|i| i as f64 * 0.25).collect()),
+        ("y", (0..n).map(|i| 1.0 - i as f64 * 0.125).collect()),
+    ]);
+    let want = &kernel.reference(n, &ins)["y"];
+    for slots in [1usize, 4] {
+        for strategy in [Strategy::None, Strategy::ListA] {
+            let got = run_and_read(&kernel, n, &ins, strategy, slots, "y", n);
+            assert_eq!(&got, want, "{slots} slots, {strategy:?}");
+        }
+    }
+}
+
+#[test]
+fn compiled_livermore_1_matches_the_hand_written_kernel() {
+    use hirata_workloads::livermore::{kernel1_inputs, kernel1_reference};
+    let kernel = compile(
+        "const q = 0.5; const r = 1.25; const t = -0.75;
+         array x at 1000; array y at 2000; array z at 3000;
+         kernel hydro(k) {
+             x[k] = q + y[k] * (r * z[k + 10] + t * z[k + 11]);
+         }",
+    )
+    .unwrap();
+    let n = 48;
+    let (y, z) = kernel1_inputs(n);
+    let ins = inputs(&[("y", y), ("z", z)]);
+    let got = run_and_read(&kernel, n, &ins, Strategy::ReservationB { threads: 4 }, 4, "x", n);
+    assert_eq!(got, kernel1_reference(n), "compiled LK1 == hand-written LK1");
+}
+
+#[test]
+fn temporaries_and_unary_ops() {
+    let kernel = compile(
+        "const c = 0.1; array x at 1000; array y at 2000;
+         kernel f(k) {
+             let d = abs(y[k] - y[k + 1]);
+             let s = -d * c;
+             x[k] = s + d / (y[k] + 3.0);
+         }",
+    )
+    .unwrap();
+    let n = 20;
+    let ins = inputs(&[("y", (0..=n).map(|i| ((i * 37) % 11) as f64 - 5.0).collect())]);
+    let want = &kernel.reference(n, &ins)["x"];
+    let got = run_and_read(&kernel, n, &ins, Strategy::ListA, 2, "x", n);
+    assert_eq!(&got, want);
+}
+
+#[test]
+fn footprint_covers_offsets() {
+    let kernel = compile(
+        "array x at 1000; array z at 3000;
+         kernel g(k) { x[k] = z[k + 10] - z[k - 2]; }",
+    )
+    .unwrap();
+    assert_eq!(kernel.footprint("z", 5), Some((-2, 15)));
+    assert_eq!(kernel.footprint("x", 5), Some((0, 5)));
+    assert_eq!(kernel.footprint("nope", 5), None);
+}
+
+#[test]
+fn compile_errors_are_located() {
+    for (src, needle) in [
+        ("kernel f(k) { x[k] = 1.0; }", "unknown name"),
+        ("array x at 1000;", "no kernel"),
+        ("array x at 1000; kernel f(k) { }", "empty"),
+        ("array x at 1000; kernel f(k) { x[j] = 1.0; }", "induction variable"),
+        ("const a = 1.0; const a = 2.0; array x at 9; kernel f(k) { x[k] = a; }", "duplicate"),
+        ("kernel f(k) { x[k] = @; }", "unexpected character"),
+        ("array x at 1000; kernel f(k) { x[k] = ; }", "expected an expression"),
+    ] {
+        let err = compile(src).unwrap_err();
+        assert!(
+            err.to_string().contains(needle),
+            "{src:?} -> {err} (wanted {needle:?})"
+        );
+    }
+}
+
+#[test]
+fn scheduling_improves_compiled_code_too() {
+    let kernel = compile(
+        "const r = 1.25; array x at 1000; array y at 2000; array z at 3000;
+         kernel f(k) { x[k] = y[k] * (z[k] + r) + z[k + 1] * y[k + 1]; }",
+    )
+    .unwrap();
+    let n = 64;
+    let ins = BTreeMap::new();
+    let cycles = |strategy: Strategy| {
+        let program = kernel.program(n, &ins, strategy);
+        let mut m = Machine::new(Config::multithreaded(1), &program).unwrap();
+        m.run().unwrap().cycles
+    };
+    assert!(cycles(Strategy::ListA) < cycles(Strategy::None));
+}

@@ -1,0 +1,90 @@
+//! Property test: every well-formed random kernel computes the same
+//! values on the cycle-level machine as the reference evaluator, at
+//! every machine width and scheduling strategy.
+
+use std::collections::BTreeMap;
+
+use hirata_kernelc::{compile, BinOp, Expr};
+use hirata_sched::Strategy as SchedStrategy;
+use hirata_sim::{Config, Machine};
+use proptest::prelude::*;
+
+/// Renders an [`Expr`] back to kernel-language source (round-trips
+/// through the parser).
+fn render(e: &Expr) -> String {
+    match e {
+        Expr::Num(v) => format!("{v:?}"),
+        Expr::Name(n) => n.clone(),
+        Expr::Elem { array, offset } => match offset.cmp(&0) {
+            std::cmp::Ordering::Equal => format!("{array}[k]"),
+            std::cmp::Ordering::Greater => format!("{array}[k + {offset}]"),
+            std::cmp::Ordering::Less => format!("{array}[k - {}]", -offset),
+        },
+        Expr::Bin { op, lhs, rhs } => {
+            let op = match op {
+                BinOp::Add => '+',
+                BinOp::Sub => '-',
+                BinOp::Mul => '*',
+                BinOp::Div => '/',
+            };
+            format!("({} {op} {})", render(lhs), render(rhs))
+        }
+        Expr::Neg(e) => format!("(-{})", render(e)),
+        Expr::Abs(e) => format!("abs({})", render(e)),
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-4i64..4).prop_map(|v| Expr::Num(v as f64 * 0.5 + 0.25)),
+        Just(Expr::Name("c0".to_owned())),
+        Just(Expr::Name("c1".to_owned())),
+        (0i64..4).prop_map(|offset| Expr::Elem { array: "a".to_owned(), offset }),
+        (0i64..4).prop_map(|offset| Expr::Elem { array: "b".to_owned(), offset }),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (
+                prop::sample::select(vec![BinOp::Add, BinOp::Sub, BinOp::Mul]),
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, lhs, rhs)| Expr::Bin {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs)
+                }),
+            inner.clone().prop_map(|e| Expr::Neg(Box::new(e))),
+            inner.prop_map(|e| Expr::Abs(Box::new(e))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn compiled_kernels_match_the_reference(expr in arb_expr(), n in 1usize..12) {
+        let src = format!(
+            "const c0 = 0.75; const c1 = -1.5;
+             array out at 1000; array a at 2000; array b at 3000;
+             kernel gen(k) {{ out[k] = {}; }}",
+            render(&expr)
+        );
+        let kernel = compile(&src).expect("generated kernel compiles");
+        let mut ins = BTreeMap::new();
+        ins.insert("a".to_owned(), (0..n + 4).map(|i| 0.5 + i as f64 * 0.125).collect());
+        ins.insert("b".to_owned(), (0..n + 4).map(|i| 2.0 - i as f64 * 0.25).collect());
+        let want = &kernel.reference(n, &ins)["out"];
+        for (slots, strategy) in
+            [(1usize, SchedStrategy::None), (3, SchedStrategy::ListA), (4, SchedStrategy::ReservationB { threads: 4 })]
+        {
+            let program = kernel.program(n, &ins, strategy);
+            let mut m = Machine::new(Config::multithreaded(slots), &program).unwrap();
+            m.run().unwrap();
+            let got: Vec<f64> =
+                (0..n).map(|i| m.memory().read_f64(1000 + i as u64).unwrap()).collect();
+            prop_assert_eq!(&got, want, "{} slots, {:?}", slots, strategy);
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! The flat word-addressed backing store.
+
+use std::fmt;
+
+/// Error raised by out-of-range memory accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemError {
+    addr: u64,
+    size: u64,
+    write: bool,
+}
+
+impl MemError {
+    /// The faulting word address.
+    pub fn addr(&self) -> u64 {
+        self.addr
+    }
+
+    /// Whether the faulting access was a write.
+    pub fn is_write(&self) -> bool {
+        self.write
+    }
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} of word {} is outside memory of {} words",
+            if self.write { "write" } else { "read" },
+            self.addr,
+            self.size
+        )
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// Word-addressed data memory.
+///
+/// Addresses are word indices (the ISA has no sub-word accesses). The
+/// store is bounds-checked: simulated programs that run off the end of
+/// memory surface a [`MemError`] rather than silently wrapping, which
+/// the simulator reports as a machine check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Memory {
+    words: Vec<u64>,
+}
+
+impl Memory {
+    /// Allocates a zeroed memory of `size` words.
+    pub fn new(size: usize) -> Self {
+        Memory { words: vec![0; size] }
+    }
+
+    /// Memory size in words.
+    pub fn size(&self) -> u64 {
+        self.words.len() as u64
+    }
+
+    fn check(&self, addr: u64, write: bool) -> Result<usize, MemError> {
+        if addr < self.size() {
+            Ok(addr as usize)
+        } else {
+            Err(MemError { addr, size: self.size(), write })
+        }
+    }
+
+    /// Reads the raw 64-bit word at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if `addr` is out of range.
+    pub fn read(&self, addr: u64) -> Result<u64, MemError> {
+        Ok(self.words[self.check(addr, false)?])
+    }
+
+    /// Writes the raw 64-bit word at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if `addr` is out of range.
+    pub fn write(&mut self, addr: u64, value: u64) -> Result<(), MemError> {
+        let i = self.check(addr, true)?;
+        self.words[i] = value;
+        Ok(())
+    }
+
+    /// Reads the word at `addr` as a two's complement integer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if `addr` is out of range.
+    pub fn read_i64(&self, addr: u64) -> Result<i64, MemError> {
+        self.read(addr).map(|w| w as i64)
+    }
+
+    /// Writes an integer word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if `addr` is out of range.
+    pub fn write_i64(&mut self, addr: u64, value: i64) -> Result<(), MemError> {
+        self.write(addr, value as u64)
+    }
+
+    /// Reads the word at `addr` as an `f64` bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if `addr` is out of range.
+    pub fn read_f64(&self, addr: u64) -> Result<f64, MemError> {
+        self.read(addr).map(f64::from_bits)
+    }
+
+    /// Writes a floating-point word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if `addr` is out of range.
+    pub fn write_f64(&mut self, addr: u64, value: f64) -> Result<(), MemError> {
+        self.write(addr, value.to_bits())
+    }
+
+    /// Copies a block of raw words starting at `base` (used to load a
+    /// program's initialized data segments).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] if the block does not fit.
+    pub fn load_block(&mut self, base: u64, words: &[u64]) -> Result<(), MemError> {
+        if words.is_empty() {
+            return Ok(());
+        }
+        let last = base + words.len() as u64 - 1;
+        self.check(base, true)?;
+        self.check(last, true)?;
+        self.words[base as usize..=last as usize].copy_from_slice(words);
+        Ok(())
+    }
+
+    /// A view of the raw words, for test assertions on final memory
+    /// images.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut mem = Memory::new(64);
+        mem.write(3, 0xdead_beef).unwrap();
+        assert_eq!(mem.read(3).unwrap(), 0xdead_beef);
+        assert_eq!(mem.read(4).unwrap(), 0);
+    }
+
+    #[test]
+    fn typed_views_round_trip() {
+        let mut mem = Memory::new(8);
+        mem.write_i64(0, -42).unwrap();
+        assert_eq!(mem.read_i64(0).unwrap(), -42);
+        mem.write_f64(1, -0.5).unwrap();
+        assert_eq!(mem.read_f64(1).unwrap(), -0.5);
+    }
+
+    #[test]
+    fn out_of_range_reads_and_writes_error() {
+        let mut mem = Memory::new(4);
+        let err = mem.read(4).unwrap_err();
+        assert_eq!(err.addr(), 4);
+        assert!(!err.is_write());
+        let err = mem.write(100, 1).unwrap_err();
+        assert!(err.is_write());
+        assert!(err.to_string().contains("word 100"));
+    }
+
+    #[test]
+    fn load_block_places_words() {
+        let mut mem = Memory::new(8);
+        mem.load_block(2, &[1, 2, 3]).unwrap();
+        assert_eq!(mem.words()[1..6], [0, 1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn load_block_rejects_overflow() {
+        let mut mem = Memory::new(4);
+        assert!(mem.load_block(3, &[1, 2]).is_err());
+        assert!(mem.load_block(0, &[]).is_ok());
+    }
+}

@@ -1,0 +1,39 @@
+//! Memory subsystem models for the Hirata 1992 reproduction.
+//!
+//! The paper's evaluation assumes all cache accesses hit with a
+//! two-cycle access time (§3.1), so the primary model here is
+//! [`IdealCache`]. Two extensions the paper announces but does not
+//! evaluate are also provided:
+//!
+//! * [`FiniteCache`] — a direct-mapped data cache with a miss penalty,
+//!   for the "finite cache effects" future work of §5;
+//! * [`DsmMemory`] — a distributed-shared-memory latency model whose
+//!   remote accesses raise the *data absence trap* of §2.1.3, driving
+//!   the concurrent-multithreading (context switching) machinery.
+//!
+//! [`Memory`] is the flat word-addressed backing store shared by all
+//! models. Words are 64-bit raw values; integer contents are two's
+//! complement `i64` bits and floating contents are `f64` bits.
+//!
+//! # Examples
+//!
+//! ```
+//! use hirata_mem::{Memory, IdealCache, DataMemModel, Access};
+//!
+//! let mut mem = Memory::new(1024);
+//! mem.write_i64(16, -5)?;
+//! assert_eq!(mem.read_i64(16)?, -5);
+//!
+//! let mut cache = IdealCache::default();
+//! assert_eq!(cache.access(16, false, 0), Access::Hit { latency: 2 });
+//! # Ok::<(), hirata_mem::MemError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backing;
+mod models;
+
+pub use backing::{MemError, Memory};
+pub use models::{Access, DataMemModel, DsmMemory, FiniteCache, IdealCache, MemStats};

@@ -1,0 +1,548 @@
+//! The §3 experiments.
+
+use hirata_isa::{FuConfig, Program, RotationMode};
+use hirata_mem::{DsmMemory, FiniteCache};
+use hirata_sched::Strategy;
+use hirata_sim::{Config, Machine, RunStats};
+use hirata_workloads::linked_list::{self, ListShape};
+use hirata_workloads::livermore;
+use hirata_workloads::radiosity::{radiosity_program, RadiosityParams};
+use hirata_workloads::sort::sort_program;
+use hirata_workloads::raytrace::{raytrace_program, RayTraceParams};
+use hirata_workloads::synthetic::{dsm_chase_program, DsmChaseParams, REMOTE_BASE};
+
+/// Runs `program` on `config` to completion and returns the stats.
+///
+/// # Panics
+///
+/// Panics on any machine error — experiment programs are trusted.
+pub fn run(config: Config, program: &Program) -> RunStats {
+    let mut m = Machine::new(config, program).expect("experiment machine builds");
+    m.run().expect("experiment program runs")
+}
+
+/// Cycles of the sequential baseline (§3.1): the program on the base
+/// RISC processor of Figure 3(b).
+pub fn baseline_cycles(program: &Program) -> u64 {
+    run(Config::base_risc(), program).cycles
+}
+
+// ---------------------------------------------------------------------
+// Table 2 — speed-up by parallel multithreading
+// ---------------------------------------------------------------------
+
+/// One row of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Row {
+    /// Number of thread slots.
+    pub slots: usize,
+    /// Speed-up with one load/store unit, without standby stations.
+    pub one_ls_no_standby: f64,
+    /// Speed-up with one load/store unit, with standby stations.
+    pub one_ls_standby: f64,
+    /// Speed-up with two load/store units, without standby stations.
+    pub two_ls_no_standby: f64,
+    /// Speed-up with two load/store units, with standby stations.
+    pub two_ls_standby: f64,
+}
+
+/// The paper's Table 2 values, for side-by-side printing.
+pub const PAPER_TABLE2: [Table2Row; 3] = [
+    Table2Row { slots: 2, one_ls_no_standby: 1.79, one_ls_standby: 1.83, two_ls_no_standby: 2.01, two_ls_standby: 2.02 },
+    Table2Row { slots: 4, one_ls_no_standby: 2.84, one_ls_standby: 2.89, two_ls_no_standby: 3.68, two_ls_standby: 3.72 },
+    Table2Row { slots: 8, one_ls_no_standby: 3.22, one_ls_standby: 3.22, two_ls_no_standby: 5.68, two_ls_standby: 5.79 },
+];
+
+/// Runs the Table 2 experiment: speed-up of 2/4/8-slot multithreaded
+/// processors over the sequential baseline on the ray tracer, with
+/// one or two load/store units, with and without standby stations.
+/// `private_fetch` reproduces the §3.2 private-instruction-cache
+/// ablation.
+pub fn table2(params: &RayTraceParams, private_fetch: bool) -> (u64, Vec<Table2Row>) {
+    let program = raytrace_program(params);
+    let base = baseline_cycles(&program);
+    let speedup = |slots: usize, fu: FuConfig, standby: bool| {
+        let config = Config::multithreaded(slots)
+            .with_fu(fu)
+            .with_standby(standby)
+            .with_private_fetch(private_fetch);
+        base as f64 / run(config, &program).cycles as f64
+    };
+    let rows = [2usize, 4, 8]
+        .into_iter()
+        .map(|slots| Table2Row {
+            slots,
+            one_ls_no_standby: speedup(slots, FuConfig::paper_one_ls(), false),
+            one_ls_standby: speedup(slots, FuConfig::paper_one_ls(), true),
+            two_ls_no_standby: speedup(slots, FuConfig::paper_two_ls(), false),
+            two_ls_standby: speedup(slots, FuConfig::paper_two_ls(), true),
+        })
+        .collect();
+    (base, rows)
+}
+
+// ---------------------------------------------------------------------
+// §3.2 prose — rotation interval sweep and unit utilization
+// ---------------------------------------------------------------------
+
+/// Cycle counts of the 4-slot machine across rotation intervals
+/// `2^0 .. 2^8` (§3.2: "rotation interval did not have much
+/// influence").
+pub fn rotation_sweep(params: &RayTraceParams) -> Vec<(u32, u64)> {
+    let program = raytrace_program(params);
+    (0..=8u32)
+        .map(|n| {
+            let interval = 1u32 << n;
+            let config = Config::multithreaded(4)
+                .with_fu(FuConfig::paper_two_ls())
+                .with_rotation(RotationMode::Implicit { interval });
+            (interval, run(config, &program).cycles)
+        })
+        .collect()
+}
+
+/// Per-unit utilization of the `slots`-slot, one-load/store-unit
+/// machine on the ray tracer (§3.2 explains Table 2's saturation by
+/// the load/store unit reaching 99% at eight slots).
+pub fn utilization(params: &RayTraceParams, slots: usize) -> RunStats {
+    let program = raytrace_program(params);
+    run(Config::multithreaded(slots), &program)
+}
+
+// ---------------------------------------------------------------------
+// Table 3 — multithreading versus superscalar width
+// ---------------------------------------------------------------------
+
+/// One Table 3 cell: a `(D,S)`-processor and its speed-up.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table3Cell {
+    /// Issue width per thread slot.
+    pub width: usize,
+    /// Thread slots.
+    pub slots: usize,
+    /// Speed-up over the sequential baseline.
+    pub speedup: f64,
+}
+
+/// The paper's Table 3 values (`(D,S)` keyed by `D*S`): the legible
+/// entries of the scan.
+pub const PAPER_TABLE3: [(usize, usize, f64); 9] = [
+    (1, 2, 2.02),
+    (2, 1, 1.31),
+    (1, 4, 3.72),
+    (2, 2, 2.43),
+    (4, 1, 1.52),
+    (1, 8, 5.79),
+    (2, 4, 4.37),
+    (4, 2, 2.79),
+    (8, 1, 1.75), // partially illegible in the scan; approximate
+];
+
+/// Runs Table 3: every `(D,S)` with `D x S ∈ {2, 4, 8}` on the
+/// eight-functional-unit machine, equal fetch bandwidth per total
+/// issue width.
+pub fn table3(params: &RayTraceParams) -> (u64, Vec<Table3Cell>) {
+    let program = raytrace_program(params);
+    let base = baseline_cycles(&program);
+    let mut cells = Vec::new();
+    for total in [2usize, 4, 8] {
+        let mut width = 1;
+        while width <= total {
+            let slots = total / width;
+            let config = Config::hybrid(width, slots);
+            let speedup = base as f64 / run(config, &program).cycles as f64;
+            cells.push(Table3Cell { width, slots, speedup });
+            width *= 2;
+        }
+    }
+    (base, cells)
+}
+
+// ---------------------------------------------------------------------
+// Table 4 — static code scheduling on Livermore Kernel 1
+// ---------------------------------------------------------------------
+
+/// One row of Table 4: average cycles per iteration under each
+/// §2.3.2 strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table4Row {
+    /// Thread slots.
+    pub slots: usize,
+    /// Cycles per iteration, unscheduled code.
+    pub non_optimized: f64,
+    /// Cycles per iteration, strategy A (list scheduling).
+    pub strategy_a: f64,
+    /// Cycles per iteration, strategy B (reservation + standby table).
+    pub strategy_b: f64,
+}
+
+/// The legible paper Table 4 anchors: 50 and 42 cycles/iteration at
+/// one slot (non-optimized and strategy A) and saturation at 8
+/// cycles/iteration — the `(3+1) x 2` memory floor — by eight slots.
+pub const PAPER_TABLE4_ANCHORS: [(usize, f64, f64); 2] = [(1, 50.0, 42.0), (8, 8.0, 8.0)];
+
+/// Runs Table 4 on Livermore Kernel 1 with one load/store unit.
+pub fn table4(n: usize) -> Vec<Table4Row> {
+    [1usize, 2, 3, 4, 5, 6, 7, 8]
+        .into_iter()
+        .map(|slots| {
+            let per_iter = |strategy: Strategy| {
+                let program = livermore::kernel1_program(n, strategy);
+                run(Config::multithreaded(slots), &program).cycles as f64 / n as f64
+            };
+            Table4Row {
+                slots,
+                non_optimized: per_iter(Strategy::None),
+                strategy_a: per_iter(Strategy::ListA),
+                strategy_b: per_iter(Strategy::ReservationB { threads: slots }),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Table 5 — eager execution of sequential loop iterations
+// ---------------------------------------------------------------------
+
+/// Table 5 results: sequential and eager cycles per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table5 {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Sequential (base RISC) cycles per iteration.
+    pub sequential: f64,
+    /// `(slots, cycles per iteration)` for the eager version.
+    pub eager: Vec<(usize, f64)>,
+}
+
+/// The paper's Table 5: 56 cycles/iteration sequential; 32.5, 21.67
+/// and 17 at two, three and four slots (saturated by the `ptr->next`
+/// recurrence; maximum speed-up 56/17 = 3.29).
+pub const PAPER_TABLE5: (f64, [(usize, f64); 3]) =
+    (56.0, [(2, 32.5), (3, 21.67), (4, 17.0)]);
+
+/// Runs Table 5 on the Figure 6 linked-list loop.
+pub fn table5(shape: ListShape, slot_counts: &[usize]) -> Table5 {
+    let iterations = shape.iterations();
+    let seq = run(Config::base_risc(), &linked_list::sequential_program(shape)).cycles;
+    let eager_prog = linked_list::eager_program(shape);
+    let eager = slot_counts
+        .iter()
+        .map(|&slots| {
+            let cycles = run(Config::multithreaded(slots), &eager_prog).cycles;
+            (slots, cycles as f64 / iterations as f64)
+        })
+        .collect();
+    Table5 { iterations, sequential: seq as f64 / iterations as f64, eager }
+}
+
+// ---------------------------------------------------------------------
+// Extensions: concurrent multithreading (§2.1.3) and finite caches (§5)
+// ---------------------------------------------------------------------
+
+/// Result of the concurrent-multithreading experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConcurrentResult {
+    /// `(resident threads = context frames, total cycles, cycles per
+    /// thread)`. With one frame the slot idles through every remote
+    /// access; more frames overlap the waits, so cycles per thread
+    /// falls.
+    pub by_frames: Vec<(usize, u64, f64)>,
+    /// Context switches observed at the largest frame count.
+    pub switches: u64,
+}
+
+/// Runs the §2.1.3 experiment: a one-slot machine with `frames`
+/// context frames hosting `frames` resident DSM-striding threads, for
+/// `frames` in `1..=max_threads`. Throughput (cycles per thread)
+/// improves with frames because data-absence traps switch in another
+/// resident thread instead of idling.
+pub fn concurrent(max_threads: usize, remote_latency: u64) -> ConcurrentResult {
+    let params = DsmChaseParams::default();
+    let program = dsm_chase_program(max_threads, &params);
+    let mut by_frames = Vec::new();
+    let mut switches = 0;
+    for frames in 1..=max_threads {
+        let mut config = Config::multithreaded(1).with_context_frames(frames);
+        config.mem_words = 1 << 16;
+        let mut m = Machine::with_mem_model(
+            config,
+            &program,
+            Box::new(DsmMemory::new(REMOTE_BASE, 2, remote_latency)),
+        )
+        .expect("dsm machine builds");
+        for _ in 1..frames {
+            m.add_thread(0).expect("one context frame per resident thread");
+        }
+        let stats = m.run().expect("dsm run completes");
+        switches = stats.context_switches;
+        by_frames.push((frames, stats.cycles, stats.cycles as f64 / frames as f64));
+    }
+    ConcurrentResult { by_frames, switches }
+}
+
+/// Finite-cache extension (§5 future work): the ray tracer under an
+/// ideal cache versus direct-mapped finite caches of falling size.
+/// Returns `(label, cycles, miss ratio)` per configuration.
+pub fn finite_cache(params: &RayTraceParams) -> Vec<(String, u64, f64)> {
+    let program = raytrace_program(params);
+    let mut out = Vec::new();
+    let ideal = run(Config::multithreaded(4), &program);
+    out.push(("ideal".to_owned(), ideal.cycles, 0.0));
+    for (lines, line_words) in [(1024usize, 4u64), (256, 4), (64, 4)] {
+        let mut m = Machine::with_mem_model(
+            Config::multithreaded(4),
+            &program,
+            Box::new(FiniteCache::new(lines, line_words, 2, 20)),
+        )
+        .expect("machine builds");
+        let stats = m.run().expect("finite cache run completes");
+        let miss = m.mem_stats().miss_ratio();
+        out.push((format!("{lines}x{line_words}w"), stats.cycles, miss));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> RayTraceParams {
+        RayTraceParams { width: 8, height: 8, spheres: 3, seed: 5, shadows: false }
+    }
+
+    #[test]
+    fn table2_shapes_match_the_paper() {
+        let (_, rows) = table2(&tiny(), false);
+        assert_eq!(rows.len(), 3);
+        for w in rows.windows(2) {
+            assert!(
+                w[1].one_ls_standby >= w[0].one_ls_standby,
+                "speed-up grows with slots"
+            );
+            assert!(
+                w[1].two_ls_standby >= w[0].two_ls_standby,
+                "speed-up grows with slots"
+            );
+        }
+        for row in &rows {
+            // The second load/store unit matters once the first
+            // saturates; at low slot counts it is allowed to be a wash.
+            assert!(row.two_ls_standby >= row.one_ls_standby * 0.98, "second L/S unit");
+            assert!(row.one_ls_standby >= row.one_ls_no_standby * 0.99, "standby helps");
+            assert!(row.one_ls_standby > 1.0, "multithreading beats sequential");
+        }
+        let eight = rows.iter().find(|r| r.slots == 8).unwrap();
+        assert!(
+            eight.two_ls_standby > eight.one_ls_standby,
+            "at 8 slots the second L/S unit must pay off: {eight:?}"
+        );
+    }
+
+    #[test]
+    fn table3_threads_beat_width() {
+        let (_, cells) = table3(&tiny());
+        let get = |w: usize, s: usize| {
+            cells.iter().find(|c| c.width == w && c.slots == s).unwrap().speedup
+        };
+        assert!(get(1, 4) > get(2, 2), "S wins over D at budget 4");
+        assert!(get(2, 2) > get(4, 1), "S wins over D at budget 4");
+        assert!(get(1, 8) > get(8, 1), "S wins over D at budget 8");
+    }
+
+    #[test]
+    fn table4_has_floor_and_strategy_ordering() {
+        let rows = table4(128);
+        let one = &rows[0];
+        assert!(one.strategy_a < one.non_optimized, "A beats non-optimized at 1 slot");
+        assert!(one.strategy_b <= one.non_optimized, "B beats non-optimized at 1 slot");
+        for row in &rows {
+            assert!(row.strategy_b >= 8.0 - 1e-9, "the 8-cycle memory floor holds");
+        }
+        let eight = rows.iter().find(|r| r.slots == 8).unwrap();
+        assert!(eight.strategy_b < 13.0, "8 slots near the floor");
+    }
+
+    #[test]
+    fn table5_matches_paper_shape() {
+        let shape = ListShape { nodes: 48, break_at: Some(47) };
+        let t = table5(shape, &[2, 3, 4]);
+        assert!(t.sequential > t.eager[0].1, "eager helps at 2 slots");
+        assert!(t.eager[0].1 > t.eager[1].1, "3 slots beat 2");
+        assert!(t.eager[1].1 >= t.eager[2].1 * 0.95, "4 slots no worse than 3");
+    }
+
+    #[test]
+    fn concurrent_frames_improve_throughput() {
+        let r = concurrent(3, 150);
+        let first = r.by_frames[0].2;
+        let last = r.by_frames.last().unwrap().2;
+        assert!(last < first * 0.8, "cycles/thread must fall with frames: {:?}", r.by_frames);
+        assert!(r.switches > 0);
+    }
+
+    #[test]
+    fn finite_cache_costs_cycles() {
+        let rows = finite_cache(&tiny());
+        assert!(rows[1].1 >= rows[0].1, "misses cannot speed things up");
+        assert!(rows.last().unwrap().2 > 0.0, "small cache must miss");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ablations: design choices DESIGN.md calls out
+// ---------------------------------------------------------------------
+
+/// One ablation row: configuration label and cycles (`None` when the
+/// configuration deadlocks and the watchdog fires — itself a finding).
+pub type AblationRow = (String, Option<u64>);
+
+/// Runs the ablation suite:
+///
+/// * standby-station depth 0 (disabled) / 1 (paper) / 2 / 4 on the
+///   four-slot ray tracer;
+/// * the not-taken-branch refetch policy (paper) versus a fall-through
+///   fast path, on the branchy sequential list traversal;
+/// * queue-register capacity 1 / 2 / 8 on the eager linked-list loop.
+pub fn ablations(params: &RayTraceParams) -> Vec<AblationRow> {
+    let mut rows = Vec::new();
+    let ray = raytrace_program(params);
+
+    let mut push = |label: String, config: Config, program: &Program| {
+        let mut config = config;
+        config.max_cycles = 50_000_000;
+        let cycles = Machine::new(config, program)
+            .expect("ablation machine builds")
+            .run()
+            .ok()
+            .map(|s| s.cycles);
+        rows.push((label, cycles));
+    };
+
+    push("ray x4, no standby stations".into(), Config::multithreaded(4).with_standby(false), &ray);
+    for depth in [1usize, 2, 4] {
+        let mut config = Config::multithreaded(4);
+        config.standby_depth = depth;
+        push(format!("ray x4, standby depth {depth}"), config, &ray);
+    }
+
+    let list = ListShape { nodes: 100, break_at: None };
+    let seq = linked_list::sequential_program(list);
+    push("list x1, refetch fall-through (paper)".into(), Config::base_risc(), &seq);
+    let mut fast = Config::base_risc();
+    fast.refetch_fallthrough = false;
+    push("list x1, fall-through fast path".into(), fast, &seq);
+
+    let eager = linked_list::eager_program(list);
+    for cap in [1usize, 2, 8] {
+        let mut config = Config::multithreaded(4);
+        config.queue_capacity = cap;
+        push(format!("eager list x4, queue capacity {cap}"), config, &eager);
+    }
+    rows
+}
+
+// ---------------------------------------------------------------------
+// Kernel sweep: the broader evaluation §5 calls for
+// ---------------------------------------------------------------------
+
+/// Speed-up of one workload across machine widths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelScaling {
+    /// Workload name.
+    pub name: String,
+    /// Baseline (base RISC) cycles.
+    pub base_cycles: u64,
+    /// `(slots, speed-up)` rows.
+    pub speedups: Vec<(usize, f64)>,
+}
+
+/// Runs the §5 "more programs" sweep: every workload in the suite on
+/// 1/2/4/8 slots (one load/store unit), speed-ups over the base RISC.
+/// Covers the parallelism spectrum: doall (ray, K1, K7), reduction
+/// (K3), doacross (K5), and the eager while loop.
+pub fn kernel_sweep(params: &RayTraceParams) -> Vec<KernelScaling> {
+    let slots = [1usize, 2, 4, 8];
+    let list = ListShape { nodes: 100, break_at: Some(99) };
+    let programs: Vec<(String, Program, Config)> = vec![
+        ("ray tracing (doall)".into(), raytrace_program(params), Config::base_risc()),
+        (
+            "LK1 hydro (doall)".into(),
+            livermore::kernel1_program(256, Strategy::ListA),
+            Config::base_risc(),
+        ),
+        ("LK3 inner product (reduction)".into(), livermore::kernel3_program(256), Config::base_risc()),
+        ("LK5 tridiagonal (doacross)".into(), livermore::kernel5_program(256), Config::base_risc()),
+        (
+            "LK7 eq. of state (doall)".into(),
+            livermore::kernel7_program(192, Strategy::ListA),
+            Config::base_risc(),
+        ),
+        (
+            "radiosity (Jacobi + barrier)".into(),
+            radiosity_program(&RadiosityParams::default()),
+            Config::base_risc(),
+        ),
+        ("odd-even sort (integer)".into(), sort_program(64, 7), Config::base_risc()),
+    ];
+    let mut out: Vec<KernelScaling> = programs
+        .into_iter()
+        .map(|(name, program, base_cfg)| {
+            let base = run(base_cfg, &program).cycles;
+            let speedups = slots
+                .iter()
+                .map(|&s| {
+                    (s, base as f64 / run(Config::multithreaded(s), &program).cycles as f64)
+                })
+                .collect();
+            KernelScaling { name, base_cycles: base, speedups }
+        })
+        .collect();
+    // The eager while loop has distinct sequential/parallel programs.
+    let base = run(Config::base_risc(), &linked_list::sequential_program(list)).cycles;
+    let eager = linked_list::eager_program(list);
+    out.push(KernelScaling {
+        name: "while loop (eager, §2.3.3)".into(),
+        base_cycles: base,
+        speedups: slots
+            .iter()
+            .map(|&s| (s, base as f64 / run(Config::multithreaded(s), &eager).cycles as f64))
+            .collect(),
+    });
+    out
+}
+
+// ---------------------------------------------------------------------
+// Trace-driven versus execution-driven (the paper's §3.1 methodology)
+// ---------------------------------------------------------------------
+
+/// One row of the methodology comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceDrivenRow {
+    /// Thread slots.
+    pub slots: usize,
+    /// Execution-driven cycles.
+    pub direct: u64,
+    /// Trace-driven (replayed) cycles.
+    pub traced: u64,
+}
+
+/// Compares execution-driven simulation against the paper's
+/// trace-driven methodology on the ray tracer: the emulator records
+/// each thread's dynamic instruction sequence, the trace replays on
+/// the cycle-level machine, and the cycle counts must agree.
+pub fn trace_driven(params: &RayTraceParams) -> Vec<TraceDrivenRow> {
+    use hirata_sim::{build_trace_program, Emulator};
+    let program = raytrace_program(params);
+    [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|slots| {
+            let direct = run(Config::multithreaded(slots), &program).cycles;
+            let out = Emulator::execute_with_traces(&program, slots, 1 << 20, 500_000_000)
+                .expect("emulation succeeds");
+            let replay = build_trace_program(&program, &out.traces).expect("replayable");
+            let traced = run(Config::multithreaded(slots), &replay).cycles;
+            TraceDrivenRow { slots, direct, traced }
+        })
+        .collect()
+}

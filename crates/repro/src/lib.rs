@@ -1,0 +1,13 @@
+//! Experiment harness: every table and figure-level claim of Hirata
+//! et al. (ISCA 1992), §3, as a callable experiment returning
+//! structured results. The `repro` binary renders them as
+//! paper-versus-measured tables; the bench crate wraps them in
+//! Criterion benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod tables;
+
+pub use experiments::*;

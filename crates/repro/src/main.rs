@@ -1,0 +1,106 @@
+//! `repro` — regenerates every table and figure-level claim of Hirata
+//! et al. (ISCA 1992), §3.
+//!
+//! ```text
+//! repro [table2|table2-private|table3|table4|table5|rotation|
+//!        utilization|concurrent|finite-cache|all] [--quick]
+//! ```
+
+use hirata_repro::{tables, *};
+use hirata_workloads::linked_list::ListShape;
+use hirata_workloads::raytrace::RayTraceParams;
+
+struct Sizes {
+    ray: RayTraceParams,
+    kernel1_n: usize,
+    list: ListShape,
+}
+
+impl Sizes {
+    fn full() -> Self {
+        Sizes {
+            ray: RayTraceParams::default(),
+            kernel1_n: 512,
+            list: ListShape { nodes: 200, break_at: Some(199) },
+        }
+    }
+
+    fn quick() -> Self {
+        Sizes {
+            ray: RayTraceParams { width: 8, height: 8, spheres: 4, seed: 42, shadows: true },
+            kernel1_n: 64,
+            list: ListShape { nodes: 40, break_at: Some(39) },
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let sizes = if quick { Sizes::quick() } else { Sizes::full() };
+    let which = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all");
+
+    let known = [
+        "table2",
+        "table2-private",
+        "table3",
+        "table4",
+        "table5",
+        "rotation",
+        "utilization",
+        "concurrent",
+        "finite-cache",
+        "ablations",
+        "kernels",
+        "trace-driven",
+        "all",
+    ];
+    if !known.contains(&which) {
+        eprintln!("unknown experiment `{which}`; choose one of: {}", known.join(", "));
+        std::process::exit(2);
+    }
+    let want = |name: &str| which == name || which == "all";
+
+    if want("table2") {
+        let (base, rows) = table2(&sizes.ray, false);
+        println!("{}", tables::render_table2(base, &rows, false));
+    }
+    if want("table2-private") {
+        let (base, rows) = table2(&sizes.ray, true);
+        println!("{}", tables::render_table2(base, &rows, true));
+    }
+    if want("table3") {
+        let (base, cells) = table3(&sizes.ray);
+        println!("{}", tables::render_table3(base, &cells));
+    }
+    if want("table4") {
+        println!("{}", tables::render_table4(&table4(sizes.kernel1_n)));
+    }
+    if want("table5") {
+        let t = table5(sizes.list, &[2, 3, 4, 6, 8]);
+        println!("{}", tables::render_table5(&t));
+    }
+    if want("rotation") {
+        println!("{}", tables::render_rotation(&rotation_sweep(&sizes.ray)));
+    }
+    if want("utilization") {
+        let stats = utilization(&sizes.ray, 8);
+        println!("{}", tables::render_utilization(8, &stats));
+    }
+    if want("concurrent") {
+        let threads = 4;
+        println!("{}", tables::render_concurrent(threads, &concurrent(threads, 200)));
+    }
+    if want("finite-cache") {
+        println!("{}", tables::render_finite_cache(&finite_cache(&sizes.ray)));
+    }
+    if want("ablations") {
+        println!("{}", tables::render_ablations(&ablations(&sizes.ray)));
+    }
+    if want("kernels") {
+        println!("{}", tables::render_kernel_sweep(&kernel_sweep(&sizes.ray)));
+    }
+    if want("trace-driven") {
+        println!("{}", tables::render_trace_driven(&trace_driven(&sizes.ray)));
+    }
+}

@@ -1,0 +1,248 @@
+//! Dependence graph over a straight-line block.
+
+use hirata_isa::{Inst, Reg};
+
+/// How memory dependences are disambiguated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AliasModel {
+    /// Any two memory operations where at least one writes are ordered.
+    Conservative,
+    /// Accesses through the same base register with different constant
+    /// offsets are independent; accesses through different base
+    /// registers are independent (the usual kernel-compiler assumption
+    /// for disjoint arrays). Same base and same offset conflict.
+    BaseOffset,
+}
+
+/// A register/memory dependence graph. Edge `a -> b` means `b` must
+/// issue at least `latency(a, b)` cycles after `a`.
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    /// `succs[i]` lists `(j, min_separation)` pairs.
+    succs: Vec<Vec<(usize, u32)>>,
+    /// Number of unscheduled predecessors per node (for ready lists).
+    npreds: Vec<usize>,
+    /// Longest path (in cycles) from each node to the block exit.
+    height: Vec<u64>,
+}
+
+fn mem_conflict(a: &Inst, b: &Inst, alias: AliasModel) -> bool {
+    let (a_mem, b_mem) = (a.is_mem(), b.is_mem());
+    if !a_mem || !b_mem {
+        return false;
+    }
+    let a_store = matches!(a, Inst::Store { .. });
+    let b_store = matches!(b, Inst::Store { .. });
+    if !a_store && !b_store {
+        return false; // load-load never conflicts
+    }
+    match alias {
+        AliasModel::Conservative => true,
+        AliasModel::BaseOffset => {
+            let key = |i: &Inst| match *i {
+                Inst::Load { base, off, .. } => (base, off),
+                Inst::Store { base, off, .. } => (base, off),
+                _ => unreachable!("is_mem guarantees load/store"),
+            };
+            key(a) == key(b)
+        }
+    }
+}
+
+impl DepGraph {
+    /// Builds the graph for `block`.
+    ///
+    /// RAW edges carry `result latency + 1` (the §2.1.2 scoreboard
+    /// separation); WAR, WAW and memory-order edges carry 1 (issue
+    /// order suffices on this machine: operands are captured at issue
+    /// and same-unit operations execute in issue order).
+    ///
+    /// Decode-unit instructions (branches, thread control) must not
+    /// appear in a schedulable block and are given edges to and from
+    /// every other instruction, pinning them in place.
+    pub fn build(block: &[Inst], alias: AliasModel) -> Self {
+        let n = block.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut npreds = vec![0usize; n];
+        let add_edge = |succs: &mut Vec<Vec<(usize, u32)>>,
+                            npreds: &mut Vec<usize>,
+                            from: usize,
+                            to: usize,
+                            lat: u32| {
+            if let Some(entry) = succs[from].iter_mut().find(|(t, _)| *t == to) {
+                entry.1 = entry.1.max(lat);
+                return;
+            }
+            succs[from].push((to, lat));
+            npreds[to] += 1;
+        };
+
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let (a, b) = (&block[i], &block[j]);
+                let mut lat: Option<u32> = None;
+                // Pinned: decode-unit ops keep their position entirely.
+                if a.fu_class().is_none() || b.fu_class().is_none() {
+                    lat = Some(1);
+                }
+                // RAW: b reads what a writes.
+                if let Some(d) = a.dest() {
+                    if b.srcs().into_iter().flatten().any(|r: Reg| r == d) {
+                        lat = Some(lat.unwrap_or(0).max(a.result_latency() + 1));
+                    }
+                    // WAW
+                    if b.dest() == Some(d) {
+                        lat = Some(lat.unwrap_or(0).max(1));
+                    }
+                }
+                // WAR: b writes what a reads.
+                if let Some(d) = b.dest() {
+                    if a.srcs().into_iter().flatten().any(|r: Reg| r == d) {
+                        lat = Some(lat.unwrap_or(0).max(1));
+                    }
+                }
+                if mem_conflict(a, b, alias) {
+                    lat = Some(lat.unwrap_or(0).max(1));
+                }
+                if let Some(lat) = lat {
+                    add_edge(&mut succs, &mut npreds, i, j, lat);
+                }
+            }
+        }
+
+        // Height = critical-path distance to exit, the list-scheduling
+        // priority.
+        let mut height = vec![0u64; n];
+        for i in (0..n).rev() {
+            let mut h = block[i].result_latency() as u64;
+            for &(j, lat) in &succs[i] {
+                h = h.max(lat as u64 + height[j]);
+            }
+            height[i] = h;
+        }
+        DepGraph { succs, npreds, height }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// True if the block was empty.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// Successors of node `i` with their minimum issue separations.
+    pub fn succs(&self, i: usize) -> &[(usize, u32)] {
+        &self.succs[i]
+    }
+
+    /// Number of predecessors of node `i`.
+    pub fn pred_count(&self, i: usize) -> usize {
+        self.npreds[i]
+    }
+
+    /// Critical-path height of node `i` (cycles to block exit).
+    pub fn height(&self, i: usize) -> u64 {
+        self.height[i]
+    }
+
+    /// Verifies that `order` (a permutation of node indices) respects
+    /// every edge; used by tests and debug assertions.
+    pub fn respects(&self, order: &[usize]) -> bool {
+        let mut pos = vec![usize::MAX; self.len()];
+        for (p, &i) in order.iter().enumerate() {
+            if i >= self.len() || pos[i] != usize::MAX {
+                return false;
+            }
+            pos[i] = p;
+        }
+        if pos.contains(&usize::MAX) {
+            return false;
+        }
+        (0..self.len())
+            .all(|i| self.succs[i].iter().all(|&(j, _)| pos[i] < pos[j]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hirata_isa::{GReg, GSrc, IntOp};
+
+    fn load(rd: u8, base: u8, off: i64) -> Inst {
+        Inst::Load { dst: Reg::G(GReg(rd)), base: GReg(base), off }
+    }
+
+    fn store(rs: u8, base: u8, off: i64) -> Inst {
+        Inst::Store { src: Reg::G(GReg(rs)), base: GReg(base), off, gated: false }
+    }
+
+    fn add(rd: u8, rs: u8, rt: u8) -> Inst {
+        Inst::IntOp { op: IntOp::Add, rd: GReg(rd), rs: GReg(rs), src2: GSrc::Reg(GReg(rt)) }
+    }
+
+    #[test]
+    fn raw_edge_carries_scoreboard_separation() {
+        let block = vec![load(1, 10, 0), add(2, 1, 1)];
+        let g = DepGraph::build(&block, AliasModel::BaseOffset);
+        assert_eq!(g.succs(0), &[(1, 5)]); // load result 4 -> 5
+        assert_eq!(g.pred_count(1), 1);
+    }
+
+    #[test]
+    fn war_and_waw_edges_order_by_one() {
+        let block = vec![add(2, 1, 1), add(1, 3, 3), add(1, 4, 4)];
+        let g = DepGraph::build(&block, AliasModel::BaseOffset);
+        // WAR from the read of r1 to both later writers of r1.
+        assert_eq!(g.succs(0), &[(1, 1), (2, 1)]);
+        assert!(g.succs(1).contains(&(2, 1))); // WAW on r1
+    }
+
+    #[test]
+    fn independent_loads_have_no_edges() {
+        let block = vec![load(1, 10, 0), load(2, 10, 1), load(3, 11, 0)];
+        let g = DepGraph::build(&block, AliasModel::BaseOffset);
+        for i in 0..3 {
+            assert!(g.succs(i).is_empty());
+        }
+    }
+
+    #[test]
+    fn store_load_disambiguation_depends_on_model() {
+        let block = vec![store(1, 10, 0), load(2, 10, 1), load(3, 10, 0)];
+        let strict = DepGraph::build(&block, AliasModel::Conservative);
+        assert_eq!(strict.succs(0).len(), 2);
+        let relaxed = DepGraph::build(&block, AliasModel::BaseOffset);
+        assert_eq!(relaxed.succs(0), &[(2, 1)]); // only the same-slot load
+    }
+
+    #[test]
+    fn heights_are_critical_path_distances() {
+        // load (4) -> add (2) -> add (2): heights 5+3+... from the top.
+        let block = vec![load(1, 10, 0), add(2, 1, 1), add(3, 2, 2)];
+        let g = DepGraph::build(&block, AliasModel::BaseOffset);
+        assert_eq!(g.height(2), 2);
+        assert_eq!(g.height(1), 3 + 2);
+        assert_eq!(g.height(0), 5 + 3 + 2);
+    }
+
+    #[test]
+    fn respects_detects_violations() {
+        let block = vec![load(1, 10, 0), add(2, 1, 1)];
+        let g = DepGraph::build(&block, AliasModel::BaseOffset);
+        assert!(g.respects(&[0, 1]));
+        assert!(!g.respects(&[1, 0]));
+        assert!(!g.respects(&[0, 0]));
+        assert!(!g.respects(&[0]));
+    }
+
+    #[test]
+    fn decode_ops_are_pinned() {
+        let block = vec![add(1, 2, 2), Inst::Nop, add(3, 4, 4)];
+        let g = DepGraph::build(&block, AliasModel::BaseOffset);
+        assert!(g.succs(0).contains(&(1, 1)));
+        assert!(g.succs(1).contains(&(2, 1)));
+    }
+}

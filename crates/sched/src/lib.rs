@@ -1,0 +1,89 @@
+//! Static code scheduling for the Hirata 1992 processor (§2.3.2).
+//!
+//! The paper contrasts two compile-time strategies for loop bodies:
+//!
+//! * **Strategy A** — plain list scheduling: reorder the block to
+//!   minimise the single thread's critical path, ignoring resource
+//!   conflicts entirely. With parallel multithreading, a high issue
+//!   rate per thread floods the functional units with candidates and
+//!   the dynamic schedule units sort out the conflicts.
+//! * **Strategy B** — list scheduling driven by a *resource
+//!   reservation table* (as in software pipelining) **plus** a
+//!   *standby table* whose entries correspond to the machine's standby
+//!   stations: where a software pipeliner would emit a NOP because
+//!   every dependence-free instruction has a resource conflict,
+//!   strategy B issues one anyway into a free standby slot and marks
+//!   the table. The reservation table then also tells the compiler
+//!   when that parked instruction actually executes.
+//!
+//! Both operate on straight-line blocks ([`hirata_isa::Inst`] slices
+//! without control flow); [`DepGraph`] captures the register and
+//! memory dependences that any reordering must preserve.
+//!
+//! # Examples
+//!
+//! ```
+//! use hirata_isa::{GReg, GSrc, Inst, IntOp, Reg};
+//! use hirata_sched::{list_schedule, AliasModel};
+//!
+//! // load; dependent add; independent load — strategy A hoists the
+//! // second load into the load-use shadow.
+//! let block = vec![
+//!     Inst::Load { dst: Reg::G(GReg(1)), base: GReg(10), off: 0 },
+//!     Inst::IntOp { op: IntOp::Add, rd: GReg(2), rs: GReg(1), src2: GSrc::Imm(1) },
+//!     Inst::Load { dst: Reg::G(GReg(3)), base: GReg(10), off: 1 },
+//! ];
+//! let scheduled = list_schedule(&block, AliasModel::BaseOffset);
+//! assert_eq!(scheduled[1], block[2]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod depgraph;
+mod list;
+mod reservation;
+mod unroll;
+
+pub use depgraph::{AliasModel, DepGraph};
+pub use list::{list_schedule, schedule_length};
+pub use reservation::{reservation_schedule, ReservationConfig};
+pub use unroll::unroll_body;
+
+/// Which §2.3.2 strategy to apply to a loop body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Leave the block as written (Table 4's "non-optimized").
+    None,
+    /// Simple list scheduling (Table 4's strategy A).
+    ListA,
+    /// Reservation-table + standby-table scheduling for a machine with
+    /// the given number of thread slots (Table 4's strategy B).
+    ReservationB {
+        /// Thread slots sharing the functional units.
+        threads: usize,
+    },
+}
+
+/// Applies a [`Strategy`] to a straight-line block.
+///
+/// # Examples
+///
+/// ```
+/// use hirata_isa::{GReg, Inst, Reg};
+/// use hirata_sched::{apply_strategy, Strategy};
+///
+/// let block = vec![Inst::Load { dst: Reg::G(GReg(1)), base: GReg(2), off: 0 }];
+/// assert_eq!(apply_strategy(&block, Strategy::None), block);
+/// ```
+pub fn apply_strategy(block: &[hirata_isa::Inst], strategy: Strategy) -> Vec<hirata_isa::Inst> {
+    match strategy {
+        Strategy::None => block.to_vec(),
+        Strategy::ListA => list_schedule(block, AliasModel::BaseOffset),
+        Strategy::ReservationB { threads } => reservation_schedule(
+            block,
+            AliasModel::BaseOffset,
+            &ReservationConfig::for_threads(threads),
+        ),
+    }
+}

@@ -1,0 +1,166 @@
+//! Loop unrolling support (§2.3.1 mentions unrolling as the standard
+//! technique for reducing a doacross loop's iteration difference to
+//! one so data flows through a single queue-register hop).
+
+use hirata_isa::{GReg, GSrc, Inst, Reg};
+
+/// Applies a register substitution to one instruction.
+fn rename_inst(inst: &Inst, f: &impl Fn(Reg) -> Reg) -> Inst {
+    let g = |r: GReg| match f(Reg::G(r)) {
+        Reg::G(n) => n,
+        Reg::F(_) => panic!("register renaming changed a register's file"),
+    };
+    let fr = |r: hirata_isa::FReg| match f(Reg::F(r)) {
+        Reg::F(n) => n,
+        Reg::G(_) => panic!("register renaming changed a register's file"),
+    };
+    let gs = |s: GSrc| match s {
+        GSrc::Reg(r) => GSrc::Reg(g(r)),
+        imm => imm,
+    };
+    match *inst {
+        Inst::IntOp { op, rd, rs, src2 } => {
+            Inst::IntOp { op, rd: g(rd), rs: g(rs), src2: gs(src2) }
+        }
+        Inst::Li { rd, imm } => Inst::Li { rd: g(rd), imm },
+        Inst::LiF { fd, imm } => Inst::LiF { fd: fr(fd), imm },
+        Inst::FpBin { op, fd, fs, ft } => {
+            Inst::FpBin { op, fd: fr(fd), fs: fr(fs), ft: fr(ft) }
+        }
+        Inst::FpUn { op, fd, fs } => Inst::FpUn { op, fd: fr(fd), fs: fr(fs) },
+        Inst::FpCmp { cond, rd, fs, ft } => {
+            Inst::FpCmp { cond, rd: g(rd), fs: fr(fs), ft: fr(ft) }
+        }
+        Inst::CvtIF { fd, rs } => Inst::CvtIF { fd: fr(fd), rs: g(rs) },
+        Inst::CvtFI { rd, fs } => Inst::CvtFI { rd: g(rd), fs: fr(fs) },
+        Inst::Load { dst, base, off } => Inst::Load { dst: f(dst), base: g(base), off },
+        Inst::Store { src, base, off, gated } => {
+            Inst::Store { src: f(src), base: g(base), off, gated }
+        }
+        Inst::Branch { cond, rs, src2, target } => {
+            Inst::Branch { cond, rs: g(rs), src2: gs(src2), target }
+        }
+        Inst::JumpReg { rs } => Inst::JumpReg { rs: g(rs) },
+        Inst::Lpid { rd } => Inst::Lpid { rd: g(rd) },
+        Inst::Nlp { rd } => Inst::Nlp { rd: g(rd) },
+        other => other,
+    }
+}
+
+/// Unrolls a straight-line loop body `factor` times.
+///
+/// For each copy `k` (0-based), `rename(k, reg)` maps every register
+/// operand (use renaming to give each copy private temporaries) and
+/// `adjust_off(k, off)` maps every load/store offset (use it to step
+/// the induction variable at compile time).
+///
+/// # Examples
+///
+/// ```
+/// use hirata_isa::{GReg, Inst, Reg};
+/// use hirata_sched::unroll_body;
+///
+/// let body = vec![Inst::Load { dst: Reg::G(GReg(1)), base: GReg(9), off: 0 }];
+/// let out = unroll_body(&body, 3, |k, r| match r {
+///     Reg::G(GReg(1)) => Reg::G(GReg(1 + k as u8)),
+///     other => other,
+/// }, |k, off| off + k as i64);
+/// assert_eq!(out.len(), 3);
+/// assert_eq!(out[2], Inst::Load { dst: Reg::G(GReg(3)), base: GReg(9), off: 2 });
+/// ```
+pub fn unroll_body(
+    body: &[Inst],
+    factor: usize,
+    rename: impl Fn(usize, Reg) -> Reg,
+    adjust_off: impl Fn(usize, i64) -> i64,
+) -> Vec<Inst> {
+    let mut out = Vec::with_capacity(body.len() * factor);
+    for k in 0..factor {
+        for inst in body {
+            let renamed = rename_inst(inst, &|r| rename(k, r));
+            let stepped = match renamed {
+                Inst::Load { dst, base, off } => {
+                    Inst::Load { dst, base, off: adjust_off(k, off) }
+                }
+                Inst::Store { src, base, off, gated } => {
+                    Inst::Store { src, base, off: adjust_off(k, off), gated }
+                }
+                other => other,
+            };
+            out.push(stepped);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hirata_isa::{GSrc, IntOp};
+
+    #[test]
+    fn identity_unroll_repeats_body() {
+        let body = vec![
+            Inst::IntOp { op: IntOp::Add, rd: GReg(1), rs: GReg(2), src2: GSrc::Imm(1) },
+            Inst::Nop,
+        ];
+        let out = unroll_body(&body, 2, |_, r| r, |_, off| off);
+        assert_eq!(out.len(), 4);
+        assert_eq!(&out[..2], &body[..]);
+        assert_eq!(&out[2..], &body[..]);
+    }
+
+    #[test]
+    fn renaming_applies_per_copy() {
+        let body = vec![Inst::IntOp {
+            op: IntOp::Add,
+            rd: GReg(1),
+            rs: GReg(1),
+            src2: GSrc::Reg(GReg(2)),
+        }];
+        let out = unroll_body(
+            &body,
+            2,
+            |k, r| match r {
+                Reg::G(GReg(1)) => Reg::G(GReg(10 + k as u8)),
+                other => other,
+            },
+            |_, off| off,
+        );
+        assert_eq!(
+            out[1],
+            Inst::IntOp { op: IntOp::Add, rd: GReg(11), rs: GReg(11), src2: GSrc::Reg(GReg(2)) }
+        );
+    }
+
+    #[test]
+    fn offsets_step_per_copy() {
+        let body = vec![Inst::Store {
+            src: Reg::G(GReg(1)),
+            base: GReg(2),
+            off: 5,
+            gated: false,
+        }];
+        let out = unroll_body(&body, 3, |_, r| r, |k, off| off + 10 * k as i64);
+        let offs: Vec<i64> = out
+            .iter()
+            .map(|i| match i {
+                Inst::Store { off, .. } => *off,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(offs, vec![5, 15, 25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "changed a register's file")]
+    fn cross_file_rename_panics() {
+        let body = vec![Inst::IntOp {
+            op: IntOp::Add,
+            rd: GReg(1),
+            rs: GReg(1),
+            src2: GSrc::Imm(0),
+        }];
+        unroll_body(&body, 1, |_, _| Reg::F(hirata_isa::FReg(0)), |_, o| o);
+    }
+}

@@ -1,0 +1,120 @@
+//! Machine-level errors.
+
+use std::fmt;
+
+use hirata_isa::ProgramError;
+use hirata_mem::MemError;
+
+use crate::config::ConfigError;
+
+/// A fatal simulation error (machine check).
+///
+/// These indicate either an invalid configuration/program or a bug in
+/// the simulated software (running off the end of the program,
+/// touching unmapped memory, misusing queue registers, forking into a
+/// busy slot). They are never silently swallowed: [`crate::Machine::run`]
+/// stops and reports the faulting slot and instruction address.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MachineError {
+    /// The configuration failed validation.
+    Config(ConfigError),
+    /// The program failed validation.
+    Program(ProgramError),
+    /// The program has no instructions.
+    EmptyProgram,
+    /// A data access faulted.
+    Mem {
+        /// Thread slot that executed the access.
+        slot: usize,
+        /// Instruction address of the access.
+        pc: u32,
+        /// The underlying fault.
+        source: MemError,
+    },
+    /// A thread ran past the end of instruction memory.
+    PcOutOfRange {
+        /// Thread slot.
+        slot: usize,
+        /// The out-of-range instruction address.
+        pc: u32,
+    },
+    /// `fastfork` found another thread already occupying a slot.
+    ForkBusy {
+        /// The occupied slot.
+        slot: usize,
+        /// Address of the `fastfork`.
+        pc: u32,
+    },
+    /// `fastfork` or `add_thread` found no free context frame.
+    NoFreeContext {
+        /// Address of the `fastfork` (or `u32::MAX` for `add_thread`).
+        pc: u32,
+    },
+    /// Illegal use of a mapped queue register (reading the write-mapped
+    /// register, writing the read-mapped register, or mapping both
+    /// directions onto one register).
+    QueueMisuse {
+        /// Thread slot.
+        slot: usize,
+        /// Instruction address.
+        pc: u32,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The run exceeded `max_cycles` — a livelock/deadlock backstop.
+    Watchdog {
+        /// The cycle limit that was hit.
+        cycles: u64,
+    },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::Config(e) => e.fmt(f),
+            MachineError::Program(e) => e.fmt(f),
+            MachineError::EmptyProgram => write!(f, "program has no instructions"),
+            MachineError::Mem { slot, pc, source } => {
+                write!(f, "memory fault at slot {slot}, @{pc}: {source}")
+            }
+            MachineError::PcOutOfRange { slot, pc } => {
+                write!(f, "slot {slot} ran past the end of the program (@{pc})")
+            }
+            MachineError::ForkBusy { slot, pc } => {
+                write!(f, "fastfork at @{pc} found slot {slot} already running a thread")
+            }
+            MachineError::NoFreeContext { pc } => {
+                write!(f, "no free context frame (fastfork/add_thread at @{pc})")
+            }
+            MachineError::QueueMisuse { slot, pc, detail } => {
+                write!(f, "queue register misuse at slot {slot}, @{pc}: {detail}")
+            }
+            MachineError::Watchdog { cycles } => {
+                write!(f, "watchdog: run exceeded {cycles} cycles (deadlock or runaway loop)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MachineError::Config(e) => Some(e),
+            MachineError::Program(e) => Some(e),
+            MachineError::Mem { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for MachineError {
+    fn from(e: ConfigError) -> Self {
+        MachineError::Config(e)
+    }
+}
+
+impl From<ProgramError> for MachineError {
+    fn from(e: ProgramError) -> Self {
+        MachineError::Program(e)
+    }
+}

@@ -1,0 +1,356 @@
+//! The instruction fetch unit and per-slot instruction buffers
+//! (§2.1.1).
+//!
+//! Each thread slot owns a buffer of `B = S x C` words. The (shared)
+//! fetch unit refills one slot's buffer every `C` cycles in an
+//! interleaved, round-robin fashion; a branch redirect preempts the
+//! rotation ("that thread can preempt the fetching operation"). With
+//! `private` fetch units (the §3.2 ablation) every slot has its own
+//! unit and the rotation disappears.
+//!
+//! Buffers are modelled as word-count *credits*: the machine consumes
+//! one credit per issued instruction; the instruction bytes themselves
+//! come straight from the program image. Deliveries land at the start
+//! of a cycle; after a redirect the pipeline must also re-cover the
+//! decode stages, which the machine accounts for via
+//! [`Delivery::redirect`].
+
+use std::collections::VecDeque;
+
+/// A refill or redirect completion, surfaced at the start of a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Delivery {
+    pub slot: usize,
+    /// True if this delivery answers a redirect (branch, fork, or
+    /// thread start), meaning the decode pipeline was drained.
+    pub redirect: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Scheduled {
+    at: u64,
+    slot: usize,
+    redirect: bool,
+}
+
+/// The fetch system: one shared unit, or one per slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct FetchSystem {
+    c: u64,
+    capacity: usize,
+    private: bool,
+    /// Earliest cycle each unit can begin a new service.
+    unit_free: Vec<u64>,
+    /// Slot currently being served by each unit, if any.
+    serving: Vec<Option<usize>>,
+    /// Pending redirect requests: (request cycle, slot), FIFO.
+    redirects: VecDeque<(u64, usize)>,
+    /// Scheduled deliveries, unordered (scanned per cycle).
+    scheduled: Vec<Scheduled>,
+    /// Per-slot buffer credits (words available to decode).
+    credits: Vec<usize>,
+    /// Per-slot: participates in round-robin refill.
+    active: Vec<bool>,
+    /// Per-slot: a redirect is pending or in flight, so round-robin
+    /// refills are suppressed until it lands.
+    awaiting_redirect: Vec<bool>,
+    /// Round-robin pointer (shared unit only).
+    rr: usize,
+}
+
+impl FetchSystem {
+    pub(crate) fn new(slots: usize, c: u64, capacity: usize, private: bool) -> Self {
+        FetchSystem {
+            c,
+            capacity,
+            private,
+            unit_free: vec![0; if private { slots } else { 1 }],
+            serving: vec![None; if private { slots } else { 1 }],
+            redirects: VecDeque::new(),
+            scheduled: Vec::new(),
+            credits: vec![0; slots],
+            active: vec![false; slots],
+            awaiting_redirect: vec![false; slots],
+            rr: 0,
+        }
+    }
+
+    /// Credits currently available to `slot`.
+    pub(crate) fn credits(&self, slot: usize) -> usize {
+        self.credits[slot]
+    }
+
+    /// Consumes one credit (an instruction entered decode).
+    pub(crate) fn consume(&mut self, slot: usize) {
+        debug_assert!(self.credits[slot] > 0);
+        self.credits[slot] -= 1;
+    }
+
+    /// Marks a slot as having (or not having) a running thread; only
+    /// active slots receive round-robin refills.
+    pub(crate) fn set_active(&mut self, slot: usize, active: bool) {
+        self.active[slot] = active;
+        if !active {
+            self.credits[slot] = 0;
+            self.awaiting_redirect[slot] = false;
+            self.redirects.retain(|&(_, s)| s != slot);
+            self.scheduled.retain(|d| d.slot != slot);
+            for unit in 0..self.unit_free.len() {
+                if self.serving[unit] == Some(slot) {
+                    self.serving[unit] = None;
+                }
+            }
+        }
+    }
+
+    /// Requests a redirect for `slot` at cycle `now` (branch resolved,
+    /// thread spawned, or context switched in). Flushes the buffer and
+    /// preempts an in-flight fetch for the same slot (§2.1.1: a branch
+    /// "can preempt the fetching operation").
+    pub(crate) fn request_redirect(&mut self, slot: usize, now: u64) {
+        self.credits[slot] = 0;
+        // Drop any in-flight refill for this slot: its words are stale.
+        self.scheduled.retain(|d| d.slot != slot);
+        self.redirects.retain(|&(_, s)| s != slot);
+        self.redirects.push_back((now, slot));
+        self.awaiting_redirect[slot] = true;
+        // Abort the unit mid-service if it is fetching for this slot.
+        for unit in 0..self.unit_free.len() {
+            if self.serving[unit] == Some(slot) && self.unit_free[unit] > now {
+                self.unit_free[unit] = now + 1;
+                self.serving[unit] = None;
+            }
+        }
+    }
+
+    /// Start-of-cycle: applies deliveries landing at `now`.
+    pub(crate) fn begin_cycle(&mut self, now: u64) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.scheduled.len() {
+            if self.scheduled[i].at == now {
+                let d = self.scheduled.swap_remove(i);
+                self.credits[d.slot] = self.capacity;
+                if d.redirect {
+                    self.awaiting_redirect[d.slot] = false;
+                }
+                out.push(Delivery { slot: d.slot, redirect: d.redirect });
+            } else {
+                i += 1;
+            }
+        }
+        // Deterministic order for the machine's bookkeeping.
+        out.sort_by_key(|d| d.slot);
+        out
+    }
+
+    /// End-of-cycle: lets idle units begin their next service. A
+    /// service started at cycle `now` occupies `now .. now+C` and its
+    /// words become decodable at the start of cycle `now + C`.
+    /// Redirect requests made *this* cycle become eligible next cycle
+    /// (the fetch request goes out at the end of the branch's D1
+    /// stage), which yields the paper's branch shadows exactly.
+    pub(crate) fn end_cycle(&mut self, now: u64) {
+        let units = self.unit_free.len();
+        for unit in 0..units {
+            if self.unit_free[unit] > now {
+                continue; // mid-service
+            }
+            self.serving[unit] = None;
+            let slot = if self.private {
+                self.pick_for_private_unit(unit, now)
+            } else {
+                self.pick_for_shared_unit(now)
+            };
+            let Some((slot, redirect)) = slot else { continue };
+            self.unit_free[unit] = now + self.c;
+            self.serving[unit] = Some(slot);
+            self.scheduled.push(Scheduled { at: now + self.c, slot, redirect });
+        }
+    }
+
+    fn pick_for_private_unit(&mut self, unit: usize, now: u64) -> Option<(usize, bool)> {
+        let slot = unit; // one unit per slot
+        if let Some(pos) = self.redirects.iter().position(|&(t, s)| s == slot && t < now) {
+            self.redirects.remove(pos);
+            return Some((slot, true));
+        }
+        if self.active[slot]
+            && !self.awaiting_redirect[slot]
+            && self.credits[slot] < self.capacity
+            && !self.scheduled.iter().any(|d| d.slot == slot)
+        {
+            return Some((slot, false));
+        }
+        None
+    }
+
+    fn pick_for_shared_unit(&mut self, now: u64) -> Option<(usize, bool)> {
+        // Redirects first (branch preemption), FIFO.
+        if let Some(pos) = self.redirects.iter().position(|&(t, _)| t < now) {
+            let (_, slot) = self.redirects.remove(pos).expect("position just found");
+            return Some((slot, true));
+        }
+        // Round-robin refill over active, needy slots.
+        let n = self.credits.len();
+        for step in 0..n {
+            let slot = (self.rr + step) % n;
+            if self.active[slot]
+                && !self.awaiting_redirect[slot]
+                && self.credits[slot] < self.capacity
+                && !self.scheduled.iter().any(|d| d.slot == slot)
+            {
+                self.rr = (slot + 1) % n;
+                return Some((slot, false));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs the system forward one cycle, returning deliveries.
+    fn cycle(fs: &mut FetchSystem, now: u64) -> Vec<Delivery> {
+        let d = fs.begin_cycle(now);
+        fs.end_cycle(now);
+        d
+    }
+
+    #[test]
+    fn redirect_delivers_after_c_cycles() {
+        // C = 2: request at cycle 0 -> service occupies 1..=2 ->
+        // delivery at start of cycle 3.
+        let mut fs = FetchSystem::new(1, 2, 2, false);
+        fs.set_active(0, true);
+        fs.request_redirect(0, 0);
+        assert!(cycle(&mut fs, 0).is_empty());
+        assert!(cycle(&mut fs, 1).is_empty());
+        assert!(cycle(&mut fs, 2).is_empty());
+        let d = cycle(&mut fs, 3);
+        assert_eq!(d, vec![Delivery { slot: 0, redirect: true }]);
+        assert_eq!(fs.credits(0), 2);
+    }
+
+    #[test]
+    fn steady_state_refill_keeps_single_slot_fed() {
+        let mut fs = FetchSystem::new(1, 2, 2, false);
+        fs.set_active(0, true);
+        fs.request_redirect(0, 0);
+        let mut starved = 0;
+        for now in 0..100u64 {
+            let _ = fs.begin_cycle(now);
+            if now >= 3 {
+                if fs.credits(0) == 0 {
+                    starved += 1;
+                } else {
+                    fs.consume(0); // issue one instruction per cycle
+                }
+            }
+            fs.end_cycle(now);
+        }
+        assert_eq!(starved, 0, "fetch unit should sustain one issue per cycle");
+    }
+
+    #[test]
+    fn shared_unit_serializes_concurrent_redirects() {
+        let mut fs = FetchSystem::new(2, 2, 4, false);
+        fs.set_active(0, true);
+        fs.set_active(1, true);
+        fs.request_redirect(0, 0);
+        fs.request_redirect(1, 0);
+        let mut deliveries = Vec::new();
+        for now in 0..8 {
+            for d in cycle(&mut fs, now) {
+                deliveries.push((now, d.slot));
+            }
+        }
+        // Slot 0 served first (FIFO): lands at 3; slot 1 at 5.
+        assert_eq!(deliveries, vec![(3, 0), (5, 1)]);
+    }
+
+    #[test]
+    fn private_units_serve_redirects_in_parallel() {
+        let mut fs = FetchSystem::new(2, 2, 4, true);
+        fs.set_active(0, true);
+        fs.set_active(1, true);
+        fs.request_redirect(0, 0);
+        fs.request_redirect(1, 0);
+        let mut deliveries = Vec::new();
+        for now in 0..6 {
+            for d in cycle(&mut fs, now) {
+                deliveries.push((now, d.slot));
+            }
+        }
+        assert_eq!(deliveries, vec![(3, 0), (3, 1)]);
+    }
+
+    #[test]
+    fn redirect_preempts_round_robin() {
+        let mut fs = FetchSystem::new(2, 2, 4, false);
+        fs.set_active(0, true);
+        fs.set_active(1, true);
+        // Both slots start empty; give slot 0 a refill first.
+        cycle(&mut fs, 0); // starts refill for slot 0
+        fs.request_redirect(1, 1); // slot 1 branches
+        let mut got = Vec::new();
+        for now in 1..8 {
+            for d in cycle(&mut fs, now) {
+                got.push((now, d.slot, d.redirect));
+            }
+        }
+        // Slot 0's refill completes at 2, then the redirect wins the
+        // unit over slot 0's next refill turn and lands at 4.
+        assert_eq!(got[0], (2, 0, false));
+        assert_eq!(got[1], (4, 1, true));
+    }
+
+    #[test]
+    fn inactive_slots_are_not_refilled() {
+        let mut fs = FetchSystem::new(2, 2, 2, false);
+        fs.set_active(0, true);
+        // Slot 1 inactive.
+        for now in 0..20 {
+            cycle(&mut fs, now);
+        }
+        assert_eq!(fs.credits(1), 0);
+        assert_eq!(fs.credits(0), 2);
+    }
+
+    #[test]
+    fn deactivation_cancels_pending_work() {
+        let mut fs = FetchSystem::new(1, 2, 2, false);
+        fs.set_active(0, true);
+        fs.request_redirect(0, 0);
+        fs.set_active(0, false);
+        for now in 0..6 {
+            assert!(cycle(&mut fs, now).is_empty());
+        }
+        assert_eq!(fs.credits(0), 0);
+    }
+
+    #[test]
+    fn redirect_flushes_credits_and_inflight_refill() {
+        let mut fs = FetchSystem::new(1, 2, 2, false);
+        fs.set_active(0, true);
+        fs.request_redirect(0, 0);
+        for now in 0..4 {
+            cycle(&mut fs, now);
+        }
+        assert_eq!(fs.credits(0), 2);
+        fs.request_redirect(0, 4);
+        assert_eq!(fs.credits(0), 0);
+        // The old buffered words never come back; only the redirect
+        // delivery refills.
+        let mut redirects = 0;
+        for now in 4..10 {
+            for d in cycle(&mut fs, now) {
+                assert!(d.redirect);
+                redirects += 1;
+            }
+        }
+        assert_eq!(redirects, 1);
+    }
+}

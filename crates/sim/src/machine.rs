@@ -1,0 +1,1138 @@
+//! The cycle-level machine: thread slots, decode, schedule units with
+//! standby stations, functional-unit pipelines, context frames, and
+//! the queue-register ring — the processor of Figure 2.
+
+use std::collections::VecDeque;
+
+use hirata_isa::{FuClass, GReg, Inst, Program, Reg, FU_CLASS_COUNT};
+use hirata_mem::{Access, DataMemModel, IdealCache, MemStats, Memory};
+
+use crate::config::Config;
+use crate::error::MachineError;
+use crate::exec::{branch_taken, fu_action, resolve_operands, FuAction};
+use crate::fetch::FetchSystem;
+use crate::priority::Priorities;
+use crate::queue::QueueRing;
+use crate::regfile::RegBank;
+use crate::stats::{RunStats, StallReason};
+
+/// An issued instruction travelling to (or waiting in a standby
+/// station of) a functional unit, with its operand values captured at
+/// issue (§2.1.1).
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    slot: usize,
+    ctx: usize,
+    pc: u32,
+    inst: Inst,
+    vals: [u64; 2],
+    /// Re-execution from the access requirement buffer: the remote
+    /// request already completed, so the memory model is bypassed.
+    replayed: bool,
+}
+
+/// One entry of a slot's decode window.
+#[derive(Debug, Clone, Copy)]
+enum WinEntry {
+    /// Freshly fetched instruction at this address.
+    Fresh(u32),
+    /// A replayed memory access from the access requirement buffer
+    /// (§2.1.3), with operands captured before the context switch.
+    Replay(Inst, [u64; 2]),
+}
+
+#[derive(Debug)]
+struct Slot {
+    ctx: Option<usize>,
+    fetch_pc: u32,
+    window: VecDeque<WinEntry>,
+    earliest_issue: u64,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot { ctx: None, fetch_pc: 0, window: VecDeque::new(), earliest_issue: 0 }
+    }
+}
+
+/// Lifecycle of a context frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CtxState {
+    /// Unallocated frame.
+    Free,
+    /// Runnable, waiting for a thread slot.
+    Ready,
+    /// Bound to a thread slot.
+    Running,
+    /// Switched out on a data-absence trap until the given cycle.
+    Waiting { until: u64 },
+    /// Finished (halted or killed).
+    Done,
+}
+
+/// A context frame (§2.1.3): register sets, saved program counter,
+/// queue-register mapping, and the access requirement buffer.
+#[derive(Debug)]
+struct Context {
+    regs: RegBank,
+    state: CtxState,
+    lpid: i64,
+    resume_pc: u32,
+    replay: Vec<(Inst, [u64; 2])>,
+    qread: Option<Reg>,
+    qwrite: Option<Reg>,
+    /// False until first bound to a slot (suppresses the context-switch
+    /// penalty for a thread's very first dispatch).
+    started: bool,
+}
+
+impl Context {
+    fn free() -> Self {
+        Context {
+            regs: RegBank::new(),
+            state: CtxState::Free,
+            lpid: 0,
+            resume_pc: 0,
+            replay: Vec::new(),
+            qread: None,
+            qwrite: None,
+            started: false,
+        }
+    }
+}
+
+/// Why an instruction could not issue this cycle.
+enum IssueBlock {
+    Stall(StallReason),
+    Fault(MachineError),
+}
+
+/// The simulated processor.
+///
+/// Construct with [`Machine::new`], run with [`Machine::run`], then
+/// inspect [`Machine::stats`], [`Machine::memory`], and the register
+/// accessors.
+///
+/// # Examples
+///
+/// ```
+/// use hirata_sim::{Config, Machine};
+/// use hirata_asm::assemble;
+///
+/// let prog = assemble("li r1, #2\nadd r2, r1, r1\nhalt")?;
+/// let mut m = Machine::new(Config::base_risc(), &prog)?;
+/// m.run()?;
+/// assert_eq!(m.reg_g(0, "r2".parse()?), 4);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct Machine {
+    config: Config,
+    program: Program,
+    memory: Memory,
+    mem_model: Box<dyn DataMemModelDebug>,
+    slots: Vec<Slot>,
+    contexts: Vec<Context>,
+    standby: Vec<Vec<VecDeque<InFlight>>>,
+    fu_next: [Vec<u64>; FU_CLASS_COUNT],
+    queues: QueueRing,
+    fetch: FetchSystem,
+    prio: Priorities,
+    stats: RunStats,
+    cycle: u64,
+    trace: Option<Vec<IssueEvent>>,
+}
+
+/// One issue event, recorded when tracing is enabled with
+/// [`Machine::set_trace`]. `cycle` is the instruction's S stage (D2
+/// stage on the base pipeline) — the reference point for all the
+/// paper's timing statements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IssueEvent {
+    /// Cycle the instruction issued.
+    pub cycle: u64,
+    /// Thread slot that issued it.
+    pub slot: usize,
+    /// Context frame it belongs to.
+    pub ctx: usize,
+    /// Instruction address.
+    pub pc: u32,
+}
+
+/// A point-in-time view of one thread slot (see
+/// [`Machine::slot_view`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotView {
+    /// Context frame bound to the slot, if any.
+    pub context: Option<usize>,
+    /// Logical-processor id of the running thread.
+    pub lpid: Option<i64>,
+    /// Address of the next fresh instruction the slot will issue.
+    pub next_pc: Option<u32>,
+    /// Decoded-but-unissued instructions in the window.
+    pub window_len: usize,
+    /// Instructions parked across this slot's standby stations.
+    pub standby_occupancy: usize,
+}
+
+/// `DataMemModel` + `Debug`, so the machine itself can derive `Debug`.
+trait DataMemModelDebug: DataMemModel + std::fmt::Debug {}
+impl<T: DataMemModel + std::fmt::Debug> DataMemModelDebug for T {}
+
+impl Machine {
+    /// Builds a machine running `program` with the paper's ideal
+    /// (always-hit, two-cycle) data cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError`] if the configuration or program is
+    /// invalid, or the program's data does not fit in memory.
+    pub fn new(config: Config, program: &Program) -> Result<Self, MachineError> {
+        Self::with_mem_model(config, program, Box::new(IdealCache::default()))
+    }
+
+    /// Builds a machine with a custom data-memory timing model (finite
+    /// cache or DSM, see `hirata-mem`).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::new`].
+    pub fn with_mem_model(
+        config: Config,
+        program: &Program,
+        mem_model: Box<dyn DataMemModel>,
+    ) -> Result<Self, MachineError> {
+        config.validate()?;
+        program.validate()?;
+        if program.is_empty() {
+            return Err(MachineError::EmptyProgram);
+        }
+        let mut memory = Memory::new(config.mem_words);
+        for seg in &program.data {
+            memory.load_block(seg.base, &seg.words).map_err(|source| MachineError::Mem {
+                slot: 0,
+                pc: 0,
+                source,
+            })?;
+        }
+        let s = config.thread_slots;
+        let mut contexts: Vec<Context> = (0..config.context_frames).map(|_| Context::free()).collect();
+        contexts[0].state = CtxState::Ready;
+        contexts[0].resume_pc = program.entry;
+        let fu_next = std::array::from_fn(|i| vec![0u64; config.fu.count(FuClass::ALL[i])]);
+        let mut stats = RunStats { per_slot_issued: vec![0; s], ..RunStats::default() };
+        for class in FuClass::ALL {
+            stats.fu_instances[class.index()] = config.fu.count(class) as u64;
+        }
+        // A wrapper because Box<dyn DataMemModel> lacks Debug; rebox.
+        struct Wrap(Box<dyn DataMemModel>);
+        impl std::fmt::Debug for Wrap {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("DataMemModel")
+            }
+        }
+        impl DataMemModel for Wrap {
+            fn access(&mut self, addr: u64, write: bool, now: u64) -> Access {
+                self.0.access(addr, write, now)
+            }
+            fn stats(&self) -> MemStats {
+                self.0.stats()
+            }
+        }
+        Ok(Machine {
+            fetch: FetchSystem::new(
+                s,
+                config.icache_cycles as u64,
+                config.ibuf_words(),
+                config.private_fetch,
+            ),
+            prio: Priorities::new(s, config.rotation),
+            queues: QueueRing::new(s, config.queue_capacity),
+            slots: (0..s).map(|_| Slot::new()).collect(),
+            standby: vec![vec![VecDeque::new(); FU_CLASS_COUNT]; s],
+            contexts,
+            fu_next,
+            memory,
+            mem_model: Box::new(Wrap(mem_model)),
+            program: program.clone(),
+            config,
+            stats,
+            cycle: 0,
+            trace: None,
+        })
+    }
+
+    /// Registers an additional thread starting at `pc`, occupying a
+    /// free context frame. With more context frames than thread slots
+    /// this exercises concurrent multithreading (§2.1.3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::NoFreeContext`] if every frame is taken.
+    pub fn add_thread(&mut self, pc: u32) -> Result<(), MachineError> {
+        let idx = self
+            .contexts
+            .iter()
+            .position(|c| c.state == CtxState::Free)
+            .ok_or(MachineError::NoFreeContext { pc: u32::MAX })?;
+        let lpid = idx as i64;
+        let ctx = &mut self.contexts[idx];
+        ctx.state = CtxState::Ready;
+        ctx.resume_pc = pc;
+        ctx.lpid = lpid;
+        Ok(())
+    }
+
+    /// Runs to completion (all threads halted or killed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`MachineError`] raised during simulation,
+    /// including the watchdog if `max_cycles` is exceeded.
+    pub fn run(&mut self) -> Result<RunStats, MachineError> {
+        while !self.step()? {}
+        Ok(self.stats.clone())
+    }
+
+    /// Advances one cycle. Returns true once the machine is finished.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::run`].
+    pub fn step(&mut self) -> Result<bool, MachineError> {
+        if self.is_done() {
+            return Ok(true);
+        }
+        let now = self.cycle;
+        if now >= self.config.max_cycles {
+            return Err(MachineError::Watchdog { cycles: self.config.max_cycles });
+        }
+        if self.prio.tick(now) {
+            self.stats.rotations += 1;
+        }
+        self.skip_empty_priority_slots(now);
+        let depth = self.config.pipeline.decode_depth();
+        for d in self.fetch.begin_cycle(now) {
+            if d.redirect {
+                let slot = &mut self.slots[d.slot];
+                slot.earliest_issue = slot.earliest_issue.max(now + depth);
+            }
+        }
+        self.wake_and_bind(now);
+        let cands = self.issue_phase(now)?;
+        self.arbitrate(cands, now)?;
+        if self.prio.apply_pending(now) {
+            self.stats.rotations += 1;
+        }
+        self.fetch.end_cycle(now);
+        self.cycle += 1;
+        self.stats.cycles = self.cycle;
+        Ok(self.is_done())
+    }
+
+    /// True when every context has finished and all standby stations
+    /// have drained.
+    pub fn is_done(&self) -> bool {
+        self.contexts
+            .iter()
+            .all(|c| matches!(c.state, CtxState::Done | CtxState::Free))
+            && self.standby.iter().all(|per| per.iter().all(VecDeque::is_empty))
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Cycles elapsed.
+    pub fn cycles(&self) -> u64 {
+        self.cycle
+    }
+
+    /// The data memory, for inspecting final images.
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Data-memory model statistics (hits/misses/absences).
+    pub fn mem_stats(&self) -> MemStats {
+        self.mem_model.stats()
+    }
+
+    /// Reads an integer register of context frame `ctx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` is out of range.
+    pub fn reg_g(&self, ctx: usize, r: GReg) -> i64 {
+        self.contexts[ctx].regs.peek_g(r)
+    }
+
+    /// Reads a floating register of context frame `ctx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` is out of range.
+    pub fn reg_f(&self, ctx: usize, r: hirata_isa::FReg) -> f64 {
+        self.contexts[ctx].regs.peek_f(r)
+    }
+
+    /// Seeds an integer register of context frame `ctx` before running.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` is out of range.
+    pub fn poke_reg_g(&mut self, ctx: usize, r: GReg, value: i64) {
+        self.contexts[ctx].regs.poke_g(r, value);
+    }
+
+    /// Seeds a floating register of context frame `ctx` before running.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` is out of range.
+    pub fn poke_reg_f(&mut self, ctx: usize, r: hirata_isa::FReg, value: f64) {
+        self.contexts[ctx].regs.poke_f(r, value);
+    }
+
+    /// A point-in-time view of one thread slot, for debuggers and
+    /// monitoring tools.
+    pub fn slot_view(&self, slot: usize) -> SlotView {
+        let s = &self.slots[slot];
+        SlotView {
+            context: s.ctx,
+            lpid: s.ctx.map(|c| self.contexts[c].lpid),
+            next_pc: s
+                .window
+                .iter()
+                .find_map(|e| match e {
+                    WinEntry::Fresh(pc) => Some(*pc),
+                    WinEntry::Replay(..) => None,
+                })
+                .or(Some(s.fetch_pc))
+                .filter(|_| s.ctx.is_some()),
+            window_len: s.window.len(),
+            standby_occupancy: self.standby[slot].iter().map(VecDeque::len).sum(),
+        }
+    }
+
+    /// Number of thread slots.
+    pub fn thread_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Current schedule-unit priority order (highest first).
+    pub fn priority_order(&self) -> Vec<usize> {
+        self.prio.order().to_vec()
+    }
+
+    /// Entries currently in each queue-register link (including
+    /// in-flight ones not yet readable).
+    pub fn queue_depths(&self) -> Vec<usize> {
+        (0..self.slots.len()).map(|l| self.queues.len(l)).collect()
+    }
+
+    /// Enables or disables issue tracing. Tracing records every issue
+    /// as an [`IssueEvent`]; it is intended for tests and debugging.
+    pub fn set_trace(&mut self, on: bool) {
+        self.trace = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Issue events recorded so far (empty unless tracing is enabled).
+    pub fn trace(&self) -> &[IssueEvent] {
+        self.trace.as_deref().unwrap_or(&[])
+    }
+
+    // ------------------------------------------------------------------
+    // Cycle phases
+    // ------------------------------------------------------------------
+
+    /// An empty thread slot can never execute `chgpri`, so if it holds
+    /// the highest priority the rotation token would stop circulating
+    /// and every priority-interlocked instruction (`chgpri`,
+    /// `killothers`, gated stores) would wedge. The schedule units
+    /// therefore skip past slots with no thread and nothing left in
+    /// their standby stations.
+    fn skip_empty_priority_slots(&mut self, now: u64) {
+        for _ in 0..self.slots.len() {
+            if !self.slots.iter().any(|s| s.ctx.is_some()) {
+                break;
+            }
+            let h = self.prio.highest();
+            let skippable =
+                self.slots[h].ctx.is_none() && self.standby[h].iter().all(VecDeque::is_empty);
+            if !skippable {
+                break;
+            }
+            self.prio.force_rotate(now);
+        }
+    }
+
+    /// Wakes contexts whose remote access completed and binds ready
+    /// contexts to free slots (concurrent multithreading, §2.1.3).
+    fn wake_and_bind(&mut self, now: u64) {
+        for ctx in &mut self.contexts {
+            if let CtxState::Waiting { until } = ctx.state {
+                if until <= now {
+                    ctx.state = CtxState::Ready;
+                }
+            }
+        }
+        for s in 0..self.slots.len() {
+            if self.slots[s].ctx.is_some()
+                || self.standby[s].iter().any(|q| !q.is_empty())
+            {
+                continue;
+            }
+            let Some(c) = self.contexts.iter().position(|c| c.state == CtxState::Ready) else {
+                continue;
+            };
+            let penalty =
+                if self.contexts[c].started { self.config.switch_penalty as u64 } else { 0 };
+            let ctx = &mut self.contexts[c];
+            ctx.state = CtxState::Running;
+            ctx.started = true;
+            let slot = &mut self.slots[s];
+            slot.ctx = Some(c);
+            slot.fetch_pc = ctx.resume_pc;
+            slot.window.clear();
+            for (inst, vals) in ctx.replay.drain(..) {
+                slot.window.push_back(WinEntry::Replay(inst, vals));
+            }
+            slot.earliest_issue = now + penalty;
+            self.fetch.set_active(s, true);
+            self.fetch.request_redirect(s, now);
+        }
+    }
+
+    /// Lets every slot (in priority order) issue up to `D`
+    /// instructions; decode-unit instructions execute immediately,
+    /// functional-unit instructions become schedule-unit candidates.
+    fn issue_phase(&mut self, now: u64) -> Result<Vec<InFlight>, MachineError> {
+        let order: Vec<usize> = self.prio.order().to_vec();
+        let mut cands = Vec::new();
+        for s in order {
+            self.issue_slot(s, now, &mut cands)?;
+        }
+        Ok(cands)
+    }
+
+    fn issue_slot(
+        &mut self,
+        s: usize,
+        now: u64,
+        cands: &mut Vec<InFlight>,
+    ) -> Result<(), MachineError> {
+        let Some(ctx_i) = self.slots[s].ctx else {
+            self.stats.stalls.record(StallReason::NoThread);
+            return Ok(());
+        };
+        if now < self.slots[s].earliest_issue {
+            self.stats.stalls.record(StallReason::Fetch);
+            return Ok(());
+        }
+        // Fill the decode window ("the instruction window is filled
+        // every cycle", §3.3).
+        let width = self.config.issue_width;
+        while self.slots[s].window.len() < width && self.fetch.credits(s) > 0 {
+            let pc = self.slots[s].fetch_pc;
+            if (pc as usize) >= self.program.insts.len() {
+                break; // fetch-ahead past the end; fault only if issued
+            }
+            self.slots[s].window.push_back(WinEntry::Fresh(pc));
+            self.slots[s].fetch_pc = pc + 1;
+            self.fetch.consume(s);
+        }
+        if self.slots[s].window.is_empty() {
+            if self.fetch.credits(s) > 0
+                && (self.slots[s].fetch_pc as usize) >= self.program.insts.len()
+            {
+                return Err(MachineError::PcOutOfRange { slot: s, pc: self.slots[s].fetch_pc });
+            }
+            self.stats.stalls.record(StallReason::Fetch);
+            return Ok(());
+        }
+        // Without standby stations, a previously issued instruction
+        // that lost arbitration blocks the whole decode unit.
+        if !self.config.standby_stations && self.standby[s].iter().any(|q| !q.is_empty()) {
+            self.stats.stalls.record(StallReason::FuConflict);
+            return Ok(());
+        }
+
+        let mut unissued_reads: u64 = 0;
+        let mut unissued_writes: u64 = 0;
+        let mut unissued_mem = false;
+        let mut unissued_store = false;
+        let mut class_taken = [false; FU_CLASS_COUNT];
+        let mut issued = 0usize;
+        let mut head_reason = None;
+        let mut i = 0usize;
+        while i < self.slots[s].window.len() && issued < width {
+            let entry = self.slots[s].window[i];
+            let (inst, preset) = match entry {
+                WinEntry::Fresh(pc) => (self.program.insts[pc as usize], None),
+                WinEntry::Replay(inst, vals) => (inst, Some(vals)),
+            };
+            let pc = match entry {
+                WinEntry::Fresh(pc) => pc,
+                WinEntry::Replay(..) => self.contexts[ctx_i].resume_pc,
+            };
+            let check = self.check_issue(
+                s,
+                ctx_i,
+                &inst,
+                preset.is_some(),
+                now,
+                unissued_reads,
+                unissued_writes,
+                (unissued_mem, unissued_store),
+                &class_taken,
+                i == 0,
+            );
+            match check {
+                Err(IssueBlock::Fault(mut e)) => {
+                    if let MachineError::QueueMisuse { pc: epc, .. } = &mut e {
+                        *epc = pc;
+                    }
+                    return Err(e);
+                }
+                Err(IssueBlock::Stall(reason)) => {
+                    if i == 0 {
+                        head_reason = Some(reason);
+                    }
+                    if inst.fu_class().is_none() {
+                        break; // never bypass an unissued decode-unit op
+                    }
+                    for r in inst.srcs().into_iter().flatten() {
+                        unissued_reads |= 1u64 << r.dense_index();
+                    }
+                    if let Some(d) = inst.dest() {
+                        unissued_writes |= 1u64 << d.dense_index();
+                    }
+                    if inst.is_mem() {
+                        unissued_mem = true;
+                        if matches!(inst, Inst::Store { .. }) {
+                            unissued_store = true;
+                        }
+                    }
+                    i += 1;
+                }
+                Ok(()) => {
+                    self.slots[s].window.remove(i);
+                    issued += 1;
+                    self.stats.instructions += 1;
+                    self.stats.per_slot_issued[s] += 1;
+                    if let Some(trace) = &mut self.trace {
+                        trace.push(IssueEvent { cycle: now, slot: s, ctx: ctx_i, pc });
+                    }
+                    if let Some(class) = inst.fu_class() {
+                        class_taken[class.index()] = true;
+                        let fi = self.capture(s, ctx_i, pc, inst, preset, now);
+                        cands.push(fi);
+                    } else {
+                        let redirected = self.exec_decode(s, ctx_i, pc, inst, now)?;
+                        if redirected || self.slots[s].ctx.is_none() {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if issued == 0 {
+            self.stats.stalls.record(head_reason.unwrap_or(StallReason::Fetch));
+        }
+        Ok(())
+    }
+
+    /// All the §2.1.1/§2.2 issue conditions for one instruction.
+    #[allow(clippy::too_many_arguments)]
+    fn check_issue(
+        &self,
+        s: usize,
+        ctx_i: usize,
+        inst: &Inst,
+        is_replay: bool,
+        now: u64,
+        unissued_reads: u64,
+        unissued_writes: u64,
+        (unissued_mem, unissued_store): (bool, bool),
+        class_taken: &[bool; FU_CLASS_COUNT],
+        is_head: bool,
+    ) -> Result<(), IssueBlock> {
+        use IssueBlock::{Fault, Stall};
+        let ctx = &self.contexts[ctx_i];
+
+        // Decode-unit instructions execute in order: they issue only
+        // once every older instruction has issued.
+        if inst.fu_class().is_none() && !is_head {
+            return Err(Stall(StallReason::Data));
+        }
+        // Memory ordering within the issue window (D > 1): without
+        // address disambiguation hardware, a load may not bypass an
+        // unissued store and a store may not bypass any unissued
+        // memory operation.
+        if inst.is_mem() {
+            let is_store = matches!(inst, Inst::Store { .. });
+            if (is_store && unissued_mem) || (!is_store && unissued_store) {
+                return Err(Stall(StallReason::Data));
+            }
+        }
+        if inst.needs_highest_priority() && self.prio.highest() != s {
+            return Err(Stall(StallReason::Priority));
+        }
+        // `drain` is the §2.3.3 consistency fence: it issues only once
+        // every previously issued instruction has been performed (the
+        // slot's standby stations are empty; in this model selection
+        // is completion, so empty stations mean all effects applied).
+        if matches!(inst, Inst::Drain) && self.standby[s].iter().any(|q| !q.is_empty()) {
+            return Err(Stall(StallReason::Data));
+        }
+        // `fastfork` copies the parent's register set into the
+        // children's context frames; it waits until every outstanding
+        // write has landed so the copy is quiescent (otherwise a load
+        // still in flight would leave a child's scoreboard bit set
+        // forever and its value stale).
+        if matches!(inst, Inst::FastFork) && !ctx.regs.all_ready(now) {
+            return Err(Stall(StallReason::Data));
+        }
+        // Rotating the priority away while this slot still has an
+        // unperformed gated store would strand that store (it is only
+        // performed at the highest priority), so `chgpri` waits for it.
+        if matches!(inst, Inst::ChgPri) {
+            let ls = FuClass::LoadStore.index();
+            if self.standby[s][ls]
+                .iter()
+                .any(|f| matches!(f.inst, Inst::Store { gated: true, .. }))
+            {
+                return Err(Stall(StallReason::Priority));
+            }
+        }
+        if !is_replay {
+            for r in inst.srcs().into_iter().flatten() {
+                if unissued_writes & (1u64 << r.dense_index()) != 0 {
+                    return Err(Stall(StallReason::Data));
+                }
+                if ctx.qread == Some(r) {
+                    if !self.queues.can_read(self.queues.read_link(s), now) {
+                        return Err(Stall(StallReason::QueueEmpty));
+                    }
+                } else if ctx.qwrite == Some(r) {
+                    return Err(Fault(MachineError::QueueMisuse {
+                        slot: s,
+                        pc: 0,
+                        detail: format!("read of write-mapped queue register {r}"),
+                    }));
+                } else if !ctx.regs.is_ready(r, now) {
+                    return Err(Stall(StallReason::Data));
+                }
+            }
+        }
+        if let Some(d) = inst.dest() {
+            if (unissued_writes | unissued_reads) & (1u64 << d.dense_index()) != 0 {
+                return Err(Stall(StallReason::Data));
+            }
+            if ctx.qwrite == Some(d) {
+                if !self.queues.can_write(self.queues.write_link(s)) {
+                    return Err(Stall(StallReason::QueueFull));
+                }
+            } else if ctx.qread == Some(d) {
+                return Err(Fault(MachineError::QueueMisuse {
+                    slot: s,
+                    pc: 0,
+                    detail: format!("write to read-mapped queue register {d}"),
+                }));
+            } else if !is_replay && !ctx.regs.is_ready(d, now) {
+                return Err(Stall(StallReason::Data)); // WAW interlock
+            }
+        }
+        if let Some(class) = inst.fu_class() {
+            if self.standby[s][class.index()].len() >= self.config.standby_depth
+                || class_taken[class.index()]
+            {
+                return Err(Stall(StallReason::FuConflict));
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads operands (stage S; dequeues mapped queue reads), marks the
+    /// destination scoreboard bit, and produces the in-flight record.
+    fn capture(
+        &mut self,
+        s: usize,
+        ctx_i: usize,
+        pc: u32,
+        inst: Inst,
+        preset: Option<[u64; 2]>,
+        _now: u64,
+    ) -> InFlight {
+        let vals = match preset {
+            Some(v) => v,
+            None => {
+                let link = self.queues.read_link(s);
+                let qread = self.contexts[ctx_i].qread;
+                let mut dequeued: Option<u64> = None;
+                let regs = &self.contexts[ctx_i].regs;
+                let queues = &mut self.queues;
+                resolve_operands(&inst, |r| {
+                    if qread == Some(r) {
+                        // One dequeue per instruction even if both
+                        // operands name the mapped register.
+                        *dequeued.get_or_insert_with(|| queues.read(link))
+                    } else {
+                        regs.read_bits(r)
+                    }
+                })
+            }
+        };
+        if let Some(d) = inst.dest() {
+            if self.contexts[ctx_i].qwrite != Some(d) {
+                self.contexts[ctx_i].regs.mark_busy(d);
+            }
+        }
+        InFlight { slot: s, ctx: ctx_i, pc, inst, vals, replayed: preset.is_some() }
+    }
+
+    /// Executes a decode-unit instruction at issue time. Returns true
+    /// if control was redirected (window flushed).
+    fn exec_decode(
+        &mut self,
+        s: usize,
+        ctx_i: usize,
+        pc: u32,
+        inst: Inst,
+        now: u64,
+    ) -> Result<bool, MachineError> {
+        match inst {
+            Inst::Nop => Ok(false),
+            Inst::Branch { cond, .. } => {
+                let vals = self.read_decode_operands(s, ctx_i, &inst);
+                let target = match inst {
+                    Inst::Branch { target, .. } => target,
+                    _ => unreachable!(),
+                };
+                if branch_taken(cond, vals) {
+                    self.redirect(s, target, now);
+                    Ok(true)
+                } else if self.config.refetch_fallthrough {
+                    // The paper's machine sends the fetch request at
+                    // the end of D1 regardless of the outcome, so the
+                    // fall-through path also refetches.
+                    self.redirect(s, pc + 1, now);
+                    Ok(true)
+                } else {
+                    // Ablation: keep streaming the sequential path.
+                    Ok(false)
+                }
+            }
+            Inst::Jump { target } => {
+                self.redirect(s, target, now);
+                Ok(true)
+            }
+            Inst::JumpReg { .. } => {
+                let vals = self.read_decode_operands(s, ctx_i, &inst);
+                self.redirect(s, vals[0] as u32, now);
+                Ok(true)
+            }
+            Inst::Halt => {
+                self.contexts[ctx_i].state = CtxState::Done;
+                self.detach(s);
+                Ok(true)
+            }
+            Inst::FastFork => self.fast_fork(s, ctx_i, pc, now).map(|()| false),
+            Inst::ChgPri => {
+                self.prio.request_explicit();
+                Ok(false)
+            }
+            Inst::KillOthers => {
+                self.kill_others(s);
+                Ok(false)
+            }
+            Inst::SetRotation { mode } => {
+                self.prio.set_mode(mode, now);
+                Ok(false)
+            }
+            Inst::QMap { read, write } => {
+                if read == write {
+                    return Err(MachineError::QueueMisuse {
+                        slot: s,
+                        pc,
+                        detail: format!("qmap maps {read} for both read and write"),
+                    });
+                }
+                let ctx = &mut self.contexts[ctx_i];
+                ctx.qread = Some(read);
+                ctx.qwrite = Some(write);
+                Ok(false)
+            }
+            Inst::QUnmap => {
+                let ctx = &mut self.contexts[ctx_i];
+                ctx.qread = None;
+                ctx.qwrite = None;
+                Ok(false)
+            }
+            Inst::Drain => Ok(false), // the interlock happened at issue
+            other => unreachable!("`{other}` is not a decode-unit instruction"),
+        }
+    }
+
+    /// Operand read for decode-executed instructions (branches and
+    /// indirect jumps); dequeues mapped queue reads like `capture`.
+    fn read_decode_operands(&mut self, s: usize, ctx_i: usize, inst: &Inst) -> [u64; 2] {
+        let link = self.queues.read_link(s);
+        let qread = self.contexts[ctx_i].qread;
+        let mut dequeued: Option<u64> = None;
+        let regs = &self.contexts[ctx_i].regs;
+        let queues = &mut self.queues;
+        resolve_operands(inst, |r| {
+            if qread == Some(r) {
+                *dequeued.get_or_insert_with(|| queues.read(link))
+            } else {
+                regs.read_bits(r)
+            }
+        })
+    }
+
+    fn redirect(&mut self, s: usize, next_pc: u32, now: u64) {
+        let slot = &mut self.slots[s];
+        slot.fetch_pc = next_pc;
+        slot.window.clear();
+        self.fetch.request_redirect(s, now);
+    }
+
+    fn detach(&mut self, s: usize) {
+        self.slots[s].ctx = None;
+        self.slots[s].window.clear();
+        self.fetch.set_active(s, false);
+    }
+
+    fn fast_fork(
+        &mut self,
+        s: usize,
+        ctx_i: usize,
+        pc: u32,
+        now: u64,
+    ) -> Result<(), MachineError> {
+        self.contexts[ctx_i].lpid = s as i64;
+        for j in 0..self.slots.len() {
+            if j == s {
+                continue;
+            }
+            if self.slots[j].ctx.is_some() {
+                return Err(MachineError::ForkBusy { slot: j, pc });
+            }
+            let free = self
+                .contexts
+                .iter()
+                .position(|c| c.state == CtxState::Free)
+                .ok_or(MachineError::NoFreeContext { pc })?;
+            let parent_regs = self.contexts[ctx_i].regs.clone();
+            let (qread, qwrite) = (self.contexts[ctx_i].qread, self.contexts[ctx_i].qwrite);
+            let child = &mut self.contexts[free];
+            child.regs = parent_regs;
+            child.state = CtxState::Running;
+            child.lpid = j as i64;
+            child.resume_pc = pc + 1;
+            child.qread = qread;
+            child.qwrite = qwrite;
+            child.started = true;
+            let slot = &mut self.slots[j];
+            slot.ctx = Some(free);
+            slot.fetch_pc = pc + 1;
+            slot.window.clear();
+            slot.earliest_issue = 0;
+            self.fetch.set_active(j, true);
+            self.fetch.request_redirect(j, now);
+        }
+        Ok(())
+    }
+
+    fn kill_others(&mut self, s: usize) {
+        let my_ctx = self.slots[s].ctx;
+        for j in 0..self.slots.len() {
+            if j == s {
+                continue;
+            }
+            if let Some(c) = self.slots[j].ctx.take() {
+                self.contexts[c].state = CtxState::Done;
+                self.stats.threads_killed += 1;
+            }
+            self.slots[j].window.clear();
+            for q in &mut self.standby[j] {
+                q.clear();
+            }
+            self.fetch.set_active(j, false);
+        }
+        // Unbound runnable/waiting contexts die too.
+        for (i, ctx) in self.contexts.iter_mut().enumerate() {
+            if Some(i) == my_ctx {
+                continue;
+            }
+            if matches!(ctx.state, CtxState::Ready | CtxState::Waiting { .. }) {
+                ctx.state = CtxState::Done;
+                self.stats.threads_killed += 1;
+            }
+        }
+        self.queues.flush();
+    }
+
+    // ------------------------------------------------------------------
+    // Schedule units (stage S arbitration) and execution
+    // ------------------------------------------------------------------
+
+    /// Per-class dynamic scheduling with rotating priorities (§2.2):
+    /// standby occupants and this cycle's issues compete; winners start
+    /// execution, losers (or survivors) sit in standby stations.
+    fn arbitrate(&mut self, mut cands: Vec<InFlight>, now: u64) -> Result<(), MachineError> {
+        let order: Vec<usize> = self.prio.order().to_vec();
+        for class in FuClass::ALL {
+            let ci = class.index();
+            for &s in &order {
+                // This cycle's issue joins the back of the slot's
+                // standby queue (it is the youngest); the queue then
+                // drains in order while units are free.
+                if let Some(i) = cands
+                    .iter()
+                    .position(|f| f.slot == s && f.inst.fu_class() == Some(class))
+                {
+                    let f = cands.swap_remove(i);
+                    self.standby[s][ci].push_back(f);
+                }
+                while let Some(front) = self.standby[s][ci].front() {
+                    // A priority-gated store is performed only by the
+                    // highest-priority logical processor (§2.3.3); if
+                    // the priority rotated away while it sat in
+                    // standby, it keeps waiting there (and younger
+                    // same-class work behind it stays ordered).
+                    if front.inst.needs_highest_priority() && self.prio.highest() != s {
+                        break;
+                    }
+                    let Some(instance) = self.fu_next[ci].iter().position(|&t| t <= now)
+                    else {
+                        break;
+                    };
+                    let f = self.standby[s][ci].pop_front().expect("front exists");
+                    self.fu_next[ci][instance] = now + f.inst.issue_latency() as u64;
+                    self.execute_selected(f, class, instance, now)?;
+                }
+            }
+        }
+        debug_assert!(cands.is_empty(), "every candidate must be selected or parked");
+        Ok(())
+    }
+
+    fn execute_selected(
+        &mut self,
+        f: InFlight,
+        class: FuClass,
+        instance: usize,
+        now: u64,
+    ) -> Result<(), MachineError> {
+        let ci = class.index();
+        let lat = f.inst.latency();
+        self.stats.fu_invocations[ci] += 1;
+        self.stats.fu_busy[ci] += lat.issue as u64;
+        let nlp = self.slots.len() as i64;
+        let action = fu_action(&f.inst, f.vals, self.contexts[f.ctx].lpid, nlp);
+        match action {
+            FuAction::Write(bits) => {
+                self.write_dest(&f, bits, now, lat.result);
+            }
+            FuAction::Load { addr } => match self.timed_access(&f, addr, false, now) {
+                Access::Hit { latency } => {
+                    let bits = self.memory.read(addr).map_err(|source| MachineError::Mem {
+                        slot: f.slot,
+                        pc: f.pc,
+                        source,
+                    })?;
+                    // Table 1's 4-cycle load result includes the
+                    // 2-cycle data cache; slower accesses stretch it.
+                    let result = 2 + latency;
+                    self.write_dest(&f, bits, now, result);
+                    if latency as u64 > lat.issue as u64 {
+                        self.fu_next[ci][instance] = now + latency as u64;
+                    }
+                }
+                Access::Absent { ready_after } => self.data_absence_trap(f, now + ready_after),
+            },
+            FuAction::Store { addr, bits } => match self.timed_access(&f, addr, true, now) {
+                Access::Hit { latency } => {
+                    self.memory.write(addr, bits).map_err(|source| MachineError::Mem {
+                        slot: f.slot,
+                        pc: f.pc,
+                        source,
+                    })?;
+                    if latency as u64 > lat.issue as u64 {
+                        self.fu_next[ci][instance] = now + latency as u64;
+                    }
+                }
+                Access::Absent { ready_after } => self.data_absence_trap(f, now + ready_after),
+            },
+        }
+        Ok(())
+    }
+
+    /// Consults the memory timing model, except for replayed accesses
+    /// whose remote request already completed before the thread was
+    /// resumed (§2.1.3).
+    fn timed_access(&mut self, f: &InFlight, addr: u64, write: bool, now: u64) -> Access {
+        if f.replayed {
+            // The data arrived while the thread was switched out; the
+            // replay hits the local cache.
+            return Access::Hit { latency: 2 };
+        }
+        self.mem_model.access(addr, write, now)
+    }
+
+    /// Writes a result to its destination: the outgoing queue register
+    /// if mapped, the context's register bank otherwise.
+    fn write_dest(&mut self, f: &InFlight, bits: u64, now: u64, result_latency: u32) {
+        let Some(d) = f.inst.dest() else { return };
+        if self.contexts[f.ctx].qwrite == Some(d) {
+            let link = self.queues.write_link(f.slot);
+            self.queues.write(link, now + result_latency as u64 + 1, bits);
+        } else {
+            self.contexts[f.ctx].regs.write(d, bits, now, result_latency);
+        }
+    }
+
+    /// The §2.1.3 data-absence trap: record the access in the context's
+    /// access requirement buffer and switch the thread out until the
+    /// remote access completes.
+    fn data_absence_trap(&mut self, f: InFlight, ready_at: u64) {
+        let s = f.slot;
+        // Younger memory operations already waiting in the load/store
+        // standby queue are flushed into the access requirement buffer
+        // too (§2.1.3: outstanding memory requests are saved as part
+        // of the context); non-memory standby entries drain normally.
+        let flushed: Vec<(Inst, [u64; 2])> = self.standby[s]
+            [FuClass::LoadStore.index()]
+        .drain(..)
+        .map(|g| (g.inst, g.vals))
+        .collect();
+        let ctx = &mut self.contexts[f.ctx];
+        ctx.replay.push((f.inst, f.vals));
+        ctx.replay.extend(flushed);
+        ctx.state = CtxState::Waiting { until: ready_at };
+        // Save the restart point: the oldest unissued instruction.
+        let resume = self.slots[s]
+            .window
+            .iter()
+            .find_map(|e| match e {
+                WinEntry::Fresh(pc) => Some(*pc),
+                WinEntry::Replay(..) => None,
+            })
+            .unwrap_or(self.slots[s].fetch_pc);
+        ctx.resume_pc = resume;
+        // Earlier replay entries still in the window move back to the
+        // buffer so they re-execute on resume.
+        let ctx = &mut self.contexts[f.ctx];
+        for e in self.slots[s].window.iter() {
+            if let WinEntry::Replay(inst, vals) = e {
+                ctx.replay.push((*inst, *vals));
+            }
+        }
+        self.detach(s);
+        self.stats.context_switches += 1;
+    }
+}

@@ -1,0 +1,166 @@
+//! Multi-level rotating thread priorities (§2.2, Figure 4).
+//!
+//! Every thread slot holds a unique priority level. The instruction
+//! schedule units pick candidates in priority order; to avoid
+//! starvation the levels rotate — either every *rotation interval*
+//! cycles (implicit mode) or under software control via `chgpri`
+//! (explicit mode). After a rotation the previously highest slot has
+//! the lowest priority.
+
+use hirata_isa::RotationMode;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Priorities {
+    /// `order[0]` is the highest-priority slot.
+    order: Vec<usize>,
+    mode: RotationMode,
+    /// Cycle of the most recent implicit rotation (or mode change).
+    last_rotation: u64,
+    /// A `chgpri` executed this cycle; rotation applies at cycle end.
+    pending_explicit: bool,
+}
+
+impl Priorities {
+    pub(crate) fn new(slots: usize, mode: RotationMode) -> Self {
+        Priorities { order: (0..slots).collect(), mode, last_rotation: 0, pending_explicit: false }
+    }
+
+    /// Slots from highest to lowest priority.
+    pub(crate) fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Priority rank of `slot` (0 = highest).
+    #[allow(dead_code)] // used by tests and kept for diagnostics
+    pub(crate) fn rank(&self, slot: usize) -> usize {
+        self.order.iter().position(|&s| s == slot).expect("slot in priority order")
+    }
+
+    /// The highest-priority slot.
+    pub(crate) fn highest(&self) -> usize {
+        self.order[0]
+    }
+
+    /// Current rotation mode.
+    #[allow(dead_code)] // used by tests and kept for diagnostics
+    pub(crate) fn mode(&self) -> RotationMode {
+        self.mode
+    }
+
+    /// Switches mode (the privileged `setrot` instruction) and resets
+    /// the implicit-rotation timer.
+    pub(crate) fn set_mode(&mut self, mode: RotationMode, now: u64) {
+        self.mode = mode;
+        self.last_rotation = now;
+    }
+
+    /// Called at the start of each cycle; performs an implicit rotation
+    /// when the interval has elapsed. Returns true if it rotated.
+    pub(crate) fn tick(&mut self, now: u64) -> bool {
+        if let RotationMode::Implicit { interval } = self.mode {
+            if now > 0 && now - self.last_rotation >= interval as u64 {
+                self.rotate(now);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Requests an explicit rotation (`chgpri`), applied at cycle end.
+    pub(crate) fn request_explicit(&mut self) {
+        self.pending_explicit = true;
+    }
+
+    /// Called at the end of each cycle; applies a pending explicit
+    /// rotation. Returns true if it rotated.
+    pub(crate) fn apply_pending(&mut self, now: u64) -> bool {
+        if self.pending_explicit {
+            self.pending_explicit = false;
+            self.rotate(now);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Unconditional rotation, used by the machine to skip slots that
+    /// no longer host a thread (an empty slot can never execute
+    /// `chgpri`, so leaving it at the highest priority would wedge
+    /// every interlocked instruction).
+    pub(crate) fn force_rotate(&mut self, now: u64) {
+        self.rotate(now);
+    }
+
+    fn rotate(&mut self, now: u64) {
+        self.order.rotate_left(1);
+        self.last_rotation = now;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_order_is_slot_index() {
+        let p = Priorities::new(3, RotationMode::Explicit);
+        assert_eq!(p.order(), [0, 1, 2]);
+        assert_eq!(p.highest(), 0);
+        assert_eq!(p.rank(2), 2);
+    }
+
+    #[test]
+    fn implicit_rotation_fires_on_interval() {
+        let mut p = Priorities::new(3, RotationMode::Implicit { interval: 4 });
+        assert!(!p.tick(0));
+        assert!(!p.tick(3));
+        assert!(p.tick(4));
+        assert_eq!(p.order(), [1, 2, 0]);
+        assert!(!p.tick(7));
+        assert!(p.tick(8));
+        assert_eq!(p.order(), [2, 0, 1]);
+    }
+
+    #[test]
+    fn rotation_demotes_previous_highest_to_lowest() {
+        let mut p = Priorities::new(4, RotationMode::Implicit { interval: 1 });
+        p.tick(1);
+        assert_eq!(p.order(), [1, 2, 3, 0]);
+        assert_eq!(p.rank(0), 3);
+    }
+
+    #[test]
+    fn explicit_rotation_is_deferred_to_cycle_end() {
+        let mut p = Priorities::new(2, RotationMode::Explicit);
+        p.request_explicit();
+        assert_eq!(p.highest(), 0); // not yet applied
+        assert!(p.apply_pending(5));
+        assert_eq!(p.highest(), 1);
+        assert!(!p.apply_pending(6)); // one-shot
+    }
+
+    #[test]
+    fn explicit_mode_never_rotates_implicitly() {
+        let mut p = Priorities::new(2, RotationMode::Explicit);
+        for now in 0..100 {
+            assert!(!p.tick(now));
+        }
+        assert_eq!(p.highest(), 0);
+    }
+
+    #[test]
+    fn set_mode_resets_interval_timer() {
+        let mut p = Priorities::new(2, RotationMode::Explicit);
+        p.set_mode(RotationMode::Implicit { interval: 8 }, 100);
+        assert!(!p.tick(104));
+        assert!(p.tick(108));
+    }
+
+    #[test]
+    fn single_slot_rotation_is_identity() {
+        let mut p = Priorities::new(1, RotationMode::Implicit { interval: 1 });
+        p.tick(1);
+        assert_eq!(p.order(), [0]);
+        assert_eq!(p.highest(), 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Queue registers (§2.3.1): a ring of hardware FIFOs connecting each
+//! logical processor to its successor, with full/empty bits acting as
+//! scoreboard bits.
+//!
+//! Link `k` is *read* by logical processor `k` and *written* by its
+//! predecessor `(k + S - 1) mod S` (Figure 5). Entries become readable
+//! only once the producing instruction's result would have been
+//! available (`selected + result latency + 1`), mirroring the register
+//! scoreboard timing.
+
+use std::collections::VecDeque;
+
+/// The ring of queue registers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct QueueRing {
+    links: Vec<VecDeque<(u64, u64)>>, // (available-from cycle, bits)
+    capacity: usize,
+}
+
+impl QueueRing {
+    pub(crate) fn new(slots: usize, capacity: usize) -> Self {
+        QueueRing { links: vec![VecDeque::new(); slots], capacity }
+    }
+
+    /// The link written by logical processor `lp` (read by the next).
+    pub(crate) fn write_link(&self, lp: usize) -> usize {
+        (lp + 1) % self.links.len()
+    }
+
+    /// The link read by logical processor `lp`.
+    pub(crate) fn read_link(&self, lp: usize) -> usize {
+        lp
+    }
+
+    /// True if a read issued at `now` would find data (empty bit off).
+    pub(crate) fn can_read(&self, link: usize, now: u64) -> bool {
+        matches!(self.links[link].front(), Some(&(avail, _)) if avail <= now)
+    }
+
+    /// Dequeues the front entry. Callers must have checked
+    /// [`Self::can_read`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link is empty (a simulator bug, not a program
+    /// error).
+    pub(crate) fn read(&mut self, link: usize) -> u64 {
+        self.links[link].pop_front().expect("queue read without can_read check").1
+    }
+
+    /// True if a write can be accepted (full bit off). In-flight
+    /// entries count against the capacity.
+    pub(crate) fn can_write(&self, link: usize) -> bool {
+        self.links[link].len() < self.capacity
+    }
+
+    /// Enqueues `bits`, readable from cycle `avail`.
+    pub(crate) fn write(&mut self, link: usize, avail: u64, bits: u64) {
+        debug_assert!(self.links[link].len() < self.capacity);
+        self.links[link].push_back((avail, bits));
+    }
+
+    /// Number of entries (including not-yet-readable ones) in a link.
+    pub(crate) fn len(&self, link: usize) -> usize {
+        self.links[link].len()
+    }
+
+    /// Empties every link (done by `killothers` so a later loop starts
+    /// from clean queues).
+    pub(crate) fn flush(&mut self) {
+        for link in &mut self.links {
+            link.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_topology_matches_figure_5() {
+        let ring = QueueRing::new(4, 2);
+        assert_eq!(ring.write_link(0), 1);
+        assert_eq!(ring.read_link(1), 1);
+        assert_eq!(ring.write_link(3), 0);
+        assert_eq!(ring.read_link(0), 0);
+    }
+
+    #[test]
+    fn entries_become_readable_at_avail_time() {
+        let mut ring = QueueRing::new(2, 4);
+        ring.write(1, 10, 42);
+        assert!(!ring.can_read(1, 9));
+        assert!(ring.can_read(1, 10));
+        assert_eq!(ring.read(1), 42);
+        assert!(!ring.can_read(1, 100));
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut ring = QueueRing::new(1, 4);
+        ring.write(0, 0, 1);
+        ring.write(0, 0, 2);
+        assert_eq!(ring.read(0), 1);
+        assert_eq!(ring.read(0), 2);
+    }
+
+    #[test]
+    fn capacity_limits_writes() {
+        let mut ring = QueueRing::new(1, 2);
+        assert!(ring.can_write(0));
+        ring.write(0, 0, 1);
+        ring.write(0, 5, 2);
+        assert!(!ring.can_write(0));
+        assert_eq!(ring.len(0), 2);
+        ring.read(0);
+        assert!(ring.can_write(0));
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut ring = QueueRing::new(3, 2);
+        ring.write(0, 0, 1);
+        ring.write(2, 0, 3);
+        ring.flush();
+        for link in 0..3 {
+            assert_eq!(ring.len(link), 0);
+        }
+    }
+
+    #[test]
+    fn single_slot_ring_loops_to_itself() {
+        let ring = QueueRing::new(1, 2);
+        assert_eq!(ring.write_link(0), 0);
+        assert_eq!(ring.read_link(0), 0);
+    }
+}

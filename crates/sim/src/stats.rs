@@ -1,0 +1,248 @@
+//! Run statistics: cycle counts, per-unit utilization (the paper's
+//! `U = N x L / T` metric from §1), and an issue-stall breakdown.
+
+use std::fmt;
+
+use hirata_isa::{FuClass, FU_CLASS_COUNT};
+
+/// Why a thread slot failed to issue on a given cycle.
+///
+/// Exactly one reason is recorded per slot per non-issuing cycle (the
+/// reason blocking the oldest instruction in the window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StallReason {
+    /// No thread bound to the slot.
+    NoThread,
+    /// Instruction buffer empty / waiting on the fetch unit (includes
+    /// the branch shadow while the redirect is fetched).
+    Fetch,
+    /// A source register was not ready (RAW) or the destination was
+    /// still busy (WAW).
+    Data,
+    /// The standby station for the target functional unit was occupied
+    /// — or, without standby stations, a previously issued instruction
+    /// was still waiting to be selected.
+    FuConflict,
+    /// Waiting to become the highest-priority logical processor
+    /// (`chgpri`, `killothers`, gated stores).
+    Priority,
+    /// The incoming queue register was empty.
+    QueueEmpty,
+    /// The outgoing queue register was full.
+    QueueFull,
+}
+
+impl StallReason {
+    /// All reasons, in display order.
+    pub const ALL: [StallReason; 7] = [
+        StallReason::NoThread,
+        StallReason::Fetch,
+        StallReason::Data,
+        StallReason::FuConflict,
+        StallReason::Priority,
+        StallReason::QueueEmpty,
+        StallReason::QueueFull,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            StallReason::NoThread => 0,
+            StallReason::Fetch => 1,
+            StallReason::Data => 2,
+            StallReason::FuConflict => 3,
+            StallReason::Priority => 4,
+            StallReason::QueueEmpty => 5,
+            StallReason::QueueFull => 6,
+        }
+    }
+
+    /// Human-readable label.
+    pub fn name(self) -> &'static str {
+        match self {
+            StallReason::NoThread => "no-thread",
+            StallReason::Fetch => "fetch",
+            StallReason::Data => "data-dep",
+            StallReason::FuConflict => "fu-conflict",
+            StallReason::Priority => "priority",
+            StallReason::QueueEmpty => "queue-empty",
+            StallReason::QueueFull => "queue-full",
+        }
+    }
+}
+
+impl fmt::Display for StallReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Slot-cycle counts per stall reason.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StallBreakdown {
+    counts: [u64; 7],
+}
+
+impl StallBreakdown {
+    /// Records one stalled slot-cycle.
+    pub(crate) fn record(&mut self, reason: StallReason) {
+        self.counts[reason.index()] += 1;
+    }
+
+    /// Stalled slot-cycles attributed to `reason`.
+    pub fn count(&self, reason: StallReason) -> u64 {
+        self.counts[reason.index()]
+    }
+
+    /// Total stalled slot-cycles.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+/// Statistics of one completed (or in-progress) run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunStats {
+    /// Total machine cycles elapsed.
+    pub cycles: u64,
+    /// Instructions issued (the machine never speculates, so issued
+    /// equals committed).
+    pub instructions: u64,
+    /// Instructions issued per thread slot.
+    pub per_slot_issued: Vec<u64>,
+    /// Functional-unit invocations per class (the paper's `N`).
+    pub fu_invocations: [u64; FU_CLASS_COUNT],
+    /// Busy unit-cycles per class (`N x issue latency`, summed over
+    /// instances of the class).
+    pub fu_busy: [u64; FU_CLASS_COUNT],
+    /// Number of unit instances per class.
+    pub fu_instances: [u64; FU_CLASS_COUNT],
+    /// Issue-stall breakdown in slot-cycles.
+    pub stalls: StallBreakdown,
+    /// Context switches performed (concurrent multithreading).
+    pub context_switches: u64,
+    /// Threads killed by `killothers`.
+    pub threads_killed: u64,
+    /// Priority rotations performed by the schedule units.
+    pub rotations: u64,
+}
+
+impl RunStats {
+    /// Utilization of one functional-unit class as defined in §1:
+    /// `U = N x L / (T x instances) x 100` percent, 0 when no cycles
+    /// have elapsed.
+    pub fn utilization(&self, class: FuClass) -> f64 {
+        let i = class.index();
+        let denom = self.cycles * self.fu_instances[i];
+        if denom == 0 {
+            0.0
+        } else {
+            self.fu_busy[i] as f64 / denom as f64 * 100.0
+        }
+    }
+
+    /// The busiest class by utilization, with its utilization.
+    pub fn busiest_unit(&self) -> (FuClass, f64) {
+        FuClass::ALL
+            .into_iter()
+            .map(|c| (c, self.utilization(c)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("FuClass::ALL is non-empty")
+    }
+
+    /// Issued instructions per cycle across the whole machine.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Formats a utilization table resembling the analyses in §3.2.
+    pub fn utilization_report(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<12} {:>6} {:>12} {:>10}", "unit", "inst", "invocations", "util %");
+        for class in FuClass::ALL {
+            let i = class.index();
+            if self.fu_instances[i] == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{:<12} {:>6} {:>12} {:>10.1}",
+                class.name(),
+                self.fu_instances[i],
+                self.fu_invocations[i],
+                self.utilization(class)
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_formula_matches_section_1() {
+        let mut stats = RunStats { cycles: 100, ..RunStats::default() };
+        let i = FuClass::LoadStore.index();
+        stats.fu_instances[i] = 1;
+        stats.fu_invocations[i] = 30;
+        stats.fu_busy[i] = 60; // N x L = 30 x 2
+        assert!((stats.utilization(FuClass::LoadStore) - 60.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_with_two_instances_halves() {
+        let mut stats = RunStats { cycles: 100, ..RunStats::default() };
+        let i = FuClass::LoadStore.index();
+        stats.fu_instances[i] = 2;
+        stats.fu_busy[i] = 60;
+        assert!((stats.utilization(FuClass::LoadStore) - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busiest_unit_picks_maximum() {
+        let mut stats = RunStats { cycles: 10, ..RunStats::default() };
+        for class in FuClass::ALL {
+            stats.fu_instances[class.index()] = 1;
+        }
+        stats.fu_busy[FuClass::FpAdd.index()] = 9;
+        stats.fu_busy[FuClass::IntAlu.index()] = 4;
+        let (class, util) = stats.busiest_unit();
+        assert_eq!(class, FuClass::FpAdd);
+        assert!((util - 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_breakdown_counts() {
+        let mut b = StallBreakdown::default();
+        b.record(StallReason::Data);
+        b.record(StallReason::Data);
+        b.record(StallReason::Fetch);
+        assert_eq!(b.count(StallReason::Data), 2);
+        assert_eq!(b.count(StallReason::Fetch), 1);
+        assert_eq!(b.count(StallReason::Priority), 0);
+        assert_eq!(b.total(), 3);
+    }
+
+    #[test]
+    fn empty_stats_are_well_behaved() {
+        let stats = RunStats::default();
+        assert_eq!(stats.ipc(), 0.0);
+        assert_eq!(stats.utilization(FuClass::IntAlu), 0.0);
+        let _ = stats.utilization_report();
+    }
+
+    #[test]
+    fn report_lists_present_units() {
+        let mut stats = RunStats { cycles: 10, ..RunStats::default() };
+        stats.fu_instances[FuClass::IntAlu.index()] = 1;
+        let report = stats.utilization_report();
+        assert!(report.contains("int-alu"));
+        assert!(!report.contains("fp-div"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Trace-driven simulation — the paper's own methodology (§3.1/§3.2:
+//! the ray tracer was compiled, executed, and its "traced instruction
+//! sequences were translated to be used for our simulator").
+//!
+//! [`build_trace_program`] translates per-thread dynamic traces
+//! (recorded with [`crate::Emulator::execute_with_traces`]) into a
+//! runnable trace program: each thread's trace becomes a straight-line
+//! section in which every resolved control transfer is redirected to
+//! the next trace element — conditional branches keep their original
+//! operands (so the issue-time dependence wait is preserved) but have
+//! their taken target aimed at the next element, making both outcomes
+//! land there — and a prologue forks one thread per slot and
+//! dispatches each to its own section through a jump table.
+//!
+//! For programs without inter-thread synchronisation, running the
+//! trace program on the cycle-level machine takes the same cycles
+//! (modulo the small dispatch prologue) as executing the original
+//! program directly; `crates/sim/tests/trace_driven.rs` asserts this
+//! equivalence on real workloads, validating the execution-driven
+//! simulator against the paper's trace-driven methodology.
+
+use std::fmt;
+
+use hirata_isa::{GReg, GSrc, Inst, IntOp, Program};
+
+/// Error from [`build_trace_program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceError {
+    /// The traces contain a synchronisation instruction whose timing
+    /// depends on other threads (`chgpri`, `killothers`, gated stores,
+    /// queue-register traffic): such programs are execution-driven
+    /// only, as their instruction sequences are not replayable.
+    Unreplayable {
+        /// Thread whose trace contains it.
+        thread: usize,
+    },
+    /// No traces were supplied.
+    Empty,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Unreplayable { thread } => write!(
+                f,
+                "thread {thread}'s trace contains synchronisation and cannot be replayed"
+            ),
+            TraceError::Empty => f.write_str("no traces supplied"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Word address of the dispatch table the trace program stores its
+/// section entry points at. Chosen high to stay clear of workload
+/// data.
+const DISPATCH_BASE: u64 = 900_000;
+
+/// Builds a runnable trace program from per-thread dynamic traces.
+/// `original` supplies the initial data image (the replay touches the
+/// same addresses).
+///
+/// # Errors
+///
+/// [`TraceError::Unreplayable`] if a trace contains inter-thread
+/// synchronisation; [`TraceError::Empty`] for no traces.
+pub fn build_trace_program(
+    original: &Program,
+    traces: &[Vec<Inst>],
+) -> Result<Program, TraceError> {
+    if traces.is_empty() {
+        return Err(TraceError::Empty);
+    }
+    for (thread, trace) in traces.iter().enumerate() {
+        let unreplayable = trace.iter().any(|i| {
+            matches!(
+                i,
+                Inst::ChgPri
+                    | Inst::KillOthers
+                    | Inst::QMap { .. }
+                    | Inst::QUnmap
+                    | Inst::Store { gated: true, .. }
+            )
+        });
+        if unreplayable {
+            return Err(TraceError::Unreplayable { thread });
+        }
+    }
+
+    // Prologue: fork, look the section start up by lpid, jump there.
+    //   fastfork; lpid r1; li r2, #DISPATCH; add r2, r2, r1;
+    //   lw r3, 0(r2); jr r3
+    let mut insts = vec![
+        Inst::FastFork,
+        Inst::Lpid { rd: GReg(1) },
+        Inst::Li { rd: GReg(2), imm: DISPATCH_BASE as i64 },
+        Inst::IntOp { op: IntOp::Add, rd: GReg(2), rs: GReg(2), src2: GSrc::Reg(GReg(1)) },
+        Inst::Load { dst: hirata_isa::Reg::G(GReg(3)), base: GReg(2), off: 0 },
+        Inst::JumpReg { rs: GReg(3) },
+    ];
+    let mut entries = Vec::with_capacity(traces.len());
+    for trace in traces {
+        entries.push(insts.len() as u64);
+        for inst in trace {
+            let at = insts.len() as u32;
+            let replay = match *inst {
+                // A conditional branch keeps its operands — the replay
+                // pays the same issue-time dependence wait — but both
+                // outcomes now land on the next trace element.
+                Inst::Branch { cond, rs, src2, .. } => {
+                    Inst::Branch { cond, rs, src2, target: at + 1 }
+                }
+                // An indirect jump waits on its register; an
+                // always-taken compare against itself reproduces that.
+                Inst::JumpReg { rs } => Inst::Branch {
+                    cond: hirata_isa::BranchCond::Eq,
+                    rs,
+                    src2: GSrc::Reg(rs),
+                    target: at + 1,
+                },
+                Inst::Jump { .. } => Inst::Jump { target: at + 1 },
+                // The prologue already forked; the traced fastfork
+                // becomes a plain (decode-unit, 1-cycle) nop.
+                Inst::FastFork => Inst::Nop,
+                other => other,
+            };
+            insts.push(replay);
+        }
+        insts.push(Inst::Halt);
+    }
+
+    let mut program = Program { insts, data: original.data.clone(), ..Program::default() };
+    program.data.push(hirata_isa::DataSegment { base: DISPATCH_BASE, words: entries });
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emu::Emulator;
+    use crate::{Config, Machine};
+    use hirata_asm::assemble;
+
+    #[test]
+    fn replay_preserves_results_and_dynamic_length() {
+        let src = "
+            fastfork
+            lpid r1
+            nlp  r2
+            li   r3, #0
+            mv   r4, r1
+        loop:
+            slt  r5, r4, #10
+            beq  r5, #0, done
+            add  r3, r3, r4
+            add  r4, r4, r2
+            j    loop
+        done:
+            sw   r3, 100(r1)
+            halt
+        ";
+        let program = assemble(src).unwrap();
+        let out = Emulator::execute_with_traces(&program, 2, 1 << 20, 100_000).unwrap();
+        let replay = build_trace_program(&program, &out.traces).unwrap();
+        let mut m = Machine::new(Config::multithreaded(2), &replay).unwrap();
+        m.run().unwrap();
+        for lp in 0..2u64 {
+            assert_eq!(
+                m.memory().read_i64(100 + lp).unwrap(),
+                out.memory.read_i64(100 + lp).unwrap(),
+                "thread {lp}"
+            );
+        }
+    }
+
+    #[test]
+    fn synchronising_traces_are_rejected() {
+        let program = assemble("qmap r10, r11\nli r11, #1\nmv r2, r10\nhalt").unwrap();
+        let out = Emulator::execute_with_traces(&program, 1, 1 << 12, 10_000).unwrap();
+        assert!(matches!(
+            build_trace_program(&program, &out.traces),
+            Err(TraceError::Unreplayable { thread: 0 })
+        ));
+        assert!(matches!(build_trace_program(&program, &[]), Err(TraceError::Empty)));
+    }
+}

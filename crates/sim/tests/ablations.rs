@@ -1,0 +1,143 @@
+//! Tests for the ablation knobs and for regressions found during
+//! development.
+
+use hirata_asm::assemble;
+use hirata_sim::{Config, Machine};
+
+fn run(config: Config, src: &str) -> Machine {
+    let prog = assemble(src).expect("assembles");
+    let mut m = Machine::new(config, &prog).expect("builds");
+    m.run().expect("runs");
+    m
+}
+
+#[test]
+fn fastfork_waits_for_outstanding_writes() {
+    // Regression: a fork issued while a parent's load was still in
+    // flight used to clone a permanently-busy scoreboard bit into the
+    // children (and a stale value). The fork must interlock until the
+    // parent's register set is quiescent.
+    let src = "
+        .data
+        c: .word 7777
+        .text
+        lw   r5, c(r0)       ; still in flight when fastfork decodes
+        fastfork
+        lpid r1
+        sw   r5, 100(r1)     ; every child must see 7777
+        halt
+    ";
+    let mut config = Config::multithreaded(4);
+    config.max_cycles = 100_000;
+    let m = run(config, src);
+    for lp in 0..4 {
+        assert_eq!(m.memory().read_i64(100 + lp).unwrap(), 7777, "thread {lp}");
+    }
+}
+
+#[test]
+fn deeper_standby_stations_never_hurt() {
+    // Load-heavy two-thread contention: depth 2 can only help.
+    let src = "
+        fastfork
+        lw r1, 10(r0)
+        lw r2, 11(r0)
+        lw r3, 12(r0)
+        lw r4, 13(r0)
+        add r5, r1, r2
+        add r6, r3, r4
+        halt
+    ";
+    let cycles = |depth: usize| {
+        let mut config = Config::multithreaded(2);
+        config.standby_depth = depth;
+        run(config, src).stats().cycles
+    };
+    let (d1, d2, d4) = (cycles(1), cycles(2), cycles(4));
+    assert!(d2 <= d1, "depth 2 vs 1: {d2} vs {d1}");
+    assert!(d4 <= d2, "depth 4 vs 2: {d4} vs {d2}");
+}
+
+#[test]
+fn fall_through_fast_path_skips_the_branch_shadow() {
+    // A loop whose conditional branch is not taken until the end: with
+    // the fast path, the not-taken branch costs one issue slot instead
+    // of a full refetch.
+    let src = "
+        li r1, #30
+    loop:
+        sub r1, r1, #1
+        beq r1, #0, out      ; not taken 29 times
+        j loop
+    out:
+        halt
+    ";
+    let paper = run(Config::multithreaded(1), src).stats().cycles;
+    let mut fast_cfg = Config::multithreaded(1);
+    fast_cfg.refetch_fallthrough = false;
+    let fast = run(fast_cfg, src).stats().cycles;
+    // 29 not-taken branches x (5-cycle shadow - 1 issue slot) saved.
+    assert!(
+        fast + 4 * 29 <= paper,
+        "fast path should save ~4 cycles per not-taken branch: {paper} vs {fast}"
+    );
+}
+
+#[test]
+fn fall_through_fast_path_preserves_results() {
+    let src = "
+        li r1, #10
+        li r2, #0
+    loop:
+        rem r3, r1, #2
+        beq r3, #0, even
+        add r2, r2, r1
+    even:
+        sub r1, r1, #1
+        bne r1, #0, loop
+        sw r2, 50(r0)
+        halt
+    ";
+    let paper = run(Config::multithreaded(1), src);
+    let mut cfg = Config::multithreaded(1);
+    cfg.refetch_fallthrough = false;
+    let fast = run(cfg, src);
+    let want: i64 = (1..=10).filter(|v| v % 2 == 1).sum();
+    assert_eq!(paper.memory().read_i64(50).unwrap(), want);
+    assert_eq!(fast.memory().read_i64(50).unwrap(), want);
+    assert!(fast.stats().cycles < paper.stats().cycles);
+}
+
+#[test]
+fn trapped_threads_replay_standby_memory_ops() {
+    // Two remote loads back to back: the second can be sitting in the
+    // load/store standby station when the first traps. Both must land
+    // in the access requirement buffer and replay on resume.
+    use hirata_mem::DsmMemory;
+    let src = "
+        lw r1, 5000(r0)
+        lw r2, 5001(r0)
+        add r3, r1, r2
+        sw r3, 100(r0)
+        halt
+    ";
+    let prog = assemble(src).unwrap();
+    let mut config = Config::multithreaded(1).with_context_frames(2);
+    config.mem_words = 1 << 16;
+    let mut m = Machine::with_mem_model(
+        config,
+        &prog,
+        Box::new(DsmMemory::new(4096, 2, 100)),
+    )
+    .unwrap();
+    m.run().unwrap();
+    assert_eq!(m.memory().read_i64(100).unwrap(), 0); // zeros summed
+    assert!(m.stats().context_switches >= 1);
+}
+
+#[test]
+fn standby_depth_zero_is_rejected() {
+    let mut config = Config::multithreaded(1);
+    config.standby_depth = 0;
+    assert!(config.validate().is_err());
+}

@@ -1,0 +1,333 @@
+//! Pipeline-timing tests: every timing statement §2.1.2 makes is
+//! asserted here against the issue trace.
+
+use hirata_asm::assemble;
+use hirata_isa::{FuClass, FuConfig, RotationMode};
+use hirata_sim::{Config, Machine};
+
+/// Runs `src` on `config` with tracing and returns (machine, issue
+/// cycles by pc for slot `slot`'s first visit to each pc).
+fn trace_run(config: Config, src: &str) -> Machine {
+    let prog = assemble(src).expect("test program assembles");
+    let mut m = Machine::new(config, &prog).expect("machine builds");
+    m.set_trace(true);
+    m.run().expect("program runs");
+    m
+}
+
+/// Issue cycle of the first issue at instruction address `pc`.
+fn issue_cycle(m: &Machine, pc: u32) -> u64 {
+    m.trace()
+        .iter()
+        .find(|e| e.pc == pc)
+        .unwrap_or_else(|| panic!("no issue recorded for @{pc}"))
+        .cycle
+}
+
+#[test]
+fn dependent_alu_separation_is_three_cycles_multithreaded() {
+    // §2.1.2: "assuming instruction I2 uses the result of instruction
+    // I1 as a source, at least three cycles are required between I1
+    // and I2" — ALU result latency 2, separation 2 + 1 = 3.
+    let m = trace_run(
+        Config::multithreaded(1),
+        "li r1, #5\nadd r2, r1, r1\nhalt",
+    );
+    assert_eq!(issue_cycle(&m, 1) - issue_cycle(&m, 0), 3);
+}
+
+#[test]
+fn dependent_alu_separation_is_three_cycles_base_risc() {
+    // "The same cycles are also required in the base RISC pipeline."
+    let m = trace_run(Config::base_risc(), "li r1, #5\nadd r2, r1, r1\nhalt");
+    assert_eq!(issue_cycle(&m, 1) - issue_cycle(&m, 0), 3);
+}
+
+#[test]
+fn independent_instructions_issue_every_cycle() {
+    let m = trace_run(
+        Config::base_risc(),
+        "li r1, #1\nli r2, #2\nli r3, #3\nhalt",
+    );
+    assert_eq!(issue_cycle(&m, 1) - issue_cycle(&m, 0), 1);
+    assert_eq!(issue_cycle(&m, 2) - issue_cycle(&m, 1), 1);
+}
+
+#[test]
+fn fp_add_consumer_waits_result_latency_plus_one() {
+    // FP add result latency 4 -> separation 5.
+    let m = trace_run(
+        Config::multithreaded(1),
+        "lif f1, #1.0\nfadd f2, f1, f1\nfadd f3, f2, f2\nhalt",
+    );
+    // lif has result latency 2 (FP move class), fadd 4.
+    assert_eq!(issue_cycle(&m, 1) - issue_cycle(&m, 0), 3);
+    assert_eq!(issue_cycle(&m, 2) - issue_cycle(&m, 1), 5);
+}
+
+#[test]
+fn load_use_separation_is_five_cycles() {
+    // Load result latency 4 (2-cycle data cache) -> consumer 5 later.
+    let m = trace_run(
+        Config::multithreaded(1),
+        "lw r1, 100(r0)\nadd r2, r1, r1\nhalt",
+    );
+    assert_eq!(issue_cycle(&m, 1) - issue_cycle(&m, 0), 5);
+}
+
+#[test]
+fn branch_shadow_is_five_cycles_multithreaded_and_four_base() {
+    // §2.1.2: delay between a branch I1 and the next executed
+    // instruction I3 is 4 cycles on the base pipeline, 5 on the
+    // multithreaded pipeline.
+    let src = "nop\nj over\nnop\nover: nop\nhalt";
+    let m = trace_run(Config::multithreaded(1), src);
+    assert_eq!(issue_cycle(&m, 3) - issue_cycle(&m, 1), 5);
+
+    let m = trace_run(Config::base_risc(), src);
+    assert_eq!(issue_cycle(&m, 3) - issue_cycle(&m, 1), 4);
+}
+
+#[test]
+fn not_taken_branch_pays_the_same_shadow() {
+    // The fetch request goes out at the end of D1 regardless of the
+    // outcome (§2.1.2), so both directions refetch.
+    let src = "nop\nbeq r0, #1, away\nnop\naway: halt";
+    let m = trace_run(Config::multithreaded(1), src);
+    assert_eq!(issue_cycle(&m, 2) - issue_cycle(&m, 1), 5);
+}
+
+#[test]
+fn loads_on_one_unit_issue_every_two_cycles() {
+    // Issue latency 2 on the load/store unit (2-cycle cache).
+    let m = trace_run(
+        Config::multithreaded(1),
+        "lw r1, 10(r0)\nlw r2, 11(r0)\nlw r3, 12(r0)\nlw r4, 13(r0)\nhalt",
+    );
+    let start = issue_cycle(&m, 0);
+    // Loads are *selected* every 2 cycles; the fourth load cannot have
+    // been selected before start + 6, so the whole run reflects the
+    // 2-cycle cadence. The run is ~2 cycles per load.
+    let stats = m.stats();
+    assert_eq!(stats.fu_invocations[FuClass::LoadStore.index()], 4);
+    // Issue of the last load must be at least 2*(4-1)-1 after the first
+    // (standby stations allow issue one cycle ahead of selection).
+    assert!(issue_cycle(&m, 3) - start >= 5, "loads must be rate-limited by issue latency");
+}
+
+#[test]
+fn two_load_store_units_double_load_throughput() {
+    let body: String = (0..16)
+        .map(|i| format!("lw r{}, {}(r0)\n", (i % 8) + 1, 10 + i))
+        .collect();
+    let src = format!("{body}halt");
+    let one = trace_run(Config::multithreaded(1), &src);
+    let two = trace_run(
+        Config::multithreaded(1).with_fu(FuConfig::paper_two_ls()),
+        &src,
+    );
+    let c1 = one.stats().cycles;
+    let c2 = two.stats().cycles;
+    assert!(
+        c1 > c2 && (c1 - c2) as f64 >= 0.5 * 16.0,
+        "two units should save roughly one cycle per load: {c1} vs {c2}"
+    );
+}
+
+#[test]
+fn standby_station_lets_a_younger_alu_op_proceed() {
+    // §2.1.1's example: while a shift stays in a standby station, a
+    // succeeding add from the same thread is sent to the ALU.
+    // Construct a shifter conflict across threads: both threads shift
+    // at once, the loser's next add should not be delayed (with
+    // standby) but is delayed without.
+    let src = "
+        fastfork
+        sll r1, r31, #1
+        sll r2, r31, #2
+        add r3, r31, #3
+        add r4, r31, #4
+        halt
+    ";
+    let with = trace_run(Config::multithreaded(2), src);
+    let without = trace_run(Config::multithreaded(2).with_standby(false), src);
+    assert!(
+        with.stats().cycles <= without.stats().cycles,
+        "standby stations must never slow a run ({} vs {})",
+        with.stats().cycles,
+        without.stats().cycles
+    );
+}
+
+#[test]
+fn rotation_interval_counts_rotations() {
+    let src = "li r1, #1\nli r2, #2\nli r3, #3\nli r4, #4\nhalt";
+    let m = trace_run(
+        Config::multithreaded(2).with_rotation(RotationMode::Implicit { interval: 4 }),
+        src,
+    );
+    let cycles = m.stats().cycles;
+    assert_eq!(m.stats().rotations, cycles / 4, "one rotation every 4 cycles");
+}
+
+#[test]
+fn utilization_accounts_invocations_times_latency() {
+    let m = trace_run(
+        Config::multithreaded(1),
+        "lw r1, 10(r0)\nlw r2, 11(r0)\nhalt",
+    );
+    let stats = m.stats();
+    let i = FuClass::LoadStore.index();
+    assert_eq!(stats.fu_invocations[i], 2);
+    assert_eq!(stats.fu_busy[i], 4); // 2 invocations x issue latency 2
+    let util = stats.utilization(FuClass::LoadStore);
+    assert!((util - 400.0 / stats.cycles as f64).abs() < 1e-9);
+}
+
+#[test]
+fn single_thread_on_multithreaded_pipeline_is_slower_than_base() {
+    // The extra pipeline stage (branch shadow 5 vs 4) damages single
+    // thread performance (§2.1.2), visible on branchy code.
+    let src = "
+        li r1, #20
+    loop:
+        sub r1, r1, #1
+        bne r1, #0, loop
+        halt
+    ";
+    let base = trace_run(Config::base_risc(), src);
+    let multi = trace_run(Config::multithreaded(1), src);
+    assert!(
+        multi.stats().cycles > base.stats().cycles,
+        "multithreaded pipeline must pay for its extra stage on one thread"
+    );
+}
+
+#[test]
+fn private_fetch_never_hurts() {
+    let src = "
+        fastfork
+        li r2, #10
+    loop:
+        sub r2, r2, #1
+        bne r2, #0, loop
+        halt
+    ";
+    for slots in [2, 4] {
+        let shared = trace_run(Config::multithreaded(slots), src);
+        let private = trace_run(Config::multithreaded(slots).with_private_fetch(true), src);
+        assert!(
+            private.stats().cycles <= shared.stats().cycles,
+            "private fetch units must not be slower ({slots} slots)"
+        );
+    }
+}
+
+#[test]
+fn fetch_contention_can_extend_the_branch_shadow() {
+    // "it could become more than five if some threads encounter
+    // branches at the same time" — with several threads branching
+    // simultaneously the shared fetch unit serializes redirects.
+    let src = "
+        fastfork
+        nop
+        j tail
+        nop
+    tail:
+        halt
+    ";
+    let m = trace_run(Config::multithreaded(4), src);
+    // The jump is at pc 2, target at pc 4; find per-slot shadows.
+    let mut shadows = Vec::new();
+    for slot in 0..4 {
+        let jmp = m.trace().iter().find(|e| e.slot == slot && e.pc == 2).unwrap().cycle;
+        let tgt = m.trace().iter().find(|e| e.slot == slot && e.pc == 4).unwrap().cycle;
+        shadows.push(tgt - jmp);
+    }
+    assert!(shadows.iter().all(|&s| s >= 5));
+    assert!(
+        shadows.iter().any(|&s| s > 5),
+        "some slot must see an extended shadow: {shadows:?}"
+    );
+}
+
+#[test]
+fn waw_interlocks_until_the_first_writer_completes() {
+    // Two writes to r1 with nothing between them: the second issues
+    // only after the first's scoreboard bit clears (WAW), i.e. mul's
+    // result latency 6 + 1 cycles later.
+    let m = trace_run(
+        Config::multithreaded(1),
+        "mul r1, r31, #3\nli r1, #9\nhalt",
+    );
+    assert_eq!(issue_cycle(&m, 1) - issue_cycle(&m, 0), 7);
+}
+
+#[test]
+fn queue_values_carry_the_producer_result_latency() {
+    // Producer enqueues via an ALU op (result latency 2); the consumer
+    // dequeues no earlier than selection + 3 — observable as the gap
+    // between the producer's enqueue issue and the consumer's dequeue
+    // issue when the consumer is already waiting.
+    let src = "
+        qmap r10, r11
+        fastfork
+        lpid r1
+        beq  r1, #0, producer
+        mv   r2, r10         ; waits for the queue
+        halt
+    producer:
+        li   r3, #40         ; give the consumer time to park
+    spin:
+        sub  r3, r3, #1
+        bne  r3, #0, spin
+        add  r11, r31, #5    ; enqueue
+        halt
+    ";
+    let m = trace_run(Config::multithreaded(2), src);
+    let enqueue_pc = 9; // `add r11, r31, #5`
+    let dequeue_pc = 4; // `mv r2, r10`
+    let enq = m.trace().iter().find(|e| e.pc == enqueue_pc).unwrap().cycle;
+    let deq = m.trace().iter().find(|e| e.pc == dequeue_pc).unwrap().cycle;
+    assert_eq!(deq - enq, 3, "queue entries become readable at result latency + 1");
+}
+
+#[test]
+fn frozen_priority_starves_the_contender() {
+    // With an enormous rotation interval, slot 0 keeps the highest
+    // priority; under load/store contention slot 0 must finish first.
+    let body: String = (0..12).map(|i| format!("lw r{}, {}(r0)\n", (i % 6) + 2, i)).collect();
+    let src = format!("fastfork\n{body}halt");
+    let m = trace_run(
+        Config::multithreaded(2).with_rotation(RotationMode::Implicit { interval: 100_000 }),
+        &src,
+    );
+    let halt_pc = 13;
+    let halt0 = m.trace().iter().find(|e| e.slot == 0 && e.pc == halt_pc).unwrap().cycle;
+    let halt1 = m.trace().iter().find(|e| e.slot == 1 && e.pc == halt_pc).unwrap().cycle;
+    assert!(
+        halt0 < halt1,
+        "the permanently-highest slot must win contention: {halt0} vs {halt1}"
+    );
+}
+
+#[test]
+fn context_switch_penalty_is_visible() {
+    use hirata_mem::DsmMemory;
+    let prog = assemble("lpid r1\nlw r2, 5000(r1)\nsw r2, 100(r1)\nhalt").unwrap();
+    let cycles = |penalty: u32| {
+        let mut config = Config::multithreaded(1).with_context_frames(2);
+        config.switch_penalty = penalty;
+        config.mem_words = 1 << 16;
+        let mut m = Machine::with_mem_model(
+            config,
+            &prog,
+            Box::new(DsmMemory::new(4096, 2, 50)),
+        )
+        .unwrap();
+        m.add_thread(0).unwrap();
+        m.run().unwrap().cycles
+    };
+    let (fast, slow) = (cycles(0), cycles(20));
+    assert!(slow > fast, "a larger rebind penalty must cost cycles: {fast} vs {slow}");
+}

@@ -1,0 +1,32 @@
+//! Workload programs for the Hirata 1992 reproduction, written in the
+//! reproduced ISA, plus bit-exact pure-Rust reference implementations
+//! used to validate the simulator's architectural results.
+//!
+//! * [`raytrace`] — the §3.2 application: a small ray tracer
+//!   parallelised per pixel (Table 2, Table 3, and the §3.2 prose
+//!   experiments);
+//! * [`livermore`] — Livermore Kernel 1 (§3.4, Table 4), with the
+//!   §2.3.2 static scheduling strategies applied to its body;
+//! * [`linked_list`] — the Figure 6 `while` loop over a linked list,
+//!   sequential and in the §2.3.3 eager-execution form (Table 5,
+//!   Figure 7);
+//! * [`radiosity`] — the paper's other motivating graphics algorithm
+//!   (§1): Jacobi gathering radiosity with a queue-ring barrier;
+//! * [`sort`] — parallel odd-even transposition sort, the suite's
+//!   integer-dominated workload;
+//! * [`synthetic`] — parameterised instruction mixes and DSM pointer
+//!   chases for the concurrent-multithreading extension (§2.1.3).
+//!
+//! Every generator returns a validated [`hirata_isa::Program`]; every
+//! module exposes a `reference` function computing the same results in
+//! Rust so tests can compare final memory images exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod linked_list;
+pub mod livermore;
+pub mod radiosity;
+pub mod raytrace;
+pub mod sort;
+pub mod synthetic;

@@ -1,0 +1,312 @@
+//! The Figure 6 pointer-chasing `while` loop and its §2.3.3 eager
+//! parallel execution (Table 5, Figure 7).
+//!
+//! ```c
+//! ptr = header;
+//! while (ptr != NULL) {
+//!     tmp = a * (ptr->point->x) + b * (ptr->point->y) + c;
+//!     if (tmp < 0) break;
+//!     ptr = ptr->next;
+//! }
+//! ```
+//!
+//! In the eager form each logical processor executes one iteration,
+//! receives `ptr` through its incoming queue register, forwards
+//! `ptr->next` to its successor *before* evaluating the loop
+//! condition (iterations start that might never execute sequentially,
+//! hence "eager"), acknowledges the iteration with `chgpri`, and on
+//! exit kills the speculative successors with `killothers` — valid
+//! only at the highest priority, which is exactly what preserves the
+//! sequential semantics.
+
+use hirata_isa::Program;
+
+/// Word address of the `a`, `b`, `c` constants.
+const CONST_BASE: u64 = 500;
+/// Word address of the global `tmp` result slot.
+pub const RESULT_ADDR: u64 = 600;
+/// Word address of the header pointer.
+const HEAD_ADDR: u64 = 601;
+/// Word address where the sequential version stores its iteration
+/// count.
+pub const COUNT_ADDR: u64 = 602;
+/// Word address of the first list node.
+const NODE_BASE: u64 = 1000;
+/// Word address of the first point record.
+const POINT_BASE: u64 = 5000;
+
+/// Loop coefficients (`a`, `b`, `c` in Figure 6).
+const A: f64 = 0.75;
+const B: f64 = 0.5;
+const C: f64 = 0.1;
+
+/// Shape of the traversal: list length and the node (if any) whose
+/// `tmp` goes negative, triggering the `break`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ListShape {
+    /// Number of nodes in the list.
+    pub nodes: usize,
+    /// Node index whose `tmp` is negative (`None` traverses to NULL).
+    pub break_at: Option<usize>,
+}
+
+impl ListShape {
+    /// Number of loop iterations the sequential program executes.
+    pub fn iterations(&self) -> usize {
+        match self.break_at {
+            Some(k) => k + 1,
+            None => self.nodes,
+        }
+    }
+}
+
+/// Point data so that `tmp >= 1` everywhere except the breaking node,
+/// where `tmp = -1`.
+fn points(shape: ListShape) -> Vec<(f64, f64)> {
+    (0..shape.nodes)
+        .map(|i| {
+            let want = if shape.break_at == Some(i) { -1.0 } else { 1.0 };
+            let y = 0.1 * i as f64;
+            let x = (want - C - B * y) / A;
+            (x, y)
+        })
+        .collect()
+}
+
+/// Reference execution: `(iterations, tmp-if-break)`.
+pub fn reference(shape: ListShape) -> (usize, Option<f64>) {
+    let pts = points(shape);
+    for (i, &(x, y)) in pts.iter().enumerate() {
+        let tmp = A * x + B * y + C;
+        if tmp < 0.0 {
+            return (i + 1, Some(tmp));
+        }
+    }
+    (shape.nodes, None)
+}
+
+fn data_section(shape: ListShape) -> String {
+    use std::fmt::Write as _;
+    let pts = points(shape);
+    let mut out = String::new();
+    let _ = writeln!(out, ".data");
+    let _ = writeln!(out, ".org {CONST_BASE}");
+    let _ = writeln!(out, "consts: .float {A:?}, {B:?}, {C:?}");
+    let _ = writeln!(out, ".org {HEAD_ADDR}");
+    let _ = writeln!(out, "head: .word {NODE_BASE}");
+    let _ = writeln!(out, ".org {NODE_BASE}");
+    for i in 0..shape.nodes {
+        let point = POINT_BASE + 2 * i as u64;
+        let next = if i + 1 == shape.nodes { 0 } else { NODE_BASE + 2 * (i as u64 + 1) };
+        let _ = writeln!(out, ".word {point}, {next}");
+    }
+    let _ = writeln!(out, ".org {POINT_BASE}");
+    for (x, y) in pts {
+        let _ = writeln!(out, ".float {x:?}, {y:?}");
+    }
+    out
+}
+
+/// The sequential Figure 6 program (run on the base RISC for the
+/// Table 5 baseline). Stores the iteration count at [`COUNT_ADDR`] and
+/// the breaking `tmp` (if any) at [`RESULT_ADDR`].
+///
+/// # Panics
+///
+/// Panics if the shape is empty or internally inconsistent.
+pub fn sequential_program(shape: ListShape) -> Program {
+    validate(shape);
+    let src = format!(
+        "
+{data}
+.text
+.entry main
+main:
+    lf   f20, {CONST_BASE}(r0)
+    lf   f21, {b_addr}(r0)
+    lf   f22, {c_addr}(r0)
+    lif  f30, #0.0
+    lw   r1, {HEAD_ADDR}(r0)
+    li   r5, #0
+loop:
+    beq  r1, #0, exit
+    lw   r2, 0(r1)       ; ptr->point
+    lf   f1, 0(r2)       ; x
+    lf   f2, 1(r2)       ; y
+    fmul f3, f20, f1
+    fmul f4, f21, f2
+    fadd f3, f3, f4
+    fadd f3, f3, f22     ; tmp
+    add  r5, r5, #1
+    fcmplt r3, f3, f30
+    bne  r3, #0, brk
+    lw   r1, 1(r1)       ; ptr = ptr->next
+    j    loop
+brk:
+    sf   f3, {RESULT_ADDR}(r0)
+exit:
+    sw   r5, {COUNT_ADDR}(r0)
+    halt
+",
+        data = data_section(shape),
+        b_addr = CONST_BASE + 1,
+        c_addr = CONST_BASE + 2,
+    );
+    hirata_asm::assemble(&src).expect("sequential list program assembles")
+}
+
+/// The eager-execution program (§2.3.3, Figure 7): run on a
+/// multithreaded machine in explicit-rotation mode. The breaking
+/// thread stores `tmp` at [`RESULT_ADDR`] after killing the others.
+///
+/// # Panics
+///
+/// Panics if the shape is empty or internally inconsistent.
+pub fn eager_program(shape: ListShape) -> Program {
+    validate(shape);
+    let src = format!(
+        "
+{data}
+.text
+.entry main
+main:
+    lf   f20, {CONST_BASE}(r0)
+    lf   f21, {b_addr}(r0)
+    lf   f22, {c_addr}(r0)
+    lif  f30, #0.0
+    setrot explicit
+    qmap r10, r11
+    fastfork
+    lpid r1
+    bne  r1, #0, recv
+    lw   r20, {HEAD_ADDR}(r0)   ; logical processor 0 takes the header
+    j    loop
+recv:
+    mv   r20, r10               ; others receive ptr from the ring
+loop:
+    beq  r20, #0, offend        ; ptr == NULL
+    lw   r11, 1(r20)            ; forward ptr->next to the successor
+    lw   r2, 0(r20)             ; (multiple versions of ptr, Figure 7)
+    lf   f1, 0(r2)
+    lf   f2, 1(r2)
+    fmul f3, f20, f1
+    fmul f4, f21, f2
+    fadd f3, f3, f4
+    fadd f3, f3, f22            ; tmp
+    fcmplt r3, f3, f30
+    bne  r3, #0, brk
+    chgpri                      ; acknowledge this iteration
+    mv   r20, r10               ; receive the next assigned iteration
+    j    loop
+brk:
+    killothers                  ; waits for the highest priority
+    sf   f3, {RESULT_ADDR}(r0)
+    halt
+offend:
+    killothers
+    halt
+",
+        data = data_section(shape),
+        b_addr = CONST_BASE + 1,
+        c_addr = CONST_BASE + 2,
+    );
+    hirata_asm::assemble(&src).expect("eager list program assembles")
+}
+
+fn validate(shape: ListShape) {
+    assert!(shape.nodes > 0, "the list needs at least one node");
+    assert!((NODE_BASE + 2 * shape.nodes as u64) <= POINT_BASE, "list too long for the layout");
+    if let Some(k) = shape.break_at {
+        assert!(k < shape.nodes, "break_at must name a list node");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hirata_sim::{Config, Machine};
+
+    fn run_seq(shape: ListShape) -> Machine {
+        let mut m =
+            Machine::new(Config::base_risc(), &sequential_program(shape)).unwrap();
+        m.run().unwrap();
+        m
+    }
+
+    fn run_eager(shape: ListShape, slots: usize) -> Machine {
+        let mut m =
+            Machine::new(Config::multithreaded(slots), &eager_program(shape)).unwrap();
+        m.run().unwrap();
+        m
+    }
+
+    #[test]
+    fn sequential_counts_iterations_and_breaks() {
+        let shape = ListShape { nodes: 10, break_at: Some(6) };
+        let m = run_seq(shape);
+        let (iters, tmp) = reference(shape);
+        assert_eq!(iters, 7);
+        assert_eq!(m.memory().read_i64(COUNT_ADDR).unwrap(), 7);
+        assert_eq!(m.memory().read_f64(RESULT_ADDR).unwrap(), tmp.unwrap());
+    }
+
+    #[test]
+    fn sequential_traverses_to_null_without_break() {
+        let shape = ListShape { nodes: 12, break_at: None };
+        let m = run_seq(shape);
+        assert_eq!(m.memory().read_i64(COUNT_ADDR).unwrap(), 12);
+        assert_eq!(m.memory().read_f64(RESULT_ADDR).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn eager_matches_sequential_break_semantics() {
+        let shape = ListShape { nodes: 20, break_at: Some(13) };
+        let (_, tmp) = reference(shape);
+        for slots in [1usize, 2, 3, 4] {
+            let m = run_eager(shape, slots);
+            assert_eq!(
+                m.memory().read_f64(RESULT_ADDR).unwrap(),
+                tmp.unwrap(),
+                "{slots} slots"
+            );
+        }
+    }
+
+    #[test]
+    fn eager_handles_null_termination() {
+        let shape = ListShape { nodes: 9, break_at: None };
+        for slots in [2usize, 4] {
+            let m = run_eager(shape, slots);
+            // No break: nothing stored, everyone killed or halted.
+            assert_eq!(m.memory().read_f64(RESULT_ADDR).unwrap(), 0.0);
+            assert!(m.stats().threads_killed >= 1, "{slots} slots");
+        }
+    }
+
+    #[test]
+    fn eager_break_kills_speculative_successors() {
+        let shape = ListShape { nodes: 30, break_at: Some(5) };
+        let m = run_eager(shape, 4);
+        assert_eq!(m.stats().threads_killed, 3);
+        let (_, tmp) = reference(shape);
+        assert_eq!(m.memory().read_f64(RESULT_ADDR).unwrap(), tmp.unwrap());
+    }
+
+    #[test]
+    fn eager_speeds_up_the_sequential_loop() {
+        // The headline Table 5 effect: 2..4 slots cut cycles per
+        // iteration; the inter-iteration pointer chase bounds it.
+        let shape = ListShape { nodes: 60, break_at: Some(59) };
+        let seq = run_seq(shape).stats().cycles;
+        let two = run_eager(shape, 2).stats().cycles;
+        let four = run_eager(shape, 4).stats().cycles;
+        assert!(two < seq, "2 slots must beat sequential: {two} vs {seq}");
+        assert!(four < two, "4 slots must beat 2: {four} vs {two}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_list_rejected() {
+        sequential_program(ListShape { nodes: 0, break_at: None });
+    }
+}

@@ -1,0 +1,204 @@
+//! Livermore Kernel 1 (§3.4, Table 4):
+//!
+//! ```fortran
+//! DO 1 K = 1, N
+//! 1   X(K) = Q + Y(K)*(R*Z(K+10) + T*Z(K+11))
+//! ```
+//!
+//! The kernel body is expressed as a straight-line [`Inst`] block so
+//! the §2.3.2 schedulers can reorder it; the surrounding driver forks
+//! one thread per slot, strides iterations by `nlp`, and acknowledges
+//! each iteration with `chgpri` in explicit-rotation mode — the
+//! compiler-controlled loop regime strategy B is designed for.
+//!
+//! The object code contains three loads and one store per iteration,
+//! so on one load/store unit with a two-cycle issue latency at least
+//! `(3+1) x 2 = 8` cycles are needed per iteration — the saturation
+//! floor the paper derives for Table 4.
+
+use hirata_isa::{FReg, GReg, Inst, Program, Reg};
+use hirata_sched::{apply_strategy, Strategy};
+
+/// Word address of `X` in data memory.
+pub const X_BASE: i64 = 1000;
+/// Word address of `Y` in data memory.
+pub const Y_BASE: i64 = 2000;
+/// Word address of `Z` in data memory.
+pub const Z_BASE: i64 = 3000;
+
+/// The kernel's scalar constants.
+pub const Q: f64 = 0.5;
+/// Multiplier applied to `Z(K+10)`.
+pub const R: f64 = 1.25;
+/// Multiplier applied to `Z(K+11)`.
+pub const T: f64 = -0.75;
+
+/// Largest supported `n` (keeps the arrays disjoint).
+pub const MAX_N: usize = 900;
+
+fn fr(n: u8) -> FReg {
+    FReg(n)
+}
+
+/// The loop body as written by a naive compiler: each operand loaded
+/// immediately before use (Table 4's "non-optimized" code). The
+/// iteration index `k` (in words) lives in `r4`; `f20..f22` hold
+/// `R`, `T`, `Q`.
+pub fn kernel1_body() -> Vec<Inst> {
+    let k = GReg(4);
+    vec![
+        Inst::Load { dst: Reg::F(fr(1)), base: k, off: Z_BASE + 10 },
+        Inst::FpBin { op: hirata_isa::FpBinOp::FMul, fd: fr(4), fs: fr(20), ft: fr(1) },
+        Inst::Load { dst: Reg::F(fr(2)), base: k, off: Z_BASE + 11 },
+        Inst::FpBin { op: hirata_isa::FpBinOp::FMul, fd: fr(5), fs: fr(21), ft: fr(2) },
+        Inst::FpBin { op: hirata_isa::FpBinOp::FAdd, fd: fr(4), fs: fr(4), ft: fr(5) },
+        Inst::Load { dst: Reg::F(fr(3)), base: k, off: Y_BASE },
+        Inst::FpBin { op: hirata_isa::FpBinOp::FMul, fd: fr(4), fs: fr(3), ft: fr(4) },
+        Inst::FpBin { op: hirata_isa::FpBinOp::FAdd, fd: fr(4), fs: fr(22), ft: fr(4) },
+        Inst::Store { src: Reg::F(fr(4)), base: k, off: X_BASE, gated: false },
+    ]
+}
+
+/// The input arrays: `(y, z)` with `z` long enough for the `K+11`
+/// accesses. Deterministic, smooth data.
+pub fn kernel1_inputs(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let y: Vec<f64> = (0..n).map(|i| 0.01 * i as f64 - 2.0).collect();
+    let z: Vec<f64> = (0..n + 11).map(|i| 1.0 / (1.0 + i as f64)).collect();
+    (y, z)
+}
+
+/// Reference result: the `X` array a correct execution must produce.
+pub fn kernel1_reference(n: usize) -> Vec<f64> {
+    let (y, z) = kernel1_inputs(n);
+    (0..n).map(|k| Q + y[k] * (R * z[k + 10] + T * z[k + 11])).collect()
+}
+
+/// Builds the complete Kernel 1 program for `n` iterations with the
+/// body reordered by `strategy`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or exceeds [`MAX_N`] (the fixed data layout),
+/// or on an internal assembly error (a bug, not an input condition).
+pub fn kernel1_program(n: usize, strategy: Strategy) -> Program {
+    assert!(n > 0 && n <= MAX_N, "n must be in 1..={MAX_N}");
+    let body = apply_strategy(&kernel1_body(), strategy);
+    let body_text: String = body.iter().map(|i| format!("    {i}\n")).collect();
+    let (y, z) = kernel1_inputs(n);
+    let fmt = |v: &[f64]| v.iter().map(|x| format!("{x:?}")).collect::<Vec<_>>().join(", ");
+    let src = format!(
+        "
+.data
+.org 500
+consts: .float {R:?}, {T:?}, {Q:?}
+.org {Y_BASE}
+yarr: .float {y}
+.org {Z_BASE}
+zarr: .float {z}
+.text
+.entry main
+main:
+    lf   f20, 500(r0)
+    lf   f21, 501(r0)
+    lf   f22, 502(r0)
+    setrot explicit
+    fastfork
+    lpid r1
+    nlp  r2
+    mv   r4, r1
+loop:
+    slt  r5, r4, #{n}
+    beq  r5, #0, done
+{body_text}    chgpri
+    add  r4, r4, r2
+    j    loop
+done:
+    halt
+",
+        y = fmt(&y),
+        z = fmt(&z),
+    );
+    hirata_asm::assemble(&src).expect("kernel 1 program assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hirata_sim::{Config, Machine};
+
+    fn x_array(m: &Machine, n: usize) -> Vec<f64> {
+        (0..n).map(|k| m.memory().read_f64(X_BASE as u64 + k as u64).unwrap()).collect()
+    }
+
+    #[test]
+    fn body_has_the_papers_memory_op_count() {
+        let body = kernel1_body();
+        let mems = body.iter().filter(|i| i.is_mem()).count();
+        assert_eq!(mems, 4, "three loads and one store (§3.4)");
+        assert_eq!(body.len(), 9);
+    }
+
+    #[test]
+    fn matches_reference_on_base_risc() {
+        let n = 40;
+        let prog = kernel1_program(n, Strategy::None);
+        let mut m = Machine::new(Config::base_risc(), &prog).unwrap();
+        m.run().unwrap();
+        assert_eq!(x_array(&m, n), kernel1_reference(n));
+    }
+
+    #[test]
+    fn every_strategy_and_width_gives_identical_results() {
+        let n = 23; // deliberately not a multiple of the slot counts
+        let reference = kernel1_reference(n);
+        for strategy in [Strategy::None, Strategy::ListA, Strategy::ReservationB { threads: 4 }] {
+            let prog = kernel1_program(n, strategy);
+            for slots in [1usize, 2, 4, 8] {
+                let mut m = Machine::new(Config::multithreaded(slots), &prog).unwrap();
+                m.run().unwrap();
+                assert_eq!(
+                    x_array(&m, n),
+                    reference,
+                    "strategy {strategy:?}, {slots} slots"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_a_shortens_single_thread_iterations() {
+        let n = 64;
+        let naive = {
+            let mut m =
+                Machine::new(Config::multithreaded(1), &kernel1_program(n, Strategy::None))
+                    .unwrap();
+            m.run().unwrap();
+            m.stats().cycles
+        };
+        let list = {
+            let mut m =
+                Machine::new(Config::multithreaded(1), &kernel1_program(n, Strategy::ListA))
+                    .unwrap();
+            m.run().unwrap();
+            m.stats().cycles
+        };
+        assert!(list < naive, "strategy A must beat non-optimized code: {list} vs {naive}");
+    }
+
+    #[test]
+    fn eight_slot_throughput_approaches_the_eight_cycle_floor() {
+        let n = 256;
+        let prog = kernel1_program(n, Strategy::ReservationB { threads: 8 });
+        let mut m = Machine::new(Config::multithreaded(8), &prog).unwrap();
+        m.run().unwrap();
+        let per_iter = m.stats().cycles as f64 / n as f64;
+        assert!(per_iter >= 8.0, "the 4-memory-op floor is 8 cycles/iteration: {per_iter}");
+        assert!(per_iter < 13.0, "8 slots should come close to the floor: {per_iter}");
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be in")]
+    fn zero_iterations_rejected() {
+        kernel1_program(0, Strategy::None);
+    }
+}

@@ -1,0 +1,157 @@
+//! Livermore Kernel 3 — inner product:
+//!
+//! ```fortran
+//! Q = 0.0
+//! DO 3 K = 1, N
+//! 3   Q = Q + Z(K)*X(K)
+//! ```
+//!
+//! The parallel version demonstrates §2.3.1's register-transfer-level
+//! communication: each logical processor accumulates a strided partial
+//! sum, then the partials are **reduced through the queue-register
+//! ring** — logical processor 0 seeds its partial into the ring, every
+//! successor adds its own and forwards, and the total arrives back at
+//! processor 0, which stores it. No memory-based synchronisation is
+//! needed at all.
+
+use hirata_isa::Program;
+
+/// Word address of the `X` input array.
+pub const K3_X_BASE: u64 = 1000;
+/// Word address of the `Z` input array.
+pub const K3_Z_BASE: u64 = 2500;
+/// Word address where the final inner product is stored.
+pub const K3_RESULT: u64 = 600;
+/// Largest supported `n`.
+pub const K3_MAX_N: usize = 1400;
+
+/// Input arrays `(x, z)`, deterministic and smooth.
+pub fn kernel3_inputs(n: usize) -> (Vec<f64>, Vec<f64>) {
+    let x: Vec<f64> = (0..n).map(|i| 0.5 + (i % 7) as f64 * 0.125).collect();
+    let z: Vec<f64> = (0..n).map(|i| 1.0 - (i % 5) as f64 * 0.0625).collect();
+    (x, z)
+}
+
+/// Reference inner product for `slots` logical processors: the exact
+/// floating-point association the machine uses — per-thread strided
+/// partials in index order, then ring order `((p0+p1)+p2)+...`.
+pub fn kernel3_reference(n: usize, slots: usize) -> f64 {
+    let (x, z) = kernel3_inputs(n);
+    let partial = |lp: usize| -> f64 {
+        let mut acc = 0.0f64;
+        let mut k = lp;
+        while k < n {
+            acc += z[k] * x[k];
+            k += slots;
+        }
+        acc
+    };
+    let mut total = partial(0);
+    for lp in 1..slots {
+        total += partial(lp);
+    }
+    total
+}
+
+/// Builds the Kernel 3 program. Works on any machine width: the ring
+/// reduction is written in terms of `lpid`/`nlp`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or exceeds [`K3_MAX_N`].
+pub fn kernel3_program(n: usize) -> Program {
+    assert!(n > 0 && n <= K3_MAX_N, "n must be in 1..={K3_MAX_N}");
+    let (x, z) = kernel3_inputs(n);
+    let fmt = |v: &[f64]| v.iter().map(|f| format!("{f:?}")).collect::<Vec<_>>().join(", ");
+    let src = format!(
+        "
+.data
+.org {K3_X_BASE}
+xarr: .float {x}
+.org {K3_Z_BASE}
+zarr: .float {z}
+.text
+.entry main
+main:
+    setrot explicit
+    qmap f10, f11          ; the ring carries floating partials
+    fastfork
+    lpid r1
+    nlp  r2
+    lif  f1, #0.0          ; acc
+    mv   r4, r1            ; k = lpid
+loop:
+    slt  r5, r4, #{n}
+    beq  r5, #0, reduce
+    lf   f2, {K3_Z_BASE}(r4)
+    lf   f3, {K3_X_BASE}(r4)
+    fmul f2, f2, f3
+    fadd f1, f1, f2        ; acc += z[k]*x[k]
+    add  r4, r4, r2
+    j    loop
+reduce:
+    ; Ring reduction: LP0 seeds, others add and forward, LP0 collects.
+    bne  r1, #0, middle
+    fmov f11, f1           ; LP0 sends its partial into the ring
+    chgpri                 ; pass the turn along the ring
+    fmov f4, f10           ; ...and receives the grand total
+    sf   f4, {K3_RESULT}(r0)
+    halt
+middle:
+    fadd f11, f10, f1      ; add my partial to the incoming prefix
+    chgpri
+    halt
+",
+        x = fmt(&x),
+        z = fmt(&z),
+    );
+    hirata_asm::assemble(&src).expect("kernel 3 assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hirata_sim::{Config, Machine};
+
+    #[test]
+    fn inner_product_matches_reference_on_every_width() {
+        let n = 50;
+        for slots in [1usize, 2, 3, 4, 8] {
+            let mut m =
+                Machine::new(Config::multithreaded(slots), &kernel3_program(n)).unwrap();
+            m.run().unwrap();
+            assert_eq!(
+                m.memory().read_f64(K3_RESULT).unwrap(),
+                kernel3_reference(n, slots),
+                "{slots} slots"
+            );
+        }
+    }
+
+    #[test]
+    fn single_slot_ring_self_delivers() {
+        // With one slot the ring loops back to the same processor.
+        let n = 7;
+        let mut m = Machine::new(Config::multithreaded(1), &kernel3_program(n)).unwrap();
+        m.run().unwrap();
+        assert_eq!(m.memory().read_f64(K3_RESULT).unwrap(), kernel3_reference(n, 1));
+    }
+
+    #[test]
+    fn reduction_scales() {
+        let n = 256;
+        let prog = kernel3_program(n);
+        let cycles = |slots: usize| {
+            let mut m = Machine::new(Config::multithreaded(slots), &prog).unwrap();
+            m.run().unwrap().cycles
+        };
+        let (one, four) = (cycles(1), cycles(4));
+        assert!(four * 2 < one, "4 slots should be >2x faster: {one} vs {four}");
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be in")]
+    fn oversized_n_rejected() {
+        kernel3_program(K3_MAX_N + 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Livermore Kernel 5 — tridiagonal elimination, below diagonal:
+//!
+//! ```fortran
+//! DO 5 I = 2, N
+//! 5   X(I) = Z(I) * (Y(I) - X(I-1))
+//! ```
+//!
+//! A genuine *doacross* loop with iteration difference one — the case
+//! §2.3.1 designs the queue registers for (Figure 5): iteration `i`
+//! runs on logical processor `(i-1) mod S` and the freshly computed
+//! `x[i]` travels to the successor through the ring, never through
+//! memory. Vectorising compilers cannot touch this loop; the
+//! multithreaded machine pipelines it across logical processors.
+
+use hirata_isa::Program;
+
+/// Word address of `X` (`x[0]` is the seed value).
+pub const K5_X_BASE: u64 = 1000;
+/// Word address of `Y`.
+pub const K5_Y_BASE: u64 = 2500;
+/// Word address of `Z`.
+pub const K5_Z_BASE: u64 = 4000;
+/// Largest supported `n`.
+pub const K5_MAX_N: usize = 1400;
+
+/// Inputs: `(x0, y, z)` with `y`/`z` indexed `0..=n`.
+pub fn kernel5_inputs(n: usize) -> (f64, Vec<f64>, Vec<f64>) {
+    let y: Vec<f64> = (0..=n).map(|i| 1.0 + (i % 9) as f64 * 0.125).collect();
+    let z: Vec<f64> = (0..=n).map(|i| 0.5 + (i % 4) as f64 * 0.0625).collect();
+    (0.25, y, z)
+}
+
+/// Reference recurrence: the `x[1..=n]` a correct execution stores.
+pub fn kernel5_reference(n: usize) -> Vec<f64> {
+    let (x0, y, z) = kernel5_inputs(n);
+    let mut x = vec![0.0f64; n + 1];
+    x[0] = x0;
+    for i in 1..=n {
+        x[i] = z[i] * (y[i] - x[i - 1]);
+    }
+    x
+}
+
+/// Builds the Kernel 5 doacross program: iteration `i` on logical
+/// processor `(i-1) mod S`, the recurrence value flowing through the
+/// queue-register ring.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or exceeds [`K5_MAX_N`].
+pub fn kernel5_program(n: usize) -> Program {
+    assert!(n > 0 && n <= K5_MAX_N, "n must be in 1..={K5_MAX_N}");
+    let (x0, y, z) = kernel5_inputs(n);
+    let fmt = |v: &[f64]| v.iter().map(|f| format!("{f:?}")).collect::<Vec<_>>().join(", ");
+    let src = format!(
+        "
+.data
+.org {K5_X_BASE}
+xarr: .float {x0:?}
+.org {K5_Y_BASE}
+yarr: .float {y}
+.org {K5_Z_BASE}
+zarr: .float {z}
+.text
+.entry main
+main:
+    qmap f10, f11
+    fastfork
+    lpid r1
+    nlp  r2
+    ; The LAST logical processor seeds the ring with x[0]: its write
+    ; link is LP0's read link, and LP0 executes iteration 1.
+    sub  r7, r2, #1
+    bne  r1, r7, noseed
+    lf   f9, {K5_X_BASE}(r0)
+    fmov f11, f9
+noseed:
+    ; iterations handled by this LP: ceil((n - lpid) / nlp)
+    li   r3, #{n}
+    sub  r4, r3, r1
+    add  r4, r4, r2
+    sub  r4, r4, #1
+    div  r5, r4, r2
+    beq  r5, #0, done      ; no work for this LP (n < S)
+    add  r6, r1, #1        ; i = lpid + 1
+body:
+    lf   f2, {K5_Z_BASE}(r6)   ; prefetch z[i], y[i] before x[i-1]
+    lf   f3, {K5_Y_BASE}(r6)   ; arrives — iterations start eagerly
+    fsub f3, f3, f10       ; dequeue x[i-1] straight into the subtract
+    fmul f2, f2, f3        ; x[i] = z[i] * (y[i] - x[i-1])
+    fmov f11, f2           ; forward x[i] first: the successor is waiting
+    sf   f2, {K5_X_BASE}(r6)
+    sub  r5, r5, #1
+    beq  r5, #0, done
+    add  r6, r6, r2
+    j    body
+done:
+    halt
+",
+        y = fmt(&y),
+        z = fmt(&z),
+    );
+    hirata_asm::assemble(&src).expect("kernel 5 assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hirata_sim::{Config, Machine};
+
+    fn x_array(m: &Machine, n: usize) -> Vec<f64> {
+        (0..=n).map(|i| m.memory().read_f64(K5_X_BASE + i as u64).unwrap()).collect()
+    }
+
+    #[test]
+    fn recurrence_matches_reference_on_every_width() {
+        let n = 33;
+        let expected = kernel5_reference(n);
+        for slots in [1usize, 2, 3, 4, 8] {
+            let mut m =
+                Machine::new(Config::multithreaded(slots), &kernel5_program(n)).unwrap();
+            m.run().unwrap();
+            assert_eq!(x_array(&m, n), expected, "{slots} slots");
+        }
+    }
+
+    #[test]
+    fn more_slots_than_iterations() {
+        let n = 3;
+        let mut m = Machine::new(Config::multithreaded(8), &kernel5_program(n)).unwrap();
+        m.run().unwrap();
+        assert_eq!(x_array(&m, n), kernel5_reference(n));
+    }
+
+    #[test]
+    fn doacross_pipelining_beats_one_slot() {
+        // The recurrence serialises the multiplies, but loads, stores
+        // and loop overhead of different iterations overlap across
+        // logical processors.
+        let n = 200;
+        let prog = kernel5_program(n);
+        let cycles = |slots: usize| {
+            let mut m = Machine::new(Config::multithreaded(slots), &prog).unwrap();
+            m.run().unwrap().cycles
+        };
+        let (one, four) = (cycles(1), cycles(4));
+        assert!(
+            (four as f64) < 0.8 * one as f64,
+            "doacross should pipeline: {one} vs {four}"
+        );
+    }
+
+    #[test]
+    fn baseline_risc_runs_it_too() {
+        let n = 12;
+        let mut m = Machine::new(Config::base_risc(), &kernel5_program(n)).unwrap();
+        m.run().unwrap();
+        assert_eq!(x_array(&m, n), kernel5_reference(n));
+    }
+}

@@ -1,0 +1,213 @@
+//! Livermore Kernel 7 — equation of state fragment:
+//!
+//! ```fortran
+//! DO 7 K = 1, N
+//! 7   X(K) = U(K) + R*(Z(K) + R*Y(K)) +
+//!      T*(U(K+3) + R*(U(K+2) + R*U(K+1)) +
+//!         T*(U(K+6) + Q*(U(K+5) + Q*U(K+4))))
+//! ```
+//!
+//! A wide doall loop — nine loads, one store and fourteen FP
+//! operations per iteration — run under implicit priority rotation
+//! (no compiler control needed; contrast with Kernel 1's
+//! explicit-rotation regime). Like Kernel 1 it supports the §2.3.2
+//! scheduling strategies on its body.
+
+use hirata_isa::{FpBinOp, FReg, GReg, Inst, Program, Reg};
+use hirata_sched::{apply_strategy, Strategy};
+
+/// Word address of `X` (output).
+pub const K7_X_BASE: i64 = 1000;
+/// Word address of `Y`.
+pub const K7_Y_BASE: i64 = 2500;
+/// Word address of `Z`.
+pub const K7_Z_BASE: i64 = 4000;
+/// Word address of `U` (length `n + 6`).
+pub const K7_U_BASE: i64 = 5500;
+/// Scalar `R`.
+pub const K7_R: f64 = 0.375;
+/// Scalar `T`.
+pub const K7_T: f64 = 0.25;
+/// Scalar `Q`.
+pub const K7_Q: f64 = 0.125;
+/// Largest supported `n`.
+pub const K7_MAX_N: usize = 1400;
+
+fn fr(n: u8) -> FReg {
+    FReg(n)
+}
+
+fn bin(op: FpBinOp, fd: u8, fs: u8, ft: u8) -> Inst {
+    Inst::FpBin { op, fd: fr(fd), fs: fr(fs), ft: fr(ft) }
+}
+
+fn load(fd: u8, off: i64) -> Inst {
+    Inst::Load { dst: Reg::F(fr(fd)), base: GReg(4), off }
+}
+
+/// The kernel body in naive (source) order. The iteration index `k`
+/// (in words) lives in `r4`; `f20..f22` hold `R`, `T`, `Q`.
+pub fn kernel7_body() -> Vec<Inst> {
+    use FpBinOp::{FAdd, FMul};
+    vec![
+        // a = u[k] + r*(z[k] + r*y[k])
+        load(1, K7_Y_BASE),
+        bin(FMul, 2, 20, 1),  // r*y
+        load(3, K7_Z_BASE),
+        bin(FAdd, 2, 3, 2),   // z + r*y
+        bin(FMul, 2, 20, 2),  // r*(...)
+        load(4, K7_U_BASE),
+        bin(FAdd, 2, 4, 2),   // a
+        // b = u[k+3] + r*(u[k+2] + r*u[k+1])
+        load(5, K7_U_BASE + 1),
+        bin(FMul, 6, 20, 5),
+        load(7, K7_U_BASE + 2),
+        bin(FAdd, 6, 7, 6),
+        bin(FMul, 6, 20, 6),
+        load(8, K7_U_BASE + 3),
+        bin(FAdd, 6, 8, 6),   // b
+        // c = u[k+6] + q*(u[k+5] + q*u[k+4])
+        load(9, K7_U_BASE + 4),
+        bin(FMul, 10, 22, 9),
+        load(11, K7_U_BASE + 5),
+        bin(FAdd, 10, 11, 10),
+        bin(FMul, 10, 22, 10),
+        load(12, K7_U_BASE + 6),
+        bin(FAdd, 10, 12, 10), // c
+        // x = a + t*(b + t*c)
+        bin(FMul, 10, 21, 10), // t*c
+        bin(FAdd, 6, 6, 10),   // b + t*c
+        bin(FMul, 6, 21, 6),   // t*(...)
+        bin(FAdd, 2, 2, 6),    // x
+        Inst::Store { src: Reg::F(fr(2)), base: GReg(4), off: K7_X_BASE, gated: false },
+    ]
+}
+
+/// Inputs `(y, z, u)`; `u` has `n + 6` elements.
+pub fn kernel7_inputs(n: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let y: Vec<f64> = (0..n).map(|i| 0.25 + (i % 11) as f64 * 0.03125).collect();
+    let z: Vec<f64> = (0..n).map(|i| 1.5 - (i % 6) as f64 * 0.0625).collect();
+    let u: Vec<f64> = (0..n + 6).map(|i| 0.75 + (i % 13) as f64 * 0.015625).collect();
+    (y, z, u)
+}
+
+/// Reference output, same operation order as [`kernel7_body`].
+pub fn kernel7_reference(n: usize) -> Vec<f64> {
+    let (y, z, u) = kernel7_inputs(n);
+    (0..n)
+        .map(|k| {
+            let a = u[k] + K7_R * (z[k] + K7_R * y[k]);
+            let b = u[k + 3] + K7_R * (u[k + 2] + K7_R * u[k + 1]);
+            let c = u[k + 6] + K7_Q * (u[k + 5] + K7_Q * u[k + 4]);
+            a + K7_T * (b + K7_T * c)
+        })
+        .collect()
+}
+
+/// Builds the Kernel 7 program with the body reordered by `strategy`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or exceeds [`K7_MAX_N`].
+pub fn kernel7_program(n: usize, strategy: Strategy) -> Program {
+    assert!(n > 0 && n <= K7_MAX_N, "n must be in 1..={K7_MAX_N}");
+    let body = apply_strategy(&kernel7_body(), strategy);
+    let body_text: String = body.iter().map(|i| format!("    {i}\n")).collect();
+    let (y, z, u) = kernel7_inputs(n);
+    let fmt = |v: &[f64]| v.iter().map(|f| format!("{f:?}")).collect::<Vec<_>>().join(", ");
+    let src = format!(
+        "
+.data
+.org 500
+consts: .float {r:?}, {t:?}, {q:?}
+.org {K7_Y_BASE}
+yarr: .float {y}
+.org {K7_Z_BASE}
+zarr: .float {z}
+.org {K7_U_BASE}
+uarr: .float {u}
+.text
+.entry main
+main:
+    lf   f20, 500(r0)
+    lf   f21, 501(r0)
+    lf   f22, 502(r0)
+    fastfork
+    lpid r1
+    nlp  r2
+    mv   r4, r1
+loop:
+    slt  r5, r4, #{n}
+    beq  r5, #0, done
+{body_text}    add  r4, r4, r2
+    j    loop
+done:
+    halt
+",
+        r = K7_R,
+        t = K7_T,
+        q = K7_Q,
+        y = fmt(&y),
+        z = fmt(&z),
+        u = fmt(&u),
+    );
+    hirata_asm::assemble(&src).expect("kernel 7 assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hirata_sim::{Config, Machine};
+
+    fn x_array(m: &Machine, n: usize) -> Vec<f64> {
+        (0..n).map(|k| m.memory().read_f64(K7_X_BASE as u64 + k as u64).unwrap()).collect()
+    }
+
+    #[test]
+    fn body_mix_matches_the_kernel() {
+        let body = kernel7_body();
+        assert_eq!(body.iter().filter(|i| matches!(i, Inst::Load { .. })).count(), 9);
+        assert_eq!(body.iter().filter(|i| matches!(i, Inst::Store { .. })).count(), 1);
+        assert_eq!(body.iter().filter(|i| matches!(i, Inst::FpBin { .. })).count(), 16);
+    }
+
+    #[test]
+    fn matches_reference_across_strategies_and_widths() {
+        let n = 25;
+        let expected = kernel7_reference(n);
+        for strategy in [Strategy::None, Strategy::ListA, Strategy::ReservationB { threads: 4 }] {
+            for slots in [1usize, 4] {
+                let mut m = Machine::new(
+                    Config::multithreaded(slots),
+                    &kernel7_program(n, strategy),
+                )
+                .unwrap();
+                m.run().unwrap();
+                assert_eq!(x_array(&m, n), expected, "{strategy:?}, {slots} slots");
+            }
+        }
+    }
+
+    #[test]
+    fn ten_memory_ops_set_a_twenty_cycle_floor() {
+        // 9 loads + 1 store at 2-cycle issue latency on one L/S unit:
+        // at least 20 cycles per iteration no matter how many slots.
+        let n = 128;
+        let prog = kernel7_program(n, Strategy::ListA);
+        let mut m = Machine::new(Config::multithreaded(8), &prog).unwrap();
+        m.run().unwrap();
+        let per_iter = m.stats().cycles as f64 / n as f64;
+        assert!(per_iter >= 20.0, "memory floor: {per_iter}");
+        assert!(per_iter < 27.0, "8 slots should approach the floor: {per_iter}");
+    }
+
+    #[test]
+    fn scheduling_helps_the_single_thread() {
+        let n = 64;
+        let cycles = |s: Strategy| {
+            let mut m = Machine::new(Config::multithreaded(1), &kernel7_program(n, s)).unwrap();
+            m.run().unwrap().cycles
+        };
+        assert!(cycles(Strategy::ListA) < cycles(Strategy::None));
+    }
+}

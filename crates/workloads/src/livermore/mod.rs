@@ -1,0 +1,29 @@
+//! Livermore kernels in the reproduced ISA.
+//!
+//! * [Kernel 1](kernel1_program) — hydro fragment (§3.4, Table 4): the
+//!   paper's static-scheduling testbed; a *doall* loop with the
+//!   8-cycle-per-iteration memory floor.
+//! * [Kernel 3](kernel3_program) — inner product: a reduction carried
+//!   *through the queue-register ring* (partial sums flow from logical
+//!   processor to logical processor at register-transfer level,
+//!   §2.3.1).
+//! * [Kernel 5](kernel5_program) — tridiagonal elimination: a genuine
+//!   *doacross* loop with iteration difference one; `x[i-1]` reaches
+//!   the next iteration's logical processor through the ring exactly
+//!   as Figure 5 describes.
+//! * [Kernel 7](kernel7_program) — equation of state: a wide doall
+//!   loop, FP- and load-heavy, run under implicit rotation.
+//!
+//! Every kernel has a bit-exact Rust reference; the simulator's final
+//! memory image must match it word for word (same operation order, so
+//! even floating-point results are identical).
+
+mod k1;
+mod k3;
+mod k5;
+mod k7;
+
+pub use k1::*;
+pub use k3::*;
+pub use k5::*;
+pub use k7::*;

@@ -1,0 +1,253 @@
+//! A radiosity-style workload — the paper's *other* motivating
+//! graphics algorithm (§1: "ray-tracing and radiosity are very famous
+//! algorithms for generating realistic images").
+//!
+//! Classic gathering radiosity solves `B = E + ρ F B` by Jacobi
+//! iteration: each patch gathers radiosity from every other patch
+//! through a form-factor matrix. Per patch per iteration that is a
+//! dense dot product — a long stream of loads and FP multiply-adds,
+//! a very different mix from the branchy ray tracer (few branches,
+//! near-perfect doall parallelism across patches).
+//!
+//! Patches are strided across logical processors; iterations are
+//! separated by a **two-lap token barrier over the queue-register
+//! ring** (lap one proves every processor finished writing, lap two
+//! releases them), so iteration `t+1` never reads a patch value
+//! before every processor has finished iteration `t`. Double
+//! buffering removes same-iteration races.
+
+use hirata_isa::Program;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Word address of the form-factor matrix (row-major, `n x n`).
+pub const FF_BASE: u64 = 20_000;
+/// Word address of buffer A (iteration input).
+pub const BUF_A: u64 = 1_000;
+/// Word address of buffer B (iteration output).
+pub const BUF_B: u64 = 2_000;
+/// Word address of the emission vector.
+pub const EMIT_BASE: u64 = 3_000;
+
+/// Radiosity problem description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RadiosityParams {
+    /// Number of patches (`n x n` form factors).
+    pub patches: usize,
+    /// Jacobi iterations.
+    pub iterations: usize,
+    /// Scene seed.
+    pub seed: u64,
+}
+
+impl Default for RadiosityParams {
+    fn default() -> Self {
+        RadiosityParams { patches: 24, iterations: 3, seed: 7 }
+    }
+}
+
+/// Reflectivity used for every patch.
+const RHO: f64 = 0.6;
+
+/// Deterministic scene: `(emission, form_factors)`. Form-factor rows
+/// are normalised to sum below one, so the iteration converges.
+pub fn radiosity_scene(p: &RadiosityParams) -> (Vec<f64>, Vec<f64>) {
+    let n = p.patches;
+    let mut rng = SmallRng::seed_from_u64(p.seed);
+    let emit: Vec<f64> =
+        (0..n).map(|i| if i % 5 == 0 { rng.gen_range(0.5..1.0) } else { 0.0 }).collect();
+    let mut ff = vec![0.0f64; n * n];
+    for i in 0..n {
+        let mut row: Vec<f64> = (0..n)
+            .map(|j| if i == j { 0.0 } else { rng.gen_range(0.0..1.0f64) })
+            .collect();
+        let sum: f64 = row.iter().sum();
+        for v in &mut row {
+            *v /= sum * 1.25; // rows sum to 0.8
+        }
+        ff[i * n..(i + 1) * n].copy_from_slice(&row);
+    }
+    (emit, ff)
+}
+
+/// Reference Jacobi solve with the machine's exact operation order.
+/// Returns the final radiosity vector (the contents of the buffer the
+/// last iteration wrote into).
+pub fn radiosity_reference(p: &RadiosityParams) -> Vec<f64> {
+    let n = p.patches;
+    let (emit, ff) = radiosity_scene(p);
+    let mut cur = emit.clone(); // buffer A starts as E
+    let mut next = vec![0.0f64; n];
+    for _ in 0..p.iterations {
+        for i in 0..n {
+            let mut gather = 0.0f64;
+            for j in 0..n {
+                gather += ff[i * n + j] * cur[j];
+            }
+            next[i] = emit[i] + RHO * gather;
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur
+}
+
+/// Which buffer ([`BUF_A`] or [`BUF_B`]) holds the result after
+/// `iterations` steps.
+pub fn radiosity_result_base(p: &RadiosityParams) -> u64 {
+    if p.iterations.is_multiple_of(2) {
+        BUF_A
+    } else {
+        BUF_B
+    }
+}
+
+/// Builds the radiosity program.
+///
+/// # Panics
+///
+/// Panics if the patch count or iteration count is zero, or the matrix
+/// would not fit the fixed layout.
+pub fn radiosity_program(p: &RadiosityParams) -> Program {
+    let n = p.patches;
+    assert!(n > 0 && p.iterations > 0, "patches and iterations must be positive");
+    assert!(n <= 64, "the fixed layout supports up to 64 patches");
+    let (emit, ff) = radiosity_scene(p);
+    let fmt = |v: &[f64]| v.iter().map(|f| format!("{f:?}")).collect::<Vec<_>>().join(", ");
+    // Buffer A starts as a copy of E.
+    let src = format!(
+        "
+.data
+.org {BUF_A}
+bufa: .float {emit_words}
+.org {EMIT_BASE}
+emit: .float {emit_words}
+.org {FF_BASE}
+ff:   .float {ff_words}
+.text
+.entry main
+main:
+    qmap r10, r11          ; the ring carries the barrier token
+    lif  f20, #{RHO:?}
+    fastfork
+    lpid r1
+    nlp  r2
+    li   r20, #{BUF_A}     ; src buffer
+    li   r21, #{BUF_B}     ; dst buffer
+    li   r22, #{iters}     ; remaining iterations
+iter:
+    mv   r3, r1            ; patch i = lpid
+patch:
+    slt  r4, r3, #{n}
+    beq  r4, #0, patch_done
+    ; row pointer = FF + i*n
+    mul  r5, r3, #{n}
+    li   r6, #{FF_BASE}
+    add  r5, r5, r6
+    lif  f1, #0.0          ; gather
+    li   r7, #0            ; j
+row:
+    slt  r4, r7, #{n}
+    beq  r4, #0, row_done
+    lf   f2, 0(r5)         ; F[i][j]
+    add  r8, r20, r7
+    lf   f3, 0(r8)         ; B_cur[j]
+    fmul f2, f2, f3
+    fadd f1, f1, f2
+    add  r5, r5, #1
+    add  r7, r7, #1
+    j    row
+row_done:
+    fmul f1, f20, f1       ; rho * gather
+    lf   f4, {EMIT_BASE}(r3)
+    fadd f1, f4, f1        ; E[i] + rho*gather
+    add  r9, r21, r3
+    sf   f1, 0(r9)         ; B_next[i]
+    add  r3, r3, r2
+    j    patch
+patch_done:
+    ; ---- two-lap ring barrier ----
+    drain                  ; fence: B_next writes must be performed
+    bne  r1, #0, bar_follow
+    li   r11, #1           ; LP0 starts lap one...
+    mv   r12, r10          ; ...which returns once everyone finished
+    li   r11, #2           ; lap two releases the others
+    mv   r12, r10          ; absorb the returning release token
+    j    bar_done
+bar_follow:
+    mv   r12, r10          ; lap one: wait for the predecessor...
+    mv   r11, r12          ; ...then vouch for ourselves
+    mv   r12, r10          ; lap two: wait for the release...
+    mv   r11, r12          ; ...and pass it on
+bar_done:
+    mv   r13, r20          ; swap buffers
+    mv   r20, r21
+    mv   r21, r13
+    sub  r22, r22, #1
+    bne  r22, #0, iter
+    halt
+",
+        emit_words = fmt(&emit),
+        ff_words = fmt(&ff),
+        iters = p.iterations,
+    );
+    hirata_asm::assemble(&src).expect("radiosity assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hirata_sim::{Config, Machine};
+
+    fn result(m: &Machine, p: &RadiosityParams) -> Vec<f64> {
+        let base = radiosity_result_base(p);
+        (0..p.patches).map(|i| m.memory().read_f64(base + i as u64).unwrap()).collect()
+    }
+
+    #[test]
+    fn matches_reference_on_base_risc() {
+        let p = RadiosityParams { patches: 8, iterations: 2, seed: 3 };
+        let mut m = Machine::new(Config::base_risc(), &radiosity_program(&p)).unwrap();
+        m.run().unwrap();
+        assert_eq!(result(&m, &p), radiosity_reference(&p));
+    }
+
+    #[test]
+    fn parallel_widths_agree_bit_for_bit() {
+        let p = RadiosityParams { patches: 10, iterations: 3, seed: 9 };
+        let expected = radiosity_reference(&p);
+        for slots in [2usize, 4, 8] {
+            let mut m =
+                Machine::new(Config::multithreaded(slots), &radiosity_program(&p)).unwrap();
+            m.run().unwrap();
+            assert_eq!(result(&m, &p), expected, "{slots} slots");
+        }
+    }
+
+    #[test]
+    fn radiosity_is_non_trivial() {
+        let p = RadiosityParams::default();
+        let b = radiosity_reference(&p);
+        assert!(b.iter().any(|&v| v > 0.0));
+        // Reflection spreads light to non-emitting patches.
+        let (emit, _) = radiosity_scene(&p);
+        assert!(b.iter().zip(&emit).any(|(&b, &e)| e == 0.0 && b > 0.01));
+    }
+
+    #[test]
+    fn gather_loops_scale_with_slots() {
+        let p = RadiosityParams { patches: 16, iterations: 2, seed: 1 };
+        let prog = radiosity_program(&p);
+        let cycles = |slots: usize| {
+            let mut m = Machine::new(Config::multithreaded(slots), &prog).unwrap();
+            m.run().unwrap().cycles
+        };
+        let (one, four) = (cycles(1), cycles(4));
+        assert!((four as f64) < 0.45 * one as f64, "radiosity is doall: {one} vs {four}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_patches_rejected() {
+        radiosity_program(&RadiosityParams { patches: 0, iterations: 1, seed: 0 });
+    }
+}

@@ -1,0 +1,463 @@
+//! The §3.2 application: a small ray tracer, parallelised per pixel.
+//!
+//! The paper's evaluation traces a C ray tracer; what the experiments
+//! actually depend on is the *dynamic instruction mix* — streams of
+//! loads walking the scene, floating-point arithmetic for the
+//! intersection tests, and data-dependent branches that defeat static
+//! prediction. This kernel reproduces that mix with a real (small)
+//! ray tracer in the reproduced ISA: per pixel it builds a primary
+//! ray, intersects it against every sphere (4 loads + ~12 FP ops + 2
+//! data-dependent branches per sphere), shades the nearest hit, and
+//! optionally casts a shadow feeler toward a light.
+//!
+//! Square roots are avoided (the ISA has none, as was common in 1992
+//! embedded FP units): hits are detected by the discriminant sign,
+//! depth-ordered by squared center distance, and shaded by
+//! `disc / b²` — every pixel's value is still a pure function of real
+//! ray-sphere geometry. [`reference_image`] recomputes the identical
+//! arithmetic in Rust, operation for operation, so tests compare the
+//! simulator's final image bit-for-bit.
+
+use hirata_isa::Program;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Word address of the scene (4 words per sphere: cx, cy, cz, r²).
+pub const SCENE_BASE: u64 = 1000;
+/// Word address of the rendered image (one word per pixel).
+pub const IMAGE_BASE: u64 = 10_000;
+/// Word address of the per-thread spill frames (16 words per logical
+/// processor). The paper's machine has no overlapped register windows
+/// (§3.1) and its workload was compiled C, so the per-sphere
+/// intersection "call" spills the ray state to a stack frame and
+/// reloads it each iteration — that memory traffic is what makes the
+/// load/store unit the busiest one in §3.2.
+pub const STACK_BASE: u64 = 60_000;
+
+/// Ray-tracer parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RayTraceParams {
+    /// Image width in pixels.
+    pub width: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Number of spheres in the scene.
+    pub spheres: usize,
+    /// Scene-generation seed.
+    pub seed: u64,
+    /// Cast a shadow feeler from each hit toward the light.
+    pub shadows: bool,
+}
+
+impl Default for RayTraceParams {
+    /// A 16x16 image of an 8-sphere scene with shadows — small enough
+    /// for tests, large enough to exercise every path.
+    fn default() -> Self {
+        RayTraceParams { width: 16, height: 16, spheres: 8, seed: 42, shadows: true }
+    }
+}
+
+impl RayTraceParams {
+    /// Total pixels.
+    pub fn pixels(&self) -> usize {
+        self.width * self.height
+    }
+}
+
+/// One scene sphere.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sphere {
+    /// Center.
+    pub center: [f64; 3],
+    /// Radius squared.
+    pub r2: f64,
+}
+
+/// The light direction used for shadow feelers (unit length).
+fn light_dir() -> [f64; 3] {
+    let l: [f64; 3] = [0.5, 0.8, 0.3];
+    let n = (l[0] * l[0] + l[1] * l[1] + l[2] * l[2]).sqrt();
+    [l[0] / n, l[1] / n, l[2] / n]
+}
+
+/// Deterministically generates the scene for `params`. Spheres sit in
+/// front of the camera (negative z) and never contain the origin.
+pub fn scene(params: &RayTraceParams) -> Vec<Sphere> {
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    (0..params.spheres)
+        .map(|_| {
+            let r = rng.gen_range(0.5..1.5f64);
+            Sphere {
+                center: [
+                    rng.gen_range(-3.0..3.0),
+                    rng.gen_range(-3.0..3.0),
+                    rng.gen_range(-10.0..-4.0f64),
+                ],
+                r2: r * r,
+            }
+        })
+        .collect()
+}
+
+/// Computes the image exactly as the assembly program does — the same
+/// floating-point operations in the same order, so results match the
+/// simulator bit for bit.
+pub fn reference_image(params: &RayTraceParams) -> Vec<i64> {
+    let spheres = scene(params);
+    let [lx, ly, lz] = light_dir();
+    let w2 = (params.width / 2) as i64;
+    let h2 = (params.height / 2) as i64;
+    let inv = 2.0 / params.width as f64;
+    let mut image = vec![0i64; params.pixels()];
+    for p in 0..params.pixels() as i64 {
+        let j = p / params.width as i64;
+        let i = p % params.width as i64;
+        let dx = ((i - w2) as f64) * inv;
+        let dy = ((j - h2) as f64) * inv;
+        // dz = -1
+        let a = (dx * dx + dy * dy) + 1.0;
+        let mut best = 0i64; // sphere index + 1, 0 = miss
+        let mut best_c2 = 1.0e30f64;
+        let mut best_shade = 0.0f64;
+        let mut best_center = [0.0f64; 3];
+        for (s, sp) in spheres.iter().enumerate() {
+            let [cx, cy, cz] = sp.center;
+            let b = (dx * cx + dy * cy) - cz;
+            let c2 = ((cx * cx + cy * cy) + cz * cz) - sp.r2;
+            let disc = b * b - a * c2;
+            if disc < 0.0 {
+                continue;
+            }
+            if b <= 0.0 {
+                continue;
+            }
+            // NaN-free data: plain >= reads best here, but keep the
+            // comparison in the same sense as the assembly (fcmplt).
+            let nearer = c2 < best_c2;
+            if !nearer {
+                continue;
+            }
+            best_c2 = c2;
+            best = s as i64 + 1;
+            best_shade = disc / (b * b);
+            best_center = sp.center;
+        }
+        if best == 0 {
+            image[p as usize] = 0;
+            continue;
+        }
+        let mut shadowed = false;
+        if params.shadows {
+            for (s, sp) in spheres.iter().enumerate() {
+                if s as i64 + 1 == best {
+                    continue;
+                }
+                let ox = sp.center[0] - best_center[0];
+                let oy = sp.center[1] - best_center[1];
+                let oz = sp.center[2] - best_center[2];
+                let b2 = (lx * ox + ly * oy) + lz * oz;
+                let c22 = ((ox * ox + oy * oy) + oz * oz) - sp.r2;
+                let disc2 = b2 * b2 - c22;
+                if disc2 < 0.0 {
+                    continue;
+                }
+                if b2 <= 0.0 {
+                    continue;
+                }
+                shadowed = true;
+                break;
+            }
+        }
+        let shade_i = (best_shade * 31.0) as i64;
+        let mut val = best * 32 + shade_i;
+        if shadowed {
+            val >>= 1;
+        }
+        image[p as usize] = val;
+    }
+    image
+}
+
+/// Builds the ray-tracing program. Pixels are strided across logical
+/// processors (`p = lpid; p += nlp`), the paper's per-pixel
+/// parallelisation; on a one-slot machine the single thread renders
+/// everything, which is the sequential version of §3.1.
+///
+/// # Panics
+///
+/// Panics if a dimension or the sphere count is zero, or if the image
+/// would overrun the data layout.
+pub fn raytrace_program(params: &RayTraceParams) -> Program {
+    assert!(params.width > 0 && params.height > 0, "image must be non-empty");
+    assert!(params.spheres > 0, "scene must contain spheres");
+    assert!(
+        SCENE_BASE + 4 * params.spheres as u64 <= IMAGE_BASE,
+        "too many spheres for the data layout"
+    );
+    let spheres = scene(params);
+    let [lx, ly, lz] = light_dir();
+    let w2 = params.width / 2;
+    let h2 = params.height / 2;
+    let inv = 2.0 / params.width as f64;
+    let npix = params.pixels();
+    let ns = params.spheres;
+    let scene_words: String = spheres
+        .iter()
+        .map(|s| {
+            format!(
+                ".float {:?}, {:?}, {:?}, {:?}\n",
+                s.center[0], s.center[1], s.center[2], s.r2
+            )
+        })
+        .collect();
+
+    let shadow_section = if params.shadows {
+        format!(
+            "
+    ; ---- shadow feeler from the hit sphere's center toward the light
+    lif  f27, #{lx:?}
+    lif  f28, #{ly:?}
+    lif  f29, #{lz:?}
+    sf   f27, 6(r25)            ; the shadow call spills L too
+    sf   f28, 7(r25)
+    sf   f29, 8(r25)
+    li   r16, #{SCENE_BASE}
+    li   r17, #0
+    li   r18, #0
+shd_loop:
+    slt  r12, r17, #{ns}
+    beq  r12, #0, shd_done
+    add  r19, r17, #1
+    beq  r19, r9, shd_next      ; skip the sphere we hit
+    lf   f27, 6(r25)            ; reload L
+    lf   f28, 7(r25)
+    lf   f29, 8(r25)
+    lf   f4, 0(r16)
+    lf   f5, 1(r16)
+    lf   f6, 2(r16)
+    lf   f7, 3(r16)
+    fsub f4, f4, f24            ; oc = center - hit center
+    fsub f5, f5, f25
+    fsub f6, f6, f26
+    fmul f8, f27, f4            ; b2 = L . oc
+    fmul f9, f28, f5
+    fadd f8, f8, f9
+    fmul f9, f29, f6
+    fadd f8, f8, f9
+    fmul f9, f4, f4             ; c22 = oc . oc - r2
+    fmul f10, f5, f5
+    fadd f9, f9, f10
+    fmul f10, f6, f6
+    fadd f9, f9, f10
+    fsub f9, f9, f7
+    fmul f10, f8, f8            ; disc2 = b2^2 - c22
+    fsub f10, f10, f9
+    fcmplt r12, f10, f30
+    bne  r12, #0, shd_next
+    fcmple r12, f8, f30
+    bne  r12, #0, shd_next
+    li   r18, #1
+    j    shd_done
+shd_next:
+    add  r16, r16, #4
+    add  r17, r17, #1
+    j    shd_loop
+shd_done:
+"
+        )
+    } else {
+        "    li   r18, #0\n".to_owned()
+    };
+
+    let src = format!(
+        "
+.data
+.org {SCENE_BASE}
+scene:
+{scene_words}
+.text
+.entry main
+main:
+    fastfork
+    lpid r1
+    nlp  r2
+    li   r24, #{STACK_BASE}
+    mul  r25, r1, #16
+    add  r25, r25, r24          ; per-thread spill frame
+    mv   r3, r1                 ; p = lpid
+pixel_loop:
+    slt  r4, r3, #{npix}
+    beq  r4, #0, all_done
+    ; ---- primary ray through pixel (i, j)
+    li   r5, #{width}
+    div  r6, r3, r5             ; j
+    rem  r7, r3, r5             ; i
+    sub  r8, r7, #{w2}
+    cvtif f0, r8
+    lif  f20, #{inv:?}
+    fmul f0, f0, f20            ; dx
+    sub  r8, r6, #{h2}
+    cvtif f1, r8
+    fmul f1, f1, f20            ; dy  (dz = -1)
+    fmul f3, f0, f0
+    fmul f4, f1, f1
+    fadd f3, f3, f4
+    lif  f4, #1.0
+    fadd f3, f3, f4             ; a = dx^2 + dy^2 + 1
+    lif  f30, #0.0
+    sf   f0, 0(r25)             ; spill the ray across the intersect
+    sf   f1, 1(r25)             ; calls, as the compiled code does
+    sf   f3, 2(r25)
+    li   r9, #0                 ; best sphere (id + 1)
+    lif  f16, #1e30             ; best squared center distance
+    sf   f16, 3(r25)
+    lif  f17, #0.0              ; best shade
+    li   r10, #{SCENE_BASE}
+    li   r11, #0
+sph_loop:
+    slt  r12, r11, #{ns}
+    beq  r12, #0, sph_done
+    lf   f0, 0(r25)             ; reload the spilled ray state
+    lf   f1, 1(r25)
+    lf   f3, 2(r25)
+    lf   f4, 0(r10)             ; cx
+    lf   f5, 1(r10)             ; cy
+    lf   f6, 2(r10)             ; cz
+    lf   f7, 3(r10)             ; r^2
+    fmul f8, f0, f4             ; b = dx*cx + dy*cy - cz
+    fmul f9, f1, f5
+    fadd f8, f8, f9
+    fsub f8, f8, f6
+    sf   f8, 4(r25)             ; spill b (register-starved FP file)
+    fmul f9, f4, f4             ; c2 = |C|^2 - r^2
+    fmul f10, f5, f5
+    fadd f9, f9, f10
+    fmul f10, f6, f6
+    fadd f9, f9, f10
+    fsub f9, f9, f7
+    sf   f9, 5(r25)             ; spill c2
+    lf   f8, 4(r25)             ; reload b
+    fmul f10, f8, f8            ; b^2
+    lf   f9, 5(r25)             ; reload c2
+    fmul f11, f3, f9
+    fsub f11, f10, f11          ; disc = b^2 - a*c2
+    fcmplt r12, f11, f30
+    bne  r12, #0, sph_next      ; disc < 0: miss
+    fcmple r12, f8, f30
+    bne  r12, #0, sph_next      ; b <= 0: behind the camera
+    lf   f16, 3(r25)            ; reload the best squared distance
+    fcmplt r12, f9, f16
+    beq  r12, #0, sph_next      ; not nearer than the best hit
+    sf   f9, 3(r25)
+    add  r9, r11, #1
+    fdiv f17, f11, f10          ; shade = disc / b^2
+    fmov f24, f4                ; remember the hit center
+    fmov f25, f5
+    fmov f26, f6
+sph_next:
+    add  r10, r10, #4
+    add  r11, r11, #1
+    j    sph_loop
+sph_done:
+    beq  r9, #0, store_bg
+{shadow_section}
+    lif  f12, #31.0
+    fmul f13, f17, f12
+    cvtfi r13, f13
+    mul  r14, r9, #32
+    add  r14, r14, r13
+    beq  r18, #0, unshadowed
+    sra  r14, r14, #1
+unshadowed:
+    li   r15, #{IMAGE_BASE}
+    add  r15, r15, r3
+    sw   r14, 0(r15)
+    j    pixel_next
+store_bg:
+    li   r15, #{IMAGE_BASE}
+    add  r15, r15, r3
+    sw   r0, 0(r15)
+pixel_next:
+    add  r3, r3, r2             ; p += nlp
+    j    pixel_loop
+all_done:
+    halt
+",
+        width = params.width,
+    );
+    hirata_asm::assemble(&src).expect("ray tracer assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hirata_isa::FuConfig;
+    use hirata_sim::{Config, Machine};
+
+    fn image_from(m: &Machine, params: &RayTraceParams) -> Vec<i64> {
+        (0..params.pixels())
+            .map(|p| m.memory().read_i64(IMAGE_BASE + p as u64).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn scene_is_deterministic_and_sane() {
+        let params = RayTraceParams::default();
+        let a = scene(&params);
+        let b = scene(&params);
+        assert_eq!(a, b);
+        for s in &a {
+            let d2 =
+                s.center[0] * s.center[0] + s.center[1] * s.center[1] + s.center[2] * s.center[2];
+            assert!(d2 > s.r2, "camera must be outside every sphere");
+            assert!(s.center[2] < 0.0, "spheres sit in front of the camera");
+        }
+    }
+
+    #[test]
+    fn reference_image_has_hits_shadows_and_background() {
+        let params = RayTraceParams { width: 24, height: 24, ..RayTraceParams::default() };
+        let img = reference_image(&params);
+        assert!(img.contains(&0), "some background expected");
+        assert!(img.iter().any(|&v| v > 0), "some hits expected");
+        let no_shadow = reference_image(&RayTraceParams { shadows: false, ..params });
+        assert_ne!(img, no_shadow, "shadows must change the image");
+    }
+
+    #[test]
+    fn simulated_image_matches_reference_exactly() {
+        let params = RayTraceParams { width: 8, height: 8, spheres: 4, seed: 7, shadows: true };
+        let prog = raytrace_program(&params);
+        let mut m = Machine::new(Config::base_risc(), &prog).unwrap();
+        m.run().unwrap();
+        assert_eq!(image_from(&m, &params), reference_image(&params));
+    }
+
+    #[test]
+    fn parallel_rendering_matches_on_every_width() {
+        let params = RayTraceParams { width: 8, height: 8, spheres: 3, seed: 3, shadows: false };
+        let prog = raytrace_program(&params);
+        let expected = reference_image(&params);
+        for slots in [2usize, 4, 8] {
+            let config =
+                Config::multithreaded(slots).with_fu(FuConfig::paper_two_ls());
+            let mut m = Machine::new(config, &prog).unwrap();
+            m.run().unwrap();
+            assert_eq!(image_from(&m, &params), expected, "{slots} slots");
+        }
+    }
+
+    #[test]
+    fn more_threads_render_faster() {
+        let params = RayTraceParams { width: 8, height: 8, spheres: 4, seed: 9, shadows: true };
+        let prog = raytrace_program(&params);
+        let mut last = u64::MAX;
+        for slots in [1usize, 2, 4] {
+            let mut m = Machine::new(Config::multithreaded(slots), &prog).unwrap();
+            m.run().unwrap();
+            let cycles = m.stats().cycles;
+            assert!(cycles < last, "{slots} slots: {cycles} !< {last}");
+            last = cycles;
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Parallel odd-even transposition sort — an integer-dominated
+//! workload (compares, swaps, address arithmetic; almost no floating
+//! point), complementing the FP-heavy kernels in the suite.
+//!
+//! `n` elements are sorted in `n` phases; phase `p` compares-and-swaps
+//! the disjoint pairs `(i, i+1)` with `i ≡ p (mod 2)`, so threads can
+//! divide the pairs of one phase freely. Phases are separated by the
+//! same two-lap queue-ring barrier the radiosity solver uses, with a
+//! `drain` fence so every swap is visible before the next phase reads.
+
+use hirata_isa::Program;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Word address of the array being sorted.
+pub const SORT_BASE: u64 = 1000;
+/// Largest supported element count.
+pub const SORT_MAX_N: usize = 4000;
+
+/// Deterministic input data.
+pub fn sort_input(n: usize, seed: u64) -> Vec<i64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-1000..1000)).collect()
+}
+
+/// Reference output.
+pub fn sort_reference(n: usize, seed: u64) -> Vec<i64> {
+    let mut v = sort_input(n, seed);
+    v.sort_unstable();
+    v
+}
+
+/// Builds the sorting program.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `n` exceeds [`SORT_MAX_N`].
+pub fn sort_program(n: usize, seed: u64) -> Program {
+    assert!((2..=SORT_MAX_N).contains(&n), "n must be in 2..={SORT_MAX_N}");
+    let data = sort_input(n, seed)
+        .iter()
+        .map(i64::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
+    let src = format!(
+        "
+.equ N, {n}
+.data
+.org {SORT_BASE}
+arr: .word {data}
+.text
+.entry main
+main:
+    qmap r10, r11          ; barrier token ring
+    fastfork
+    lpid r1
+    nlp  r2
+    li   r20, #0           ; phase
+phase:
+    ; pairs start at i = phase parity + 2*lpid, step 2*nlp
+    rem  r3, r20, #2
+    mul  r4, r1, #2
+    add  r3, r3, r4        ; i
+    mul  r5, r2, #2        ; stride
+pair:
+    add  r6, r3, #1
+    slt  r7, r6, #N
+    beq  r7, #0, pairs_done
+    lw   r8, arr(r3)
+    lw   r9, arr(r6)
+    sle  r7, r8, r9
+    bne  r7, #0, no_swap
+    sw   r9, arr(r3)
+    sw   r8, arr(r6)
+no_swap:
+    add  r3, r3, r5
+    j    pair
+pairs_done:
+    drain                  ; swaps must be visible before the barrier
+    ; ---- two-lap ring barrier ----
+    bne  r1, #0, bar_follow
+    li   r11, #1
+    mv   r12, r10
+    li   r11, #2
+    mv   r12, r10
+    j    bar_done
+bar_follow:
+    mv   r12, r10
+    mv   r11, r12
+    mv   r12, r10
+    mv   r11, r12
+bar_done:
+    add  r20, r20, #1
+    slt  r7, r20, #N
+    bne  r7, #0, phase
+    halt
+"
+    );
+    hirata_asm::assemble(&src).expect("sort assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hirata_sim::{Config, Machine};
+
+    fn sorted(m: &Machine, n: usize) -> Vec<i64> {
+        (0..n).map(|i| m.memory().read_i64(SORT_BASE + i as u64).unwrap()).collect()
+    }
+
+    #[test]
+    fn sorts_on_the_baseline() {
+        let (n, seed) = (17, 5);
+        let mut m = Machine::new(Config::base_risc(), &sort_program(n, seed)).unwrap();
+        m.run().unwrap();
+        assert_eq!(sorted(&m, n), sort_reference(n, seed));
+    }
+
+    #[test]
+    fn sorts_identically_on_every_width() {
+        let (n, seed) = (25, 11);
+        let expected = sort_reference(n, seed);
+        for slots in [1usize, 2, 3, 4, 8] {
+            let mut m =
+                Machine::new(Config::multithreaded(slots), &sort_program(n, seed)).unwrap();
+            m.run().unwrap();
+            assert_eq!(sorted(&m, n), expected, "{slots} slots");
+        }
+    }
+
+    #[test]
+    fn integer_units_dominate() {
+        use hirata_isa::FuClass;
+        let mut m = Machine::new(Config::multithreaded(4), &sort_program(32, 3)).unwrap();
+        m.run().unwrap();
+        let stats = m.stats();
+        assert!(
+            stats.fu_invocations[FuClass::IntAlu.index()]
+                > stats.fu_invocations[FuClass::FpAdd.index()] * 10,
+            "sort should be ALU-heavy"
+        );
+    }
+
+    #[test]
+    fn parallel_sorting_scales() {
+        let (n, seed) = (48, 9);
+        let prog = sort_program(n, seed);
+        let cycles = |slots: usize| {
+            let mut m = Machine::new(Config::multithreaded(slots), &prog).unwrap();
+            m.run().unwrap().cycles
+        };
+        let (one, four) = (cycles(1), cycles(4));
+        assert!(
+            (four as f64) < 0.6 * one as f64,
+            "phases should parallelise: {one} vs {four}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be in")]
+    fn tiny_arrays_rejected() {
+        sort_program(1, 0);
+    }
+}

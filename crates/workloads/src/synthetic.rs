@@ -1,0 +1,237 @@
+//! Synthetic workloads: a DSM pointer-striding kernel for the
+//! concurrent-multithreading extension (§2.1.3) and a seeded
+//! instruction-mix generator for ablation benchmarks.
+
+use hirata_isa::Program;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// First remote word address in the DSM layout.
+pub const REMOTE_BASE: u64 = 4096;
+/// Word address where each thread stores its checksum (indexed by
+/// logical processor id).
+pub const OUT_BASE: u64 = 700;
+
+/// Parameters of the DSM striding kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DsmChaseParams {
+    /// Loop iterations per thread.
+    pub iters: usize,
+    /// Remote words touched per thread (stride region size).
+    pub stride: usize,
+    /// Local ALU operations between remote accesses.
+    pub alu_ops: usize,
+}
+
+impl Default for DsmChaseParams {
+    fn default() -> Self {
+        DsmChaseParams { iters: 16, stride: 64, alu_ops: 4 }
+    }
+}
+
+/// The remote data value stored at offset `k` of a thread's region.
+fn remote_value(addr: u64) -> i64 {
+    (addr % 17) as i64
+}
+
+/// Expected checksum of thread `lpid` after [`dsm_chase_program`].
+pub fn dsm_chase_reference(lpid: usize, params: &DsmChaseParams) -> i64 {
+    let base = REMOTE_BASE + (lpid * params.stride) as u64;
+    (0..params.iters as u64).map(|k| remote_value(base + k)).sum()
+}
+
+/// Builds the DSM kernel: each thread sums `iters` remote words (each
+/// access raising a data-absence trap under a `DsmMemory` model) with
+/// `alu_ops` local adds between accesses, then stores its checksum at
+/// `OUT_BASE + lpid`. Threads are created with `Machine::add_thread`,
+/// so a machine with more context frames than slots overlaps their
+/// remote waits.
+///
+/// # Panics
+///
+/// Panics if `iters` or `stride` is zero, or `iters > stride`.
+pub fn dsm_chase_program(max_threads: usize, params: &DsmChaseParams) -> Program {
+    assert!(params.iters > 0 && params.stride > 0, "iters and stride must be positive");
+    assert!(params.iters <= params.stride, "threads must stay inside their region");
+    let remote_words: String = (0..max_threads * params.stride)
+        .map(|k| remote_value(REMOTE_BASE + k as u64).to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let alu_filler: String = (0..params.alu_ops)
+        .map(|i| format!("    add  r{}, r{}, #1\n", 20 + (i % 8), 20 + (i % 8)))
+        .collect();
+    let src = format!(
+        "
+.data
+.org {REMOTE_BASE}
+remote: .word {remote_words}
+.text
+.entry main
+main:
+    lpid r1
+    mul  r2, r1, #{stride}
+    li   r3, #{iters}
+    li   r4, #0
+loop:
+    lw   r5, {REMOTE_BASE}(r2)
+    add  r4, r4, r5
+{alu_filler}    add  r2, r2, #1
+    sub  r3, r3, #1
+    bne  r3, #0, loop
+    sw   r4, {OUT_BASE}(r1)
+    halt
+",
+        stride = params.stride,
+        iters = params.iters,
+    );
+    hirata_asm::assemble(&src).expect("dsm chase assembles")
+}
+
+/// Parameters for the seeded straight-line instruction-mix generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MixParams {
+    /// Instructions per loop body.
+    pub body_len: usize,
+    /// Loop iterations.
+    pub iters: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Percentage (0-100) of memory operations.
+    pub mem_pct: u8,
+    /// Percentage (0-100) of floating-point operations.
+    pub fp_pct: u8,
+}
+
+impl Default for MixParams {
+    fn default() -> Self {
+        MixParams { body_len: 32, iters: 64, seed: 1, mem_pct: 25, fp_pct: 35 }
+    }
+}
+
+/// Generates a loop whose body is a seeded random mix of ALU, shift,
+/// multiply, FP, and load/store operations over a fixed register pool
+/// (sources always initialized, so any reordering is safe). Useful
+/// for utilization ablations and simulator benchmarks.
+///
+/// # Panics
+///
+/// Panics if `body_len` or `iters` is zero or percentages exceed 100.
+pub fn mix_program(params: &MixParams) -> Program {
+    assert!(params.body_len > 0 && params.iters > 0, "mix must be non-empty");
+    assert!(
+        params.mem_pct as u32 + params.fp_pct as u32 <= 100,
+        "mem_pct + fp_pct must not exceed 100"
+    );
+    let mut rng = SmallRng::seed_from_u64(params.seed);
+    let mut body = String::new();
+    for k in 0..params.body_len {
+        let roll = rng.gen_range(0..100u8);
+        let dst = 10 + (k % 8); // r10..r17 / f10..f17 round-robin temps
+        let src_a = rng.gen_range(1..8u8); // seeded pool
+        let src_b = rng.gen_range(1..8u8);
+        let line = if roll < params.mem_pct {
+            if rng.gen_bool(0.7) {
+                format!("    lw   r{dst}, {}(r9)\n", rng.gen_range(0..64))
+            } else {
+                format!("    sw   r{src_a}, {}(r9)\n", 64 + rng.gen_range(0..64))
+            }
+        } else if roll < params.mem_pct + params.fp_pct {
+            match rng.gen_range(0..4u8) {
+                0 => format!("    fadd f{dst}, f{src_a}, f{src_b}\n"),
+                1 => format!("    fmul f{dst}, f{src_a}, f{src_b}\n"),
+                2 => format!("    fsub f{dst}, f{src_a}, f{src_b}\n"),
+                _ => format!("    fabs f{dst}, f{src_a}\n"),
+            }
+        } else {
+            match rng.gen_range(0..4u8) {
+                0 => format!("    add  r{dst}, r{src_a}, r{src_b}\n"),
+                1 => format!("    xor  r{dst}, r{src_a}, r{src_b}\n"),
+                2 => format!("    sll  r{dst}, r{src_a}, #{}\n", rng.gen_range(1..5)),
+                _ => format!("    mul  r{dst}, r{src_a}, r{src_b}\n"),
+            }
+        };
+        body.push_str(&line);
+    }
+    let pool_init: String = (1..8)
+        .map(|r| format!("    li   r{r}, #{r}\n    lif  f{r}, #{r}.5\n"))
+        .collect();
+    let src = format!(
+        "
+.text
+.entry main
+main:
+    fastfork
+    lpid r1
+    nlp  r2
+    li   r9, #2000
+{pool_init}    mv   r3, r1
+loop:
+    slt  r4, r3, #{iters}
+    beq  r4, #0, done
+{body}    add  r3, r3, r2
+    j    loop
+done:
+    halt
+",
+        iters = params.iters,
+    );
+    hirata_asm::assemble(&src).expect("mix program assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hirata_mem::DsmMemory;
+    use hirata_sim::{Config, Machine};
+
+    #[test]
+    fn dsm_chase_checksums_match_reference() {
+        let params = DsmChaseParams::default();
+        let prog = dsm_chase_program(3, &params);
+        let mut config = Config::multithreaded(1).with_context_frames(3);
+        config.mem_words = 1 << 16;
+        let mut m = Machine::with_mem_model(
+            config,
+            &prog,
+            Box::new(DsmMemory::new(REMOTE_BASE, 2, 100)),
+        )
+        .unwrap();
+        m.add_thread(0).unwrap();
+        m.add_thread(0).unwrap();
+        m.run().unwrap();
+        for lp in 0..3 {
+            assert_eq!(
+                m.memory().read_i64(OUT_BASE + lp as u64).unwrap(),
+                dsm_chase_reference(lp, &params),
+                "thread {lp}"
+            );
+        }
+        assert!(m.stats().context_switches > 0);
+    }
+
+    #[test]
+    fn mix_program_is_deterministic() {
+        let params = MixParams::default();
+        let a = mix_program(&params);
+        let b = mix_program(&params);
+        assert_eq!(a.insts, b.insts);
+        let c = mix_program(&MixParams { seed: 2, ..params });
+        assert_ne!(a.insts, c.insts);
+    }
+
+    #[test]
+    fn mix_program_runs_on_all_machine_shapes() {
+        let prog = mix_program(&MixParams { body_len: 16, iters: 8, ..MixParams::default() });
+        for config in [Config::base_risc(), Config::multithreaded(4), Config::hybrid(2, 2)] {
+            let mut m = Machine::new(config, &prog).unwrap();
+            m.run().unwrap();
+            assert!(m.stats().instructions > 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stay inside")]
+    fn dsm_region_overflow_rejected() {
+        dsm_chase_program(1, &DsmChaseParams { iters: 100, stride: 10, alu_ops: 0 });
+    }
+}

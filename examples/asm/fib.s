@@ -1,0 +1,19 @@
+; Iterative Fibonacci: computes fib(0..=20) into memory[100..=120].
+; Single-threaded; try it on both pipelines:
+;   hirata run examples/asm/fib.s --base
+;   hirata run examples/asm/fib.s --slots 1 --trace
+.text
+.entry main
+main:
+    li   r1, #0          ; fib(i)
+    li   r2, #1          ; fib(i+1)
+    li   r3, #0          ; i
+loop:
+    sw   r1, 100(r3)
+    add  r4, r1, r2      ; fib(i+2)
+    mv   r1, r2
+    mv   r2, r4
+    add  r3, r3, #1
+    sle  r5, r3, #20
+    bne  r5, #0, loop
+    halt

@@ -1,0 +1,22 @@
+; Token passing around the queue-register ring: each logical processor
+; increments the token once; after two full laps LP0 stores it.
+;   hirata run examples/asm/ring_token.s --slots 4 --dump 100..101
+.text
+.entry main
+main:
+    setrot explicit
+    qmap r10, r11
+    fastfork
+    lpid r1
+    nlp  r2
+    bne  r1, #0, relay
+    ; LP0: inject the token, relay it twice, then store it.
+    li   r11, #0
+    add  r11, r10, #1    ; lap 1 returns, forward incremented
+    add  r3, r10, #1     ; lap 2 returns
+    sw   r3, 100(r0)
+    halt
+relay:
+    add  r11, r10, #1    ; first lap
+    add  r11, r10, #1    ; second lap
+    halt

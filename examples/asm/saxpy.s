@@ -1,0 +1,37 @@
+; Parallel SAXPY: y[i] = a*x[i] + y[i], i in 0..64, strided across
+; every logical processor.
+;   hirata run examples/asm/saxpy.s --slots 4 --dump 3000..3008
+.data
+.org 500
+aconst: .float 2.5
+.org 2000
+x: .float 0.0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75
+   .float 2.0, 2.25, 2.5, 2.75, 3.0, 3.25, 3.5, 3.75
+   .float 4.0, 4.25, 4.5, 4.75, 5.0, 5.25, 5.5, 5.75
+   .float 6.0, 6.25, 6.5, 6.75, 7.0, 7.25, 7.5, 7.75
+   .float 8.0, 8.25, 8.5, 8.75, 9.0, 9.25, 9.5, 9.75
+   .float 10.0, 10.25, 10.5, 10.75, 11.0, 11.25, 11.5, 11.75
+   .float 12.0, 12.25, 12.5, 12.75, 13.0, 13.25, 13.5, 13.75
+   .float 14.0, 14.25, 14.5, 14.75, 15.0, 15.25, 15.5, 15.75
+.org 3000
+y: .space 64
+.text
+.entry main
+main:
+    lf   f1, 500(r0)     ; a
+    fastfork
+    lpid r1
+    nlp  r2
+    mv   r3, r1
+loop:
+    slt  r4, r3, #64
+    beq  r4, #0, done
+    lf   f2, 2000(r3)    ; x[i]
+    lf   f3, 3000(r3)    ; y[i]
+    fmul f2, f1, f2
+    fadd f3, f2, f3
+    sf   f3, 3000(r3)
+    add  r3, r3, r2
+    j    loop
+done:
+    halt

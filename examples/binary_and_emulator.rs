@@ -1,0 +1,70 @@
+//! Tour of the toolchain around the simulator: assemble a program,
+//! serialise it through the 64-bit binary encoding, disassemble it
+//! back, fast-check it on the architectural emulator, then run it on
+//! the cycle-level machine and compare.
+//!
+//! ```text
+//! cargo run --release --example binary_and_emulator
+//! ```
+
+use hirata::asm::assemble;
+use hirata::isa::{decode_program, encode_program, Program};
+use hirata::sim::{Config, Emulator, Machine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = assemble(
+        "
+        .equ N, 12
+        .data
+        tbl: .float 0.5, 1.5, 2.5, 3.5, 4.5, 5.5, 6.5, 7.5, 8.5, 9.5, 10.5, 11.5
+        .text
+        fastfork
+        lpid r1
+        nlp  r2
+        lif  f1, #0.0
+        mv   r3, r1
+    loop:
+        slt  r4, r3, #N
+        beq  r4, #0, done
+        lf   f2, tbl(r3)
+        fadd f1, f1, f2
+        add  r3, r3, r2
+    j    loop
+    done:
+        sf   f1, 100(r1)
+        halt
+    ",
+    )?;
+
+    // 1. Binary round trip.
+    let words = encode_program(&program.insts)?;
+    println!(
+        "{} instructions encode into {} 64-bit words ({} two-word forms)",
+        program.len(),
+        words.len(),
+        words.len() - program.len()
+    );
+    let decoded = decode_program(&words)?;
+    assert_eq!(decoded, program.insts, "binary round trip must be exact");
+    let reconstituted = Program { insts: decoded, ..program.clone() };
+
+    // 2. Architectural emulator (no timing) as the fast checker.
+    let emu = Emulator::execute(&reconstituted, 4, 1 << 20, 1_000_000)?;
+    println!("emulator: {} instructions retired", emu.instructions);
+
+    // 3. Cycle-level machine; memory images must agree exactly.
+    let mut machine = Machine::new(Config::multithreaded(4), &reconstituted)?;
+    let stats = machine.run()?;
+    println!(
+        "machine:  {} cycles, IPC {:.2}",
+        stats.cycles,
+        stats.ipc()
+    );
+    let total_emu: f64 = (0..4).map(|lp| emu.memory.read_f64(100 + lp).unwrap()).sum();
+    let total_mach: f64 =
+        (0..4).map(|lp| machine.memory().read_f64(100 + lp).unwrap()).sum();
+    assert_eq!(total_emu, total_mach, "golden model and machine agree");
+    println!("sum over all logical processors: {total_mach} (expected 72)");
+    assert_eq!(total_mach, 72.0);
+    Ok(())
+}

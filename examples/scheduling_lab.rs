@@ -1,0 +1,52 @@
+//! Static-scheduling laboratory (§2.3.2, Table 4): compare the
+//! non-optimized, list-scheduled (A), and reservation+standby-table
+//! (B) versions of Livermore Kernel 1 across machine widths, and show
+//! the schedules themselves.
+//!
+//! ```text
+//! cargo run --release --example scheduling_lab
+//! ```
+
+use hirata::sched::{apply_strategy, Strategy};
+use hirata::sim::{Config, Machine};
+use hirata::workloads::livermore::{kernel1_body, kernel1_program, kernel1_reference, X_BASE};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let body = kernel1_body();
+    println!("Livermore Kernel 1 body — X(K) = Q + Y(K)*(R*Z(K+10) + T*Z(K+11))\n");
+    let strategies = [
+        ("non-optimized", Strategy::None),
+        ("strategy A (list)", Strategy::ListA),
+        ("strategy B (reservation+standby)", Strategy::ReservationB { threads: 4 }),
+    ];
+    for (name, strategy) in strategies {
+        println!("{name}:");
+        for inst in apply_strategy(&body, strategy) {
+            println!("    {inst}");
+        }
+        println!();
+    }
+
+    let n = 256;
+    let reference = kernel1_reference(n);
+    println!("cycles per iteration, N = {n} (paper: 50 / 42 at one slot; floor 8):\n");
+    println!("{:>6} {:>10} {:>11} {:>11}", "slots", "non-opt", "strategy A", "strategy B");
+    for slots in [1usize, 2, 4, 6, 8] {
+        let mut row = Vec::new();
+        for strategy in
+            [Strategy::None, Strategy::ListA, Strategy::ReservationB { threads: slots }]
+        {
+            let program = kernel1_program(n, strategy);
+            let mut machine = Machine::new(Config::multithreaded(slots), &program)?;
+            let stats = machine.run()?;
+            // Whatever the schedule, the numerics must be identical.
+            for (k, want) in reference.iter().enumerate() {
+                assert_eq!(machine.memory().read_f64(X_BASE as u64 + k as u64)?, *want);
+            }
+            row.push(stats.cycles as f64 / n as f64);
+        }
+        println!("{slots:>6} {:>10.2} {:>11.2} {:>11.2}", row[0], row[1], row[2]);
+    }
+    println!("\nThe floor is (3 loads + 1 store) x 2-cycle issue latency = 8 cycles\nper iteration on one load/store unit — exactly the paper's analysis.");
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! # hirata — a reproduction of the ISCA 1992 multithreaded elementary processor
+//!
+//! This crate is the facade over a full, from-scratch reproduction of
+//! *"An Elementary Processor Architecture with Simultaneous
+//! Instruction Issuing from Multiple Threads"* (Hirata, Kimura,
+//! Nagamine, Mochizuki, Nishimura, Nakase, Nishizawa; ISCA 1992) —
+//! the earliest complete proposal of what became simultaneous
+//! multithreading (SMT).
+//!
+//! It re-exports the component crates:
+//!
+//! * [`isa`] — the RISC instruction set, functional-unit classes, and
+//!   Table 1 latencies;
+//! * [`asm`] — a two-pass assembler for a readable assembly syntax;
+//! * [`mem`] — memory backing store and timing models (ideal cache,
+//!   finite cache, DSM);
+//! * [`sim`] — the cycle-level multithreaded processor (thread slots,
+//!   schedule units with rotating priorities, standby stations, queue
+//!   registers, context frames) and the baseline RISC;
+//! * [`sched`] — the §2.3.2 static code schedulers (list scheduling
+//!   and reservation + standby-table scheduling);
+//! * [`kernelc`] — a small doall-kernel language compiling to the
+//!   reproduced ISA (the paper's "compiler" for §2.3's loop regimes);
+//! * [`workloads`] — the paper's workloads in the reproduced ISA (ray
+//!   tracer, Livermore Kernel 1, the Figure 6 linked-list loop) with
+//!   bit-exact Rust references.
+//!
+//! # Quick start
+//!
+//! ```
+//! use hirata::asm::assemble;
+//! use hirata::sim::{Config, Machine};
+//!
+//! // Two threads, forked in one cycle, each computing its own square.
+//! let program = assemble("
+//!     fastfork
+//!     lpid r1
+//!     mul  r2, r1, r1
+//!     sw   r2, 100(r1)
+//!     halt
+//! ")?;
+//! let mut machine = Machine::new(Config::multithreaded(2), &program)?;
+//! let stats = machine.run()?;
+//! assert_eq!(machine.memory().read_i64(101)?, 1);
+//! assert!(stats.cycles > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The experiment harness reproducing every table in the paper's §3
+//! lives in the `repro` binary (`cargo run --release -p hirata-repro`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hirata_asm as asm;
+pub use hirata_kernelc as kernelc;
+pub use hirata_isa as isa;
+pub use hirata_mem as mem;
+pub use hirata_sched as sched;
+pub use hirata_sim as sim;
+pub use hirata_workloads as workloads;

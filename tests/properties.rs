@@ -1,0 +1,250 @@
+//! Property-based tests (proptest): the invariants that must hold for
+//! *any* program, not just the curated workloads.
+//!
+//! * assembler/disassembler round-trip;
+//! * timing models never change architectural results — a random
+//!   straight-line program produces the same memory image on the base
+//!   RISC, on any multithreaded width, on hybrids, and with or without
+//!   standby stations;
+//! * the §2.3.2 schedulers preserve program semantics for arbitrary
+//!   blocks.
+
+use hirata::asm::assemble;
+use hirata::isa::{FReg, FpBinOp, FpUnOp, GReg, GSrc, Inst, IntOp, Program, Reg};
+use hirata::sched::{apply_strategy, Strategy as SchedStrategy};
+use hirata::sim::{Config, Machine};
+use proptest::prelude::*;
+
+/// Strategy for a random arithmetic/memory instruction over a bounded
+/// register pool and a bounded scratch-memory window. All inputs are
+/// legal: uninitialized registers read as zero, and every address
+/// stays in `0..64`.
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    let greg = (0u8..12).prop_map(GReg);
+    let freg = (0u8..12).prop_map(FReg);
+    let gsrc = prop_oneof![
+        (0u8..12).prop_map(|n| GSrc::Reg(GReg(n))),
+        (-64i64..64).prop_map(GSrc::Imm),
+    ];
+    let int_op = prop::sample::select(IntOp::ALL.to_vec());
+    let fp_op = prop::sample::select(FpBinOp::ALL.to_vec());
+    let fp_un = prop::sample::select(FpUnOp::ALL.to_vec());
+    prop_oneof![
+        4 => (int_op, greg.clone(), greg.clone(), gsrc)
+            .prop_map(|(op, rd, rs, src2)| Inst::IntOp { op, rd, rs, src2 }),
+        2 => (greg.clone(), -100i64..100).prop_map(|(rd, imm)| Inst::Li { rd, imm }),
+        1 => (freg.clone(), -8i64..8)
+            .prop_map(|(fd, v)| Inst::LiF { fd, imm: v as f64 * 0.25 }),
+        3 => (fp_op, freg.clone(), freg.clone(), freg.clone())
+            .prop_map(|(op, fd, fs, ft)| Inst::FpBin { op, fd, fs, ft }),
+        1 => (fp_un, freg.clone(), freg.clone())
+            .prop_map(|(op, fd, fs)| Inst::FpUn { op, fd, fs }),
+        1 => (greg.clone(), freg.clone()).prop_map(|(rd, fs)| Inst::CvtFI { rd, fs }),
+        1 => (freg.clone(), greg.clone()).prop_map(|(fd, rs)| Inst::CvtIF { fd, rs }),
+        2 => (greg.clone(), 0i64..64)
+            .prop_map(|(rd, off)| Inst::Load { dst: Reg::G(rd), base: GReg(0), off }),
+        1 => (freg.clone(), 0i64..64)
+            .prop_map(|(fd, off)| Inst::Load { dst: Reg::F(fd), base: GReg(0), off }),
+        2 => (greg, 0i64..64).prop_map(|(rs, off)| Inst::Store {
+            src: Reg::G(rs),
+            base: GReg(0),
+            off,
+            gated: false
+        }),
+        1 => (freg, 0i64..64).prop_map(|(fs, off)| Inst::Store {
+            src: Reg::F(fs),
+            base: GReg(0),
+            off,
+            gated: false
+        }),
+    ]
+}
+
+fn arb_block() -> impl Strategy<Value = Vec<Inst>> {
+    prop::collection::vec(arb_inst(), 1..40)
+}
+
+/// Like [`arb_block`], but with forward-only conditional branches
+/// spliced in (forward-only means the program always terminates, so
+/// the differential tests cover control flow too).
+fn arb_branchy_block() -> impl Strategy<Value = Vec<Inst>> {
+    (arb_block(), prop::collection::vec((0usize..40, 0usize..40, 0u8..12, -4i64..4), 0..6))
+        .prop_map(|(mut block, branches)| {
+            for (pos, skip, reg, cmp) in branches {
+                let pos = pos % block.len();
+                let len = block.len();
+                let target = (pos + 1 + skip % (len - pos)).min(len);
+                block.insert(
+                    pos,
+                    Inst::Branch {
+                        cond: hirata::isa::BranchCond::Lt,
+                        rs: GReg(reg),
+                        src2: GSrc::Imm(cmp),
+                        target: target as u32,
+                    },
+                );
+            }
+            // Later insertions shift earlier targets; clamp every
+            // branch strictly forward so the program must terminate
+            // (a target of `len` lands on the harness's store block).
+            let n = block.len() as u32;
+            for (i, inst) in block.iter_mut().enumerate() {
+                if let Inst::Branch { target, .. } = inst {
+                    *target = (*target).max(i as u32 + 1).min(n);
+                }
+            }
+            block
+        })
+}
+
+/// Wraps a block into a runnable program: the block, then stores of
+/// the whole register pool into `64..88`, then halt.
+fn harness(block: &[Inst]) -> Program {
+    let mut insts = block.to_vec();
+    for n in 0..12u8 {
+        insts.push(Inst::Store { src: Reg::G(GReg(n)), base: GReg(0), off: 64 + n as i64, gated: false });
+        insts.push(Inst::Store { src: Reg::F(FReg(n)), base: GReg(0), off: 76 + n as i64, gated: false });
+    }
+    insts.push(Inst::Halt);
+    Program::from_insts(insts)
+}
+
+/// Final observable state: the scratch window plus the register dump.
+fn observe(config: Config, program: &Program) -> Vec<u64> {
+    let mut m = Machine::new(config, program).expect("machine builds");
+    m.run().expect("program runs");
+    m.memory().words()[..88].to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn assembler_round_trips_generated_instructions(block in arb_block()) {
+        let program = harness(&block);
+        let text: String =
+            program.insts.iter().map(|i| format!("    {i}\n")).collect();
+        let reparsed = assemble(&text).expect("rendered assembly parses");
+        prop_assert_eq!(reparsed.insts, program.insts);
+    }
+
+    #[test]
+    fn machine_shape_never_changes_results(block in arb_branchy_block()) {
+        let program = harness(&block);
+        let reference = observe(Config::base_risc(), &program);
+        for config in [
+            Config::multithreaded(1),
+            Config::multithreaded(4),
+            Config::multithreaded(2).with_standby(false),
+            Config::multithreaded(2).with_private_fetch(true),
+            Config::hybrid(2, 2),
+            Config::hybrid(4, 1),
+        ] {
+            prop_assert_eq!(&observe(config, &program), &reference);
+        }
+    }
+
+    #[test]
+    fn schedulers_preserve_semantics(block in arb_block()) {
+        let reference = observe(Config::base_risc(), &harness(&block));
+        for strategy in [SchedStrategy::ListA, SchedStrategy::ReservationB { threads: 4 }] {
+            let scheduled = apply_strategy(&block, strategy);
+            prop_assert_eq!(scheduled.len(), block.len());
+            let program = harness(&scheduled);
+            prop_assert_eq!(&observe(Config::base_risc(), &program), &reference);
+            prop_assert_eq!(&observe(Config::multithreaded(4), &program), &reference);
+        }
+    }
+
+    #[test]
+    fn cycle_counts_are_deterministic(block in arb_block()) {
+        let program = harness(&block);
+        let c1 = {
+            let mut m = Machine::new(Config::multithreaded(4), &program).unwrap();
+            m.run().unwrap().cycles
+        };
+        let c2 = {
+            let mut m = Machine::new(Config::multithreaded(4), &program).unwrap();
+            m.run().unwrap().cycles
+        };
+        prop_assert_eq!(c1, c2);
+    }
+}
+
+/// Random list shapes for the eager-execution equivalence property.
+fn arb_shape() -> impl Strategy<Value = hirata::workloads::linked_list::ListShape> {
+    (1usize..24, proptest::option::of(0usize..24)).prop_map(|(nodes, brk)| {
+        hirata::workloads::linked_list::ListShape {
+            nodes,
+            break_at: brk.map(|b| b % nodes),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn eager_execution_always_matches_sequential_semantics(
+        shape in arb_shape(),
+        slots in 1usize..6,
+    ) {
+        use hirata::workloads::linked_list::{
+            eager_program, reference, sequential_program, RESULT_ADDR,
+        };
+        let (_, tmp) = reference(shape);
+        let mut seq =
+            Machine::new(Config::base_risc(), &sequential_program(shape)).unwrap();
+        seq.run().unwrap();
+        let mut eager =
+            Machine::new(Config::multithreaded(slots), &eager_program(shape)).unwrap();
+        eager.run().unwrap();
+        let want = tmp.unwrap_or(0.0);
+        prop_assert_eq!(seq.memory().read_f64(RESULT_ADDR).unwrap(), want);
+        prop_assert_eq!(eager.memory().read_f64(RESULT_ADDR).unwrap(), want);
+    }
+
+    #[test]
+    fn assembler_never_panics_on_junk(text in "[ -~\n]{0,300}") {
+        // Arbitrary printable input must produce Ok or a located error,
+        // never a panic.
+        let _ = hirata::asm::assemble(&text);
+    }
+
+    #[test]
+    fn doacross_kernel5_matches_reference(n in 1usize..40, slots in 1usize..6) {
+        use hirata::workloads::livermore::{kernel5_program, kernel5_reference, K5_X_BASE};
+        let mut m =
+            Machine::new(Config::multithreaded(slots), &kernel5_program(n)).unwrap();
+        m.run().unwrap();
+        let expected = kernel5_reference(n);
+        for (i, want) in expected.iter().enumerate() {
+            prop_assert_eq!(m.memory().read_f64(K5_X_BASE + i as u64).unwrap(), *want);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn binary_encoding_round_trips(block in arb_block()) {
+        use hirata::isa::{decode_program, encode_program};
+        let program = harness(&block);
+        let words = encode_program(&program.insts).expect("generated blocks encode");
+        let back = decode_program(&words).expect("encoded words decode");
+        prop_assert_eq!(back, program.insts);
+    }
+
+    #[test]
+    fn emulator_and_machine_agree(block in arb_branchy_block()) {
+        // The architectural emulator is the golden model: for
+        // timing-independent programs the cycle-level machine must
+        // produce the identical memory image.
+        use hirata::sim::Emulator;
+        let program = harness(&block);
+        let emu = Emulator::execute(&program, 1, 1 << 20, 10_000_000).unwrap();
+        let machine_view = observe(Config::multithreaded(1), &program);
+        prop_assert_eq!(&emu.memory.words()[..88], machine_view.as_slice());
+    }
+}
