@@ -1,0 +1,253 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so the bench targets
+//! link against this minimal harness instead. It implements the API
+//! subset the workspace uses — `Criterion::bench_function`,
+//! `benchmark_group`, `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple calibrated wall-clock
+//! measurement and a one-line report per benchmark.
+//!
+//! Measurement only happens when the binary is invoked in bench mode
+//! (`cargo bench` passes `--bench`); under `cargo test` the harness
+//! exits immediately so benches never slow the test suite.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(300);
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    enabled: bool,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments (bench mode is
+    /// enabled by the `--bench` flag cargo passes; an optional
+    /// positional argument filters benchmark names by substring).
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let enabled = args.iter().any(|a| a == "--bench");
+        let filter = args.iter().find(|a| !a.starts_with("--")).cloned();
+        Criterion { enabled, filter }
+    }
+
+    fn should_run(&self, name: &str) -> bool {
+        self.enabled && self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Benchmarks `f` under `name`.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.should_run(name) {
+            run_one(name, None, &mut f);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_owned(), throughput: None }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `id` within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        if self.criterion.should_run(&full) {
+            run_one(&full, self.throughput, &mut f);
+        }
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.0);
+        if self.criterion.should_run(&full) {
+            run_one(&full, self.throughput, &mut |b: &mut Bencher| f(b, input));
+        }
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and an input parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// An id made of an input parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId(name.to_owned())
+    }
+}
+
+/// Per-iteration work, for derived rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Passed to benchmark closures; runs and times the workload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, running it enough times to fill the target window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: double the batch until it is long
+        // enough to time reliably.
+        let mut batch = 1u64;
+        let mut spent;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            spent = start.elapsed();
+            if spent >= Duration::from_millis(20) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        let runs = (TARGET.as_nanos() / spent.as_nanos().max(1)).clamp(1, 50) as u64;
+        let start = Instant::now();
+        for _ in 0..runs * batch {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = runs * batch;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, f: &mut F) {
+    let mut b = Bencher { iters: 0, elapsed: Duration::ZERO };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{name:<48} (no measurement)");
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.0} elem/s", n as f64 / per_iter)
+        }
+        Some(Throughput::Bytes(n)) => format!("  {:>12.0} B/s", n as f64 / per_iter),
+        None => String::new(),
+    };
+    println!("{name:<48} {:>12} /iter  ({} iters){rate}", format_ns(per_iter * 1e9), b.iters);
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Groups benchmark functions under one registration function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_driver_never_runs_closures() {
+        let mut c = Criterion { enabled: false, filter: None };
+        let mut ran = false;
+        c.bench_function("x", |_b| ran = true);
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::from_parameter(1), &(), |_b, ()| ran = true);
+        g.finish();
+        assert!(!ran);
+    }
+
+    #[test]
+    fn bencher_measures_when_enabled() {
+        let mut b = Bencher { iters: 0, elapsed: Duration::ZERO };
+        b.iter(|| std::hint::black_box(1 + 1));
+        assert!(b.iters > 0);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 3).0, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("s4").0, "s4");
+    }
+}

@@ -1,0 +1,579 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this vendored
+//! crate implements the slice of proptest's API the workspace's
+//! property tests use: the [`Strategy`] trait with `prop_map` and
+//! `prop_recursive`, range/tuple/`Just`/string-pattern strategies,
+//! `prop::collection::vec`, `prop::sample::select`, `option::of`, the
+//! `proptest!`, `prop_oneof!` and `prop_assert*!` macros, and
+//! [`test_runner::ProptestConfig`].
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **no shrinking** — a failing case reports its inputs via the
+//!   panic message but is not minimized;
+//! * **deterministic seeding** — cases derive from a fixed per-test
+//!   seed (the FNV hash of the test name), so runs are reproducible
+//!   without a regressions file;
+//! * **string strategies** support the character-class pattern subset
+//!   `"[class]{lo,hi}"` (plus plain literals), which covers every
+//!   pattern in this workspace.
+
+#![forbid(unsafe_code)]
+
+use std::rc::Rc;
+
+/// Deterministic RNG and test configuration.
+pub mod test_runner {
+    /// SplitMix64: small, fast, and good enough for case generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator seeded from `name` (FNV-1a).
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+    }
+
+    /// Runner configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of values of type `Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy behind a clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+    }
+
+    /// Builds recursive values: `self` is the leaf strategy, `recurse`
+    /// wraps an inner strategy one level deeper. The tree depth is
+    /// bounded by `depth`; `_desired_size` and `_expected_branch_size`
+    /// are accepted for API compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + Clone + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut strat = self.clone().boxed();
+        for _ in 0..depth {
+            let leaf = self.clone().boxed();
+            let deeper = recurse(strat).boxed();
+            // One level: mostly recurse, sometimes bottom out early.
+            strat = BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+                if rng.below(4) == 0 {
+                    leaf.generate(rng)
+                } else {
+                    deeper.generate(rng)
+                }
+            }));
+        }
+        strat
+    }
+}
+
+/// Clonable type-erased strategy handle.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted union over same-valued strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union { arms: self.arms.clone(), total: self.total }
+    }
+}
+
+impl<T> Union<T> {
+    /// Builds a union; weights must not all be zero.
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof: zero total weight");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, strat) in &self.arms {
+            if pick < *w as u64 {
+                return strat.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted pick within total")
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Strategy for std::ops::Range<usize> {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl Strategy for std::ops::Range<isize> {
+    type Value = isize;
+
+    fn generate(&self, rng: &mut TestRng) -> isize {
+        assert!(self.start < self.end, "empty range strategy");
+        let span = (self.end as i128 - self.start as i128) as u64;
+        self.start.wrapping_add(rng.below(span) as isize)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),* $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+);
+
+/// String strategies from pattern literals.
+///
+/// Supports `"[class]{lo,hi}"` — a single character class with an
+/// exact or bounded repetition — and plain literal strings (generated
+/// verbatim). Class syntax: ranges `a-z`, escapes `\n`, `\t`, `\r`,
+/// `\\`, `\]`, `\-`, and literal characters.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let bytes: Vec<char> = pattern.chars().collect();
+    if bytes.first() != Some(&'[') {
+        return pattern.to_owned(); // plain literal
+    }
+    let close = bytes
+        .iter()
+        .position(|&c| c == ']')
+        .unwrap_or_else(|| panic!("unsupported string pattern `{pattern}`"));
+    let mut pool: Vec<char> = Vec::new();
+    let mut i = 1;
+    while i < close {
+        let c = bytes[i];
+        if c == '\\' && i + 1 < close {
+            pool.push(match bytes[i + 1] {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                other => other,
+            });
+            i += 2;
+        } else if i + 2 < close && bytes[i + 1] == '-' {
+            let (lo, hi) = (c as u32, bytes[i + 2] as u32);
+            assert!(lo <= hi, "bad class range in `{pattern}`");
+            for p in lo..=hi {
+                pool.push(char::from_u32(p).expect("valid class char"));
+            }
+            i += 3;
+        } else {
+            pool.push(c);
+            i += 1;
+        }
+    }
+    assert!(!pool.is_empty(), "empty character class in `{pattern}`");
+    let rest: String = bytes[close + 1..].iter().collect();
+    let (lo, hi) = parse_repeat(&rest, pattern);
+    let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+    (0..len).map(|_| pool[rng.below(pool.len() as u64) as usize]).collect()
+}
+
+fn parse_repeat(rest: &str, pattern: &str) -> (usize, usize) {
+    if rest.is_empty() {
+        return (1, 1);
+    }
+    let inner = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported repetition in `{pattern}`"));
+    match inner.split_once(',') {
+        Some((lo, hi)) => {
+            let lo = lo.trim().parse().expect("repetition lower bound");
+            let hi = hi.trim().parse().expect("repetition upper bound");
+            assert!(lo <= hi, "bad repetition bounds in `{pattern}`");
+            (lo, hi)
+        }
+        None => {
+            let n = inner.trim().parse().expect("repetition count");
+            (n, n)
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for vectors with lengths drawn from `range`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    /// Generates `Vec`s of `element` values with length in `range`.
+    pub fn vec<S: Strategy>(element: S, range: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(range.start < range.end, "empty vec length range");
+        VecStrategy { element, lo: range.start, hi: range.end - 1 }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies.
+pub mod sample {
+    use super::{Strategy, TestRng};
+
+    /// Strategy selecting one element of a fixed set.
+    #[derive(Clone)]
+    pub struct Select<T: Clone>(Vec<T>);
+
+    /// Picks uniformly from `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select: empty options");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// `Option` strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy generating `None` about a quarter of the time.
+    #[derive(Clone)]
+    pub struct OptionStrategy<S>(S);
+
+    /// Wraps `inner`'s values in `Some`, mixed with `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+/// The glob import used by property tests.
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` module tree (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+        pub use crate::sample;
+    }
+}
+
+/// Weighted or unweighted choice between strategies with one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new_weighted(vec![
+            $((1u32, $crate::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// Assertion inside a property body (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Defines `#[test]` functions that run a body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            #[test]
+            fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
+                for _case in 0..config.cases {
+                    let ($($pat,)+) = (
+                        $($crate::Strategy::generate(&($strat), &mut rng),)+
+                    );
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        $(
+            #[test]
+            fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(#[test] fn $name ( $($pat in $strat),+ ) $body)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_maps_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic("t1");
+        let s = (0u8..12).prop_map(|v| v as u32 * 2);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(v < 24 && v % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn union_respects_value_space() {
+        let mut rng = crate::test_runner::TestRng::deterministic("t2");
+        let s = prop_oneof![3 => Just(1u8), 1 => Just(2u8)];
+        let mut seen = [0u32; 3];
+        for _ in 0..400 {
+            seen[s.generate(&mut rng) as usize] += 1;
+        }
+        assert_eq!(seen[0], 0);
+        assert!(seen[1] > seen[2]);
+    }
+
+    #[test]
+    fn string_pattern_subset_works() {
+        let mut rng = crate::test_runner::TestRng::deterministic("t3");
+        let s = "[ -~\n]{0,300}";
+        for _ in 0..50 {
+            let text = Strategy::generate(&s, &mut rng);
+            assert!(text.len() <= 300);
+            assert!(text.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn vec_and_select_and_option() {
+        let mut rng = crate::test_runner::TestRng::deterministic("t4");
+        let s = prop::collection::vec(prop::sample::select(vec![5u8, 9]), 1..4);
+        let o = prop::option::of(0u8..3);
+        let mut nones = 0;
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+            assert!(v.iter().all(|x| *x == 5 || *x == 9));
+            if o.generate(&mut rng).is_none() {
+                nones += 1;
+            }
+        }
+        assert!(nones > 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_binds_multiple_inputs(a in 0i64..10, b in 0i64..10) {
+            prop_assert!(a + b < 20);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+}
