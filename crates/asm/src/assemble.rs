@@ -124,10 +124,7 @@ fn first_pass(lines: &[Line]) -> Result<BTreeMap<String, LabelVal>, AsmError> {
 }
 
 /// Pass 2: encode instructions and data now that labels are known.
-fn second_pass(
-    lines: &[Line],
-    labels: &BTreeMap<String, LabelVal>,
-) -> Result<Program, AsmError> {
+fn second_pass(lines: &[Line], labels: &BTreeMap<String, LabelVal>) -> Result<Program, AsmError> {
     let mut prog = Program::default();
     let mut data_cursor: u64 = 0;
     let mut data_words: Vec<(u64, u64, usize)> = Vec::new(); // (addr, word, line)
@@ -186,8 +183,7 @@ fn second_pass(
     }
 
     prog.data = coalesce(data_words)?;
-    prog.validate()
-        .map_err(|e| AsmError::new(0, format!("program validation failed: {e}")))?;
+    prog.validate().map_err(|e| AsmError::new(0, format!("program validation failed: {e}")))?;
     Ok(prog)
 }
 
@@ -197,10 +193,7 @@ fn coalesce(mut words: Vec<(u64, u64, usize)>) -> Result<Vec<DataSegment>, AsmEr
     words.sort_by_key(|&(addr, _, _)| addr);
     for pair in words.windows(2) {
         if pair[0].0 == pair[1].0 {
-            return Err(AsmError::new(
-                pair[1].2,
-                format!("data word {} defined twice", pair[1].0),
-            ));
+            return Err(AsmError::new(pair[1].2, format!("data word {} defined twice", pair[1].0)));
         }
     }
     let mut segs: Vec<DataSegment> = Vec::new();
@@ -301,8 +294,7 @@ impl Ctx<'_> {
         let body = text
             .strip_prefix('#')
             .ok_or_else(|| self.err(format!("expected immediate `#...`, got `{text}`")))?;
-        body.parse()
-            .map_err(|_| self.err(format!("invalid float literal `{body}`")))
+        body.parse().map_err(|_| self.err(format!("invalid float literal `{body}`")))
     }
 
     /// Register or `#imm`.
@@ -317,9 +309,9 @@ impl Ctx<'_> {
     /// `off(base)` with `off` an integer or label; bare `(base)` means
     /// offset zero.
     fn memop(&self, text: &str) -> Result<(i64, GReg), AsmError> {
-        let open = self
-            .find_paren(text)
-            .ok_or_else(|| self.err(format!("expected memory operand `off(base)`, got `{text}`")))?;
+        let open = self.find_paren(text).ok_or_else(|| {
+            self.err(format!("expected memory operand `off(base)`, got `{text}`"))
+        })?;
         let off_text = text[..open].trim();
         let inner = text[open + 1..]
             .strip_suffix(')')
@@ -335,9 +327,7 @@ impl Ctx<'_> {
     /// Branch/jump target: label or `@abs`.
     fn target(&self, text: &str) -> Result<u32, AsmError> {
         if let Some(abs) = text.strip_prefix('@') {
-            return abs
-                .parse()
-                .map_err(|_| self.err(format!("invalid absolute target `{text}`")));
+            return abs.parse().map_err(|_| self.err(format!("invalid absolute target `{text}`")));
         }
         match self.labels.get(text) {
             Some(LabelVal::Code(addr)) => Ok(*addr),
@@ -376,12 +366,7 @@ fn encode(stmt: &Stmt, ctx: &Ctx<'_>) -> Result<Inst, AsmError> {
 
     if let Some(op) = int_op(head) {
         let [rd, rs, src2] = expect_n::<3>(stmt, line)?;
-        return Ok(Inst::IntOp {
-            op,
-            rd: ctx.greg(rd)?,
-            rs: ctx.greg(rs)?,
-            src2: ctx.gsrc(src2)?,
-        });
+        return Ok(Inst::IntOp { op, rd: ctx.greg(rd)?, rs: ctx.greg(rs)?, src2: ctx.gsrc(src2)? });
     }
     if let Some(op) = fp_bin_op(head) {
         let [fd, fs, ft] = expect_n::<3>(stmt, line)?;
@@ -433,11 +418,7 @@ fn encode(stmt: &Stmt, ctx: &Ctx<'_>) -> Result<Inst, AsmError> {
         }
         "lw" | "lf" => {
             let [dst, mem] = expect_n::<2>(stmt, line)?;
-            let dst = if head == "lw" {
-                Reg::G(ctx.greg(dst)?)
-            } else {
-                Reg::F(ctx.freg(dst)?)
-            };
+            let dst = if head == "lw" { Reg::G(ctx.greg(dst)?) } else { Reg::F(ctx.freg(dst)?) };
             let (off, base) = ctx.memop(mem)?;
             Ok(Inst::Load { dst, base, off })
         }
@@ -734,10 +715,7 @@ mod equ_tests {
         )
         .unwrap();
         assert_eq!(prog.insts[0], Inst::Li { rd: GReg(1), imm: 64 });
-        assert_eq!(
-            prog.insts[1],
-            Inst::Load { dst: Reg::G(GReg(2)), base: GReg(0), off: 256 }
-        );
+        assert_eq!(prog.insts[1], Inst::Load { dst: Reg::G(GReg(2)), base: GReg(0), off: 256 });
     }
 
     #[test]
@@ -754,7 +732,10 @@ mod equ_tests {
 
     #[test]
     fn equ_rejects_duplicates_and_junk() {
-        assert!(assemble(".equ A, 1\n.equ A, 2\nhalt").unwrap_err().to_string().contains("duplicate"));
+        assert!(assemble(".equ A, 1\n.equ A, 2\nhalt")
+            .unwrap_err()
+            .to_string()
+            .contains("duplicate"));
         assert!(assemble(".equ 9x, 1\nhalt").is_err());
         assert!(assemble(".equ A, nonsense\nhalt").is_err());
         assert!(assemble(".equ A\nhalt").is_err());

@@ -1,0 +1,65 @@
+//! Execution-engine benchmarks: batch throughput through the
+//! `hirata-lab` worker pool (cold, no cache), serial reference for
+//! the same batch, and warm-cache lookup speed.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hirata_bench::run;
+use hirata_lab::{Job, Lab};
+use hirata_sched::Strategy;
+use hirata_sim::Config;
+use hirata_workloads::livermore;
+
+/// The benchmark batch: Livermore Kernel 1 across 1/2/4/8 slots —
+/// the same shape as one Table 4 strategy column.
+fn batch(program: &Arc<hirata_isa::Program>) -> Vec<Job> {
+    [1usize, 2, 4, 8]
+        .iter()
+        .map(|&slots| {
+            Job::new(
+                format!("bench k1 s{slots}"),
+                Config::multithreaded(slots),
+                Arc::clone(program),
+            )
+        })
+        .collect()
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    let program = Arc::new(livermore::kernel1_program(64, Strategy::ListA));
+    let jobs = batch(&program).len() as u64;
+
+    let mut group = c.benchmark_group("engine");
+    group.throughput(Throughput::Elements(jobs));
+
+    // Serial reference: the same simulations, directly on the calling
+    // thread — what the engine's overhead is measured against.
+    group.bench_function("serial-reference", |b| {
+        b.iter(|| {
+            batch(&program)
+                .iter()
+                .map(|job| run(job.config.clone(), &job.program).cycles)
+                .sum::<u64>()
+        })
+    });
+
+    // Cold engine: pool + timeout threads + result channel, cache off
+    // so every job simulates.
+    let cold = Lab::new().without_cache().quiet();
+    group.bench_function("pool-cold", |b| b.iter(|| cold.run_batch(batch(&program))));
+
+    // Warm cache: every job answered from disk; measures hash +
+    // cache-file parse, the per-job floor of a cached sweep.
+    let dir = std::env::temp_dir().join(format!("hirata-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let warm = Lab::new().with_cache_dir(&dir).quiet();
+    warm.run_batch(batch(&program)); // prime
+    group.bench_function("cache-warm", |b| b.iter(|| warm.run_batch(batch(&program))));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    group.finish();
+}
+
+criterion_group!(benches, engine_throughput);
+criterion_main!(benches);

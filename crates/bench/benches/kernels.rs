@@ -16,10 +16,7 @@ fn kernels(c: &mut Criterion) {
         ("lk3", livermore::kernel3_program(64)),
         ("lk5", livermore::kernel5_program(64)),
         ("lk7", livermore::kernel7_program(48, Strategy::ListA)),
-        (
-            "radiosity",
-            radiosity_program(&RadiosityParams { patches: 12, iterations: 2, seed: 7 }),
-        ),
+        ("radiosity", radiosity_program(&RadiosityParams { patches: 12, iterations: 2, seed: 7 })),
         ("eager-list", eager_program(ListShape { nodes: 48, break_at: Some(47) })),
     ];
     let mut group = c.benchmark_group("kernels");

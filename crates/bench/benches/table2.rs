@@ -11,9 +11,7 @@ use hirata_workloads::raytrace::raytrace_program;
 fn table2(c: &mut Criterion) {
     let program = raytrace_program(&bench_scene());
     let mut group = c.benchmark_group("table2");
-    group.bench_function("baseline-risc", |b| {
-        b.iter(|| run(Config::base_risc(), &program))
-    });
+    group.bench_function("baseline-risc", |b| b.iter(|| run(Config::base_risc(), &program)));
     for slots in [2usize, 4, 8] {
         for (ls, fu) in [(1, FuConfig::paper_one_ls()), (2, FuConfig::paper_two_ls())] {
             for standby in [false, true] {
@@ -21,8 +19,7 @@ fn table2(c: &mut Criterion) {
                     "s{slots}-ls{ls}-{}",
                     if standby { "sb" } else { "nosb" }
                 ));
-                let config =
-                    Config::multithreaded(slots).with_fu(fu.clone()).with_standby(standby);
+                let config = Config::multithreaded(slots).with_fu(fu.clone()).with_standby(standby);
                 group.bench_with_input(id, &config, |b, config| {
                     b.iter(|| run(config.clone(), &program))
                 });

@@ -13,9 +13,11 @@ fn table5(c: &mut Criterion) {
     group.bench_function("sequential", |b| b.iter(|| run(Config::base_risc(), &seq)));
     let eager = eager_program(shape);
     for slots in [2usize, 3, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(format!("eager-s{slots}")), &(), |b, ()| {
-            b.iter(|| run(Config::multithreaded(slots), &eager))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("eager-s{slots}")),
+            &(),
+            |b, ()| b.iter(|| run(Config::multithreaded(slots), &eager)),
+        );
     }
     group.finish();
 }

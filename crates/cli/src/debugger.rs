@@ -29,11 +29,7 @@ use crate::CliError;
 ///
 /// Machine checks surface as [`CliError::Failure`]; malformed commands
 /// are reported inline and do not abort the session.
-pub fn debug_session(
-    config: Config,
-    program: &Program,
-    input: &str,
-) -> Result<String, CliError> {
+pub fn debug_session(config: Config, program: &Program, input: &str) -> Result<String, CliError> {
     let mut machine =
         Machine::new(config, program).map_err(|e| CliError::Failure(e.to_string()))?;
     machine.set_trace(true);
@@ -43,10 +39,10 @@ pub fn debug_session(
     let mut done = false;
 
     let step_cycles = |machine: &mut Machine,
-                           n: u64,
-                           breakpoints: &[u32],
-                           seen: &mut usize,
-                           out: &mut String|
+                       n: u64,
+                       breakpoints: &[u32],
+                       seen: &mut usize,
+                       out: &mut String|
      -> Result<bool, CliError> {
         for _ in 0..n {
             let finished = machine.step().map_err(|e| CliError::Failure(e.to_string()))?;
@@ -71,7 +67,8 @@ pub fn debug_session(
         Ok(false)
     };
 
-    let _ = writeln!(out, "debugging {} instructions; type `i` for state, `q` to quit", program.len());
+    let _ =
+        writeln!(out, "debugging {} instructions; type `i` for state, `q` to quit", program.len());
     for raw in input.lines() {
         let line = raw.trim();
         if line.is_empty() {
@@ -84,8 +81,7 @@ pub fn debug_session(
             "s" => {
                 let n: u64 = parts.next().and_then(|t| t.parse().ok()).unwrap_or(1);
                 if !done {
-                    done =
-                        step_cycles(&mut machine, n, &breakpoints, &mut seen_events, &mut out)?;
+                    done = step_cycles(&mut machine, n, &breakpoints, &mut seen_events, &mut out)?;
                 }
                 let _ = writeln!(out, "cycle {}", machine.cycles());
             }
@@ -112,7 +108,11 @@ pub fn debug_session(
                         let _ = writeln!(out, "breakpoint removed at @{pc}");
                     } else {
                         breakpoints.push(pc);
-                        let _ = writeln!(out, "breakpoint set at @{pc} `{}`", program.insts[pc as usize]);
+                        let _ = writeln!(
+                            out,
+                            "breakpoint set at @{pc} `{}`",
+                            program.insts[pc as usize]
+                        );
                     }
                 }
                 _ => {
@@ -205,16 +205,12 @@ mod tests {
     use hirata_asm::assemble;
 
     fn prog() -> Program {
-        assemble(
-            "fastfork\nlpid r1\nmul r2, r1, r1\nsw r2, 100(r1)\nhalt",
-        )
-        .unwrap()
+        assemble("fastfork\nlpid r1\nmul r2, r1, r1\nsw r2, 100(r1)\nhalt").unwrap()
     }
 
     #[test]
     fn stepping_reports_cycles_and_state() {
-        let out =
-            debug_session(Config::multithreaded(2), &prog(), "s 3\ni\ns 100\ni\nq").unwrap();
+        let out = debug_session(Config::multithreaded(2), &prog(), "s 3\ni\ns 100\ni\nq").unwrap();
         assert!(out.contains("cycle 3"), "{out}");
         assert!(out.contains("priority order"), "{out}");
         assert!(out.contains("machine finished"), "{out}");
@@ -236,12 +232,7 @@ mod tests {
 
     #[test]
     fn registers_and_memory_inspection() {
-        let out = debug_session(
-            Config::multithreaded(2),
-            &prog(),
-            "c\nr 1\nm 100 102\nq",
-        )
-        .unwrap();
+        let out = debug_session(Config::multithreaded(2), &prog(), "c\nr 1\nm 100 102\nq").unwrap();
         assert!(out.contains("i64 1"), "thread 1 stored 1: {out}");
     }
 

@@ -7,6 +7,8 @@
 //! hirata debug  <file.s> [--slots N]      scriptable single-step debugger
 //! hirata emu    <file.s> [--slots N] [--dump A..B]
 //!                                          architectural emulator (no timing)
+//! hirata lab    <file.s> [options]        sweep a config grid through the
+//!                                          parallel execution engine
 //!
 //! run options:
 //!   --slots N         thread slots (default 1)
@@ -19,6 +21,13 @@
 //!   --timeline        per-cycle issue grid (one column per slot)
 //!   --dump A..B       print data memory words [A, B) after the run
 //!   --max-cycles N    watchdog limit
+//!
+//! lab options:
+//!   --slots LIST      comma-separated slot counts (default 1,2,4,8)
+//!   --ls LIST         load/store units per point, from {1,2} (default 1)
+//!   --jobs N          engine worker threads (default: one per CPU)
+//!   --no-cache        simulate every point even if cached
+//!   --timeout SECS    per-job wall-clock timeout
 //! ```
 //!
 //! The command logic lives in this library (returning the would-be
@@ -34,7 +43,7 @@ pub use debugger::debug_session;
 
 use std::fmt::Write as _;
 
-use hirata_isa::{FuClass, FuConfig};
+use hirata_isa::FuConfig;
 use hirata_sim::{Config, Machine};
 
 /// A CLI failure: the message to print to stderr (exit status 1) or a
@@ -65,7 +74,9 @@ pub const USAGE: &str = "usage:
                          [--no-standby] [--private-fetch] [--trace]
                          [--timeline] [--dump A..B] [--max-cycles N]
   hirata debug  <file.s> [--slots N]    (commands on stdin: s/c/b/r/f/m/i/q)
-  hirata emu    <file.s> [--slots N] [--dump A..B]";
+  hirata emu    <file.s> [--slots N] [--dump A..B]
+  hirata lab    <file.s> [--slots LIST] [--ls LIST] [--jobs N]
+                         [--no-cache] [--timeout SECS]";
 
 /// Executes the command line (without the program name); returns the
 /// stdout text.
@@ -74,7 +85,10 @@ pub const USAGE: &str = "usage:
 ///
 /// [`CliError::Usage`] for malformed invocations, [`CliError::Failure`]
 /// for assembly or simulation failures.
-pub fn execute(args: &[String], read: impl Fn(&str) -> std::io::Result<String>) -> Result<String, CliError> {
+pub fn execute(
+    args: &[String],
+    read: impl Fn(&str) -> std::io::Result<String>,
+) -> Result<String, CliError> {
     let mut it = args.iter();
     let cmd = it.next().ok_or_else(|| CliError::Usage(USAGE.into()))?;
     match cmd.as_str() {
@@ -83,8 +97,8 @@ pub fn execute(args: &[String], read: impl Fn(&str) -> std::io::Result<String>) 
             if it.next().is_some() {
                 return Err(CliError::Usage(USAGE.into()));
             }
-            let source = read(path)
-                .map_err(|e| CliError::Failure(format!("cannot read `{path}`: {e}")))?;
+            let source =
+                read(path).map_err(|e| CliError::Failure(format!("cannot read `{path}`: {e}")))?;
             let program = hirata_asm::assemble(&source)
                 .map_err(|e| CliError::Failure(format!("{path}:{e}")))?;
             if cmd == "check" {
@@ -98,6 +112,7 @@ pub fn execute(args: &[String], read: impl Fn(&str) -> std::io::Result<String>) 
             }
         }
         "run" => run(&args[1..], read),
+        "lab" => lab(&args[1..], read),
         "emu" => {
             let mut path: Option<&String> = None;
             let mut slots = 1usize;
@@ -133,23 +148,20 @@ pub fn execute(args: &[String], read: impl Fn(&str) -> std::io::Result<String>) 
                 }
             }
             let path = path.ok_or_else(|| CliError::Usage(USAGE.into()))?;
-            let source = read(path)
-                .map_err(|e| CliError::Failure(format!("cannot read `{path}`: {e}")))?;
+            let source =
+                read(path).map_err(|e| CliError::Failure(format!("cannot read `{path}`: {e}")))?;
             let program = hirata_asm::assemble(&source)
                 .map_err(|e| CliError::Failure(format!("{path}:{e}")))?;
-            let outcome =
-                hirata_sim::Emulator::execute(&program, slots, 1 << 20, 500_000_000)
-                    .map_err(|e| CliError::Failure(e.to_string()))?;
+            let outcome = hirata_sim::Emulator::execute(&program, slots, 1 << 20, 500_000_000)
+                .map_err(|e| CliError::Failure(e.to_string()))?;
             let mut out = String::new();
             let _ = writeln!(out, "instructions:  {}", outcome.instructions);
             let _ = writeln!(out, "threads killed: {}", outcome.threads_killed);
             if let Some((lo, hi)) = dump {
                 let _ = writeln!(out, "memory [{lo}..{hi}):");
                 for addr in lo..hi {
-                    let bits = outcome
-                        .memory
-                        .read(addr)
-                        .map_err(|e| CliError::Failure(e.to_string()))?;
+                    let bits =
+                        outcome.memory.read(addr).map_err(|e| CliError::Failure(e.to_string()))?;
                     let _ = writeln!(
                         out,
                         "  [{addr:>6}] {bits:#018x}  i64 {:<20}  f64 {}",
@@ -179,8 +191,8 @@ pub fn execute(args: &[String], read: impl Fn(&str) -> std::io::Result<String>) 
                 }
             }
             let path = path.ok_or_else(|| CliError::Usage(USAGE.into()))?;
-            let source = read(path)
-                .map_err(|e| CliError::Failure(format!("cannot read `{path}`: {e}")))?;
+            let source =
+                read(path).map_err(|e| CliError::Failure(format!("cannot read `{path}`: {e}")))?;
             let program = hirata_asm::assemble(&source)
                 .map_err(|e| CliError::Failure(format!("{path}:{e}")))?;
             let mut input = String::new();
@@ -199,7 +211,10 @@ fn parse_num<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result
         .map_err(|_| CliError::Usage(format!("invalid value for {flag}\n{USAGE}")))
 }
 
-fn run(args: &[String], read: impl Fn(&str) -> std::io::Result<String>) -> Result<String, CliError> {
+fn run(
+    args: &[String],
+    read: impl Fn(&str) -> std::io::Result<String>,
+) -> Result<String, CliError> {
     let mut path: Option<&String> = None;
     let mut slots = 1usize;
     let mut width = 1usize;
@@ -250,10 +265,9 @@ fn run(args: &[String], read: impl Fn(&str) -> std::io::Result<String>) -> Resul
         }
     }
     let path = path.ok_or_else(|| CliError::Usage(USAGE.into()))?;
-    let source =
-        read(path).map_err(|e| CliError::Failure(format!("cannot read `{path}`: {e}")))?;
-    let program = hirata_asm::assemble(&source)
-        .map_err(|e| CliError::Failure(format!("{path}:{e}")))?;
+    let source = read(path).map_err(|e| CliError::Failure(format!("cannot read `{path}`: {e}")))?;
+    let program =
+        hirata_asm::assemble(&source).map_err(|e| CliError::Failure(format!("{path}:{e}")))?;
 
     let mut config = if base {
         let mut c = Config::base_risc();
@@ -299,25 +313,11 @@ fn run(args: &[String], read: impl Fn(&str) -> std::io::Result<String>) -> Resul
     let _ = writeln!(out, "ipc:           {:.3}", stats.ipc());
     let (busiest, util) = stats.busiest_unit();
     let _ = writeln!(out, "busiest unit:  {busiest} ({util:.1}%)");
-    for class in FuClass::ALL {
-        let i = class.index();
-        if stats.fu_invocations[i] > 0 {
-            let _ = writeln!(
-                out,
-                "  {:<12} {:>8} ops  {:>5.1}%",
-                class.name(),
-                stats.fu_invocations[i],
-                stats.utilization(class)
-            );
-        }
-    }
+    out.push_str(&stats.utilization_report());
     if let Some((lo, hi)) = dump {
         let _ = writeln!(out, "memory [{lo}..{hi}):");
         for addr in lo..hi {
-            let bits = machine
-                .memory()
-                .read(addr)
-                .map_err(|e| CliError::Failure(e.to_string()))?;
+            let bits = machine.memory().read(addr).map_err(|e| CliError::Failure(e.to_string()))?;
             let _ = writeln!(
                 out,
                 "  [{addr:>6}] {bits:#018x}  i64 {:<20}  f64 {}",
@@ -329,14 +329,126 @@ fn run(args: &[String], read: impl Fn(&str) -> std::io::Result<String>) -> Resul
     Ok(out)
 }
 
+/// `hirata lab`: assemble a program and sweep a slots x load/store
+/// grid through the parallel execution engine, one job per grid
+/// point. Engine progress and the batch report go to stderr; the
+/// result table (identical whatever the worker count or cache state)
+/// is the returned stdout text.
+fn lab(
+    args: &[String],
+    read: impl Fn(&str) -> std::io::Result<String>,
+) -> Result<String, CliError> {
+    let mut path: Option<&String> = None;
+    let mut slots_list = vec![1usize, 2, 4, 8];
+    let mut ls_list = vec![1usize];
+    let mut jobs: Option<usize> = None;
+    let mut no_cache = false;
+    let mut timeout: Option<u64> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--slots" => slots_list = parse_list("--slots", it.next())?,
+            "--ls" => ls_list = parse_list("--ls", it.next())?,
+            "--jobs" => jobs = Some(parse_num("--jobs", it.next())?),
+            "--no-cache" => no_cache = true,
+            "--timeout" => timeout = Some(parse_num("--timeout", it.next())?),
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown flag `{flag}`\n{USAGE}")))
+            }
+            _ if path.is_none() => path = Some(arg),
+            _ => return Err(CliError::Usage(format!("unexpected argument `{arg}`\n{USAGE}"))),
+        }
+    }
+    let path = path.ok_or_else(|| CliError::Usage(USAGE.into()))?;
+    if slots_list.is_empty() || slots_list.contains(&0) {
+        return Err(CliError::Usage(format!("--slots needs positive counts\n{USAGE}")));
+    }
+    if ls_list.is_empty() || ls_list.iter().any(|&ls| ls != 1 && ls != 2) {
+        return Err(CliError::Usage(format!("--ls entries must be 1 or 2\n{USAGE}")));
+    }
+
+    let source = read(path).map_err(|e| CliError::Failure(format!("cannot read `{path}`: {e}")))?;
+    let program = std::sync::Arc::new(
+        hirata_asm::assemble(&source).map_err(|e| CliError::Failure(format!("{path}:{e}")))?,
+    );
+
+    let mut engine = hirata_lab::Lab::new();
+    if let Some(jobs) = jobs {
+        engine = engine.with_workers(jobs);
+    }
+    if no_cache {
+        engine = engine.without_cache();
+    }
+
+    let mut grid = Vec::new();
+    let mut batch_jobs = Vec::new();
+    for &ls in &ls_list {
+        for &slots in &slots_list {
+            let fu = if ls == 2 { FuConfig::paper_two_ls() } else { FuConfig::paper_one_ls() };
+            let config = Config::multithreaded(slots).with_fu(fu);
+            let mut job = hirata_lab::Job::new(
+                format!("{path} s{slots} {ls}LS"),
+                config,
+                std::sync::Arc::clone(&program),
+            );
+            if let Some(secs) = timeout {
+                job = job.with_timeout(std::time::Duration::from_secs(secs));
+            }
+            grid.push((slots, ls));
+            batch_jobs.push(job);
+        }
+    }
+
+    let batch = engine.run_batch(batch_jobs);
+    let mut out = String::new();
+    let _ = writeln!(out, "{path}: {} grid points, {} workers", grid.len(), engine.workers());
+    let _ =
+        writeln!(out, "{:>6} {:>4} {:>12} {:>7} {:>9}", "slots", "ls", "cycles", "ipc", "speedup");
+    let base_cycles = batch.results.iter().find_map(|r| r.as_ref().ok().map(|o| o.stats.cycles));
+    for ((slots, ls), result) in grid.iter().zip(&batch.results) {
+        match result {
+            Ok(out_job) => {
+                let cycles = out_job.stats.cycles;
+                let speedup = base_cycles.map(|b| b as f64 / cycles as f64).unwrap_or(1.0);
+                let _ = writeln!(
+                    out,
+                    "{slots:>6} {ls:>4} {cycles:>12} {:>7.3} {speedup:>9.2}",
+                    out_job.stats.ipc()
+                );
+            }
+            Err(err) => {
+                let _ = writeln!(out, "{slots:>6} {ls:>4} {:>12} ({err})", "failed");
+            }
+        }
+    }
+    if batch.report.failed > 0 {
+        return Err(CliError::Failure(format!(
+            "{} of {} grid points failed\n{out}",
+            batch.report.failed,
+            grid.len()
+        )));
+    }
+    Ok(out)
+}
+
+/// Parses a comma-separated list of numbers (`1,2,4`).
+fn parse_list(flag: &str, value: Option<&String>) -> Result<Vec<usize>, CliError> {
+    value
+        .ok_or_else(|| CliError::Usage(format!("{flag} needs a value\n{USAGE}")))?
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| CliError::Usage(format!("invalid value for {flag}\n{USAGE}")))
+        })
+        .collect()
+}
+
 /// Renders the first `max_cycles` cycles of an issue trace as a grid:
 /// one column per thread slot, the issued instruction address in each
 /// cell, `.` for a cycle with no issue from that slot.
-fn render_timeline(
-    trace: &[hirata_sim::IssueEvent],
-    slots: usize,
-    max_cycles: u64,
-) -> String {
+fn render_timeline(trace: &[hirata_sim::IssueEvent], slots: usize, max_cycles: u64) -> String {
     let mut out = String::new();
     if trace.is_empty() {
         return out;
@@ -415,8 +527,7 @@ mod tests {
 
     #[test]
     fn run_reports_stats_and_dump() {
-        let out =
-            execute(&args("run prog.s --slots 4 --dump 100..104"), fake_fs(PROG)).unwrap();
+        let out = execute(&args("run prog.s --slots 4 --dump 100..104"), fake_fs(PROG)).unwrap();
         assert!(out.contains("cycles:"), "{out}");
         assert!(out.contains("int-mul"), "{out}");
         assert!(out.contains("i64 9"), "thread 3 squares to 9: {out}");
@@ -464,12 +575,33 @@ mod tests {
     }
 
     #[test]
+    fn lab_sweeps_a_grid() {
+        let out =
+            execute(&args("lab prog.s --slots 1,2 --ls 1,2 --jobs 2 --no-cache"), fake_fs(PROG))
+                .unwrap();
+        assert!(out.contains("4 grid points"), "{out}");
+        // One table row per grid point, every point completed.
+        assert_eq!(out.matches("\n     1").count() + out.matches("\n     2").count(), 4, "{out}");
+        assert!(!out.contains("failed"), "{out}");
+    }
+
+    #[test]
+    fn lab_usage_errors() {
+        for bad in [
+            "lab prog.s --slots 0",
+            "lab prog.s --ls 3",
+            "lab prog.s --slots one",
+            "lab prog.s --bogus",
+            "lab",
+        ] {
+            let err = execute(&args(bad), fake_fs(PROG)).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{bad:?} -> {err:?}");
+        }
+    }
+
+    #[test]
     fn watchdog_is_reported_as_failure() {
-        let err = execute(
-            &args("run prog.s --max-cycles 3"),
-            fake_fs("loop: j loop"),
-        )
-        .unwrap_err();
+        let err = execute(&args("run prog.s --max-cycles 3"), fake_fs("loop: j loop")).unwrap_err();
         assert!(matches!(err, CliError::Failure(m) if m.contains("watchdog")));
     }
 

@@ -13,11 +13,8 @@ fn args(parts: &[&str]) -> Vec<String> {
 
 #[test]
 fn fib_runs_and_dumps_the_sequence() {
-    let out = execute(
-        &args(&["run", &sample("fib.s"), "--base", "--dump", "100..108"]),
-        read_file,
-    )
-    .unwrap();
+    let out = execute(&args(&["run", &sample("fib.s"), "--base", "--dump", "100..108"]), read_file)
+        .unwrap();
     for fib in [0i64, 1, 1, 2, 3, 5, 8, 13] {
         assert!(out.contains(&format!("i64 {fib} ")), "fib {fib} missing:\n{out}");
     }
@@ -66,11 +63,7 @@ fn every_sample_checks_clean() {
 
 #[test]
 fn emulator_subcommand_runs_samples() {
-    let out = execute(
-        &args(&["emu", &sample("fib.s"), "--dump", "105..106"]),
-        read_file,
-    )
-    .unwrap();
+    let out = execute(&args(&["emu", &sample("fib.s"), "--dump", "105..106"]), read_file).unwrap();
     assert!(out.contains("instructions:"), "{out}");
     assert!(out.contains("i64 5 "), "fib(5)=5: {out}");
 }
@@ -88,10 +81,7 @@ fn emulator_and_machine_agree_on_saxpy() {
     )
     .unwrap();
     let tail = |s: &str| {
-        s.lines()
-            .filter(|l| l.trim_start().starts_with('['))
-            .map(str::to_owned)
-            .collect::<Vec<_>>()
+        s.lines().filter(|l| l.trim_start().starts_with('[')).map(str::to_owned).collect::<Vec<_>>()
     };
     assert_eq!(tail(&run_out), tail(&emu_out));
 }

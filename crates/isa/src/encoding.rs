@@ -149,7 +149,8 @@ pub fn encode(inst: &Inst, out: &mut Vec<u64>) -> Result<(), EncodeError> {
     };
     let w = match *inst {
         Inst::IntOp { op, rd, rs, src2 } => {
-            let opc = OP_INT_BASE + IntOp::ALL.iter().position(|o| *o == op).expect("known op") as u8;
+            let opc =
+                OP_INT_BASE + IntOp::ALL.iter().position(|o| *o == op).expect("known op") as u8;
             let (t, imm) = gsrc(src2)?;
             word(opc, reg_field(Reg::G(rd)), reg_field(Reg::G(rs)), t, imm)
         }
@@ -205,13 +206,7 @@ pub fn encode(inst: &Inst, out: &mut Vec<u64>) -> Result<(), EncodeError> {
             // a literal and a target, so they take a second word
             // (d = 1 marks the two-word form).
             if imm_bits == 0 {
-                word(
-                    opc,
-                    0,
-                    reg_field(Reg::G(rs)),
-                    t,
-                    imm_field(target as i64).ok_or_else(err)?,
-                )
+                word(opc, 0, reg_field(Reg::G(rs)), t, imm_field(target as i64).ok_or_else(err)?)
             } else {
                 out.push(word(opc, 1, reg_field(Reg::G(rs)), 0, imm_bits));
                 out.push(target as u64);
@@ -226,13 +221,9 @@ pub fn encode(inst: &Inst, out: &mut Vec<u64>) -> Result<(), EncodeError> {
         Inst::ChgPri => word(OP_CHGPRI, 0, 0, 0, 0),
         Inst::KillOthers => word(OP_KILLOTHERS, 0, 0, 0, 0),
         Inst::SetRotation { mode } => match mode {
-            RotationMode::Implicit { interval } => word(
-                OP_SETROT_IMPLICIT,
-                0,
-                0,
-                0,
-                imm_field(interval as i64).ok_or_else(err)?,
-            ),
+            RotationMode::Implicit { interval } => {
+                word(OP_SETROT_IMPLICIT, 0, 0, 0, imm_field(interval as i64).ok_or_else(err)?)
+            }
             RotationMode::Explicit => word(OP_SETROT_EXPLICIT, 0, 0, 0, 0),
         },
         Inst::QMap { read, write } => word(OP_QMAP, reg_field(read), reg_field(write), 0, 0),
@@ -327,11 +318,7 @@ pub fn decode_program(words: &[u64]) -> Result<Vec<Inst>, DecodeError> {
         let inst = match f.op {
             op if (OP_INT_BASE..OP_INT_BASE + 15).contains(&op) => {
                 let int_op = IntOp::ALL[(op - OP_INT_BASE) as usize];
-                let src2 = if f.imm_flag {
-                    GSrc::Imm(f.imm)
-                } else {
-                    GSrc::Reg(greg_of(f.t, at)?)
-                };
+                let src2 = if f.imm_flag { GSrc::Imm(f.imm) } else { GSrc::Reg(greg_of(f.t, at)?) };
                 Inst::IntOp { op: int_op, rd: greg_of(f.d, at)?, rs: greg_of(f.s, at)?, src2 }
             }
             OP_LI => Inst::Li { rd: greg_of(f.d, at)?, imm: f.imm },
@@ -386,9 +373,9 @@ pub fn decode_program(words: &[u64]) -> Result<Vec<Inst>, DecodeError> {
             OP_FASTFORK => Inst::FastFork,
             OP_CHGPRI => Inst::ChgPri,
             OP_KILLOTHERS => Inst::KillOthers,
-            OP_SETROT_IMPLICIT => Inst::SetRotation {
-                mode: RotationMode::Implicit { interval: f.imm as u32 },
-            },
+            OP_SETROT_IMPLICIT => {
+                Inst::SetRotation { mode: RotationMode::Implicit { interval: f.imm as u32 } }
+            }
             OP_SETROT_EXPLICIT => Inst::SetRotation { mode: RotationMode::Explicit },
             OP_QMAP => Inst::QMap { read: reg_of(f.d, at)?, write: reg_of(f.s, at)? },
             OP_QUNMAP => Inst::QUnmap,
@@ -465,10 +452,7 @@ mod tests {
     fn out_of_range_immediates_rejected() {
         let mut words = Vec::new();
         let big = Inst::Li { rd: GReg(1), imm: 1 << 40 };
-        assert!(matches!(
-            encode(&big, &mut words),
-            Err(EncodeError::ImmediateOutOfRange { .. })
-        ));
+        assert!(matches!(encode(&big, &mut words), Err(EncodeError::ImmediateOutOfRange { .. })));
     }
 
     #[test]

@@ -152,10 +152,7 @@ impl FuConfig {
     ///
     /// Panics if every count is zero.
     pub fn custom(counts: [u8; FU_CLASS_COUNT]) -> Self {
-        assert!(
-            counts.iter().any(|&c| c > 0),
-            "a processor needs at least one functional unit"
-        );
+        assert!(counts.iter().any(|&c| c > 0), "a processor needs at least one functional unit");
         FuConfig { counts }
     }
 

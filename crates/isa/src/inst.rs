@@ -560,10 +560,7 @@ impl Inst {
     /// trigger the branch handling of §2.1.2: fetch request at the end
     /// of D1 and a branch shadow until the redirect completes).
     pub fn is_control(&self) -> bool {
-        matches!(
-            self,
-            Inst::Branch { .. } | Inst::Jump { .. } | Inst::JumpReg { .. }
-        )
+        matches!(self, Inst::Branch { .. } | Inst::Jump { .. } | Inst::JumpReg { .. })
     }
 
     /// True for the §2.2/§2.3.3 instructions that interlock until the
@@ -656,8 +653,7 @@ mod tests {
         let alu = sample_fu_inst();
         assert_eq!(alu.latency(), Latency::new(1, 2));
 
-        let shift =
-            Inst::IntOp { op: IntOp::Sll, rd: GReg(1), rs: GReg(2), src2: GSrc::Imm(3) };
+        let shift = Inst::IntOp { op: IntOp::Sll, rd: GReg(1), rs: GReg(2), src2: GSrc::Imm(3) };
         assert_eq!(shift.latency(), Latency::new(1, 2));
         assert_eq!(shift.fu_class(), Some(FuClass::Shifter));
 
@@ -764,8 +760,7 @@ mod tests {
             "setrot implicit #8"
         );
         assert_eq!(
-            Inst::FpCmp { cond: BranchCond::Lt, rd: GReg(1), fs: FReg(2), ft: FReg(3) }
-                .to_string(),
+            Inst::FpCmp { cond: BranchCond::Lt, rd: GReg(1), fs: FReg(2), ft: FReg(3) }.to_string(),
             "fcmplt r1, f2, f3"
         );
     }

@@ -199,10 +199,7 @@ mod tests {
     #[test]
     fn validate_rejects_bad_target() {
         let prog = Program::from_insts(vec![Inst::Jump { target: 5 }]);
-        assert_eq!(
-            prog.validate(),
-            Err(ProgramError::TargetOutOfRange { at: 0, target: 5 })
-        );
+        assert_eq!(prog.validate(), Err(ProgramError::TargetOutOfRange { at: 0, target: 5 }));
     }
 
     #[test]

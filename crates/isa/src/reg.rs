@@ -149,9 +149,7 @@ impl fmt::Display for ParseRegError {
 impl std::error::Error for ParseRegError {}
 
 fn parse_index(text: &str, prefix: char, limit: usize) -> Result<u8, ParseRegError> {
-    let rest = text
-        .strip_prefix(prefix)
-        .ok_or_else(|| ParseRegError::new(text))?;
+    let rest = text.strip_prefix(prefix).ok_or_else(|| ParseRegError::new(text))?;
     // Reject forms like "r03" so that each register has one spelling.
     if rest.len() > 1 && rest.starts_with('0') {
         return Err(ParseRegError::new(text));

@@ -173,13 +173,8 @@ pub(crate) fn generate(
     if consts.len() > 12 {
         return Err(CodegenError::TooManyConsts);
     }
-    let mut ctx = Ctx {
-        consts,
-        arrays,
-        lets: Vec::new(),
-        free: (1..=19).rev().collect(),
-        out: Vec::new(),
-    };
+    let mut ctx =
+        Ctx { consts, arrays, lets: Vec::new(), free: (1..=19).rev().collect(), out: Vec::new() };
     for stmt in stmts {
         match stmt {
             Stmt::Let { name, value } => {
@@ -191,11 +186,7 @@ pub(crate) fn generate(
                     Val::Owned(r) => r,
                     Val::Borrowed(src) => {
                         let r = ctx.alloc()?;
-                        ctx.out.push(Inst::FpUn {
-                            op: FpUnOp::FMov,
-                            fd: FReg(r),
-                            fs: FReg(src),
-                        });
+                        ctx.out.push(Inst::FpUn { op: FpUnOp::FMov, fd: FReg(r), fs: FReg(src) });
                         r
                     }
                 };
@@ -265,11 +256,8 @@ mod tests {
 
     #[test]
     fn unknown_names_error() {
-        let stmts = vec![Stmt::Store {
-            array: "x".into(),
-            offset: 0,
-            value: Expr::Name("mystery".into()),
-        }];
+        let stmts =
+            vec![Stmt::Store { array: "x".into(), offset: 0, value: Expr::Name("mystery".into()) }];
         assert_eq!(
             generate(&consts(), &arrays(), &stmts),
             Err(CodegenError::Unknown { name: "mystery".into() })
@@ -288,9 +276,6 @@ mod tests {
             };
         }
         let stmts = vec![Stmt::Store { array: "x".into(), offset: 0, value }];
-        assert_eq!(
-            generate(&consts(), &arrays(), &stmts),
-            Err(CodegenError::TooManyTemporaries)
-        );
+        assert_eq!(generate(&consts(), &arrays(), &stmts), Err(CodegenError::TooManyTemporaries));
     }
 }

@@ -146,22 +146,15 @@ impl Kernel {
         let mut data = String::new();
         // Constants live at 500.. in declaration order.
         if !self.consts.is_empty() {
-            let words = self
-                .consts
-                .iter()
-                .map(|(_, v)| format!("{v:?}"))
-                .collect::<Vec<_>>()
-                .join(", ");
+            let words =
+                self.consts.iter().map(|(_, v)| format!("{v:?}")).collect::<Vec<_>>().join(", ");
             data.push_str(&format!(".org 500\nconsts: .float {words}\n"));
         }
         for (name, base) in &self.arrays {
             if let Some(values) = inputs.get(name) {
                 if !values.is_empty() {
-                    let words = values
-                        .iter()
-                        .map(|v| format!("{v:?}"))
-                        .collect::<Vec<_>>()
-                        .join(", ");
+                    let words =
+                        values.iter().map(|v| format!("{v:?}")).collect::<Vec<_>>().join(", ");
                     data.push_str(&format!(".org {base}\n{name}_data: .float {words}\n"));
                 }
             }

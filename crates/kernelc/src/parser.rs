@@ -100,15 +100,16 @@ fn lex(src: &str) -> Result<Vec<Token>, CompileError> {
                     }
                 }
                 let body = &text[start..end];
-                let tok = if is_float {
-                    Tok::Num(body.parse().map_err(|_| {
-                        CompileError::new(line, format!("invalid number `{body}`"))
-                    })?)
-                } else {
-                    Tok::Int(body.parse().map_err(|_| {
-                        CompileError::new(line, format!("invalid integer `{body}`"))
-                    })?)
-                };
+                let tok =
+                    if is_float {
+                        Tok::Num(body.parse().map_err(|_| {
+                            CompileError::new(line, format!("invalid number `{body}`"))
+                        })?)
+                    } else {
+                        Tok::Int(body.parse().map_err(|_| {
+                            CompileError::new(line, format!("invalid integer `{body}`"))
+                        })?)
+                    };
                 out.push(Token { tok, line });
             } else if "=;{}()[]+-*/,".contains(c) {
                 chars.next();
@@ -274,9 +275,7 @@ pub(crate) fn parse(src: &str) -> Result<Kernel, CompileError> {
                     Some(Tok::Punct('-')) => match p.next() {
                         Some(Tok::Num(v)) => -v,
                         Some(Tok::Int(v)) => -(v as f64),
-                        other => {
-                            return Err(p.err(format!("expected a number, found {other:?}")))
-                        }
+                        other => return Err(p.err(format!("expected a number, found {other:?}"))),
                     },
                     other => return Err(p.err(format!("expected a number, found {other:?}"))),
                 };
@@ -334,9 +333,7 @@ pub(crate) fn parse(src: &str) -> Result<Kernel, CompileError> {
                             stmts.push(Stmt::Store { array: arr, offset, value });
                         }
                         other => {
-                            return Err(
-                                p.err(format!("expected a statement, found {other:?}"))
-                            )
+                            return Err(p.err(format!("expected a statement, found {other:?}")))
                         }
                     }
                 }

@@ -24,12 +24,7 @@ fn run_and_read(
     let program = kernel.program(n, ins, strategy);
     let mut m = Machine::new(Config::multithreaded(slots), &program).unwrap();
     m.run().unwrap();
-    let base = kernel
-        .arrays()
-        .iter()
-        .find(|(name, _)| name == array)
-        .map(|(_, b)| *b)
-        .unwrap();
+    let base = kernel.arrays().iter().find(|(name, _)| name == array).map(|(_, b)| *b).unwrap();
     (0..len).map(|i| m.memory().read_f64(base + i as u64).unwrap()).collect()
 }
 
@@ -114,10 +109,7 @@ fn compile_errors_are_located() {
         ("array x at 1000; kernel f(k) { x[k] = ; }", "expected an expression"),
     ] {
         let err = compile(src).unwrap_err();
-        assert!(
-            err.to_string().contains(needle),
-            "{src:?} -> {err} (wanted {needle:?})"
-        );
+        assert!(err.to_string().contains(needle), "{src:?} -> {err} (wanted {needle:?})");
     }
 }
 

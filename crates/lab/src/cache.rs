@@ -1,0 +1,226 @@
+//! Content-addressed on-disk result cache.
+//!
+//! Each successfully simulated job is stored as a small text file
+//! named by the job's content hash. The first line of every entry is
+//! the cache schema tag; entries written under a different tag (an
+//! older serialization, or results from before a simulator-semantics
+//! change) fail the header check and read as misses, so stale entries
+//! self-invalidate without any explicit migration.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use hirata_mem::MemStats;
+use hirata_sim::{RunStats, StallBreakdown};
+
+use crate::job::JobOutput;
+
+/// Schema tag of the on-disk format. Bump on any change to the
+/// serialized fields *or* to simulator semantics that alters results
+/// for unchanged inputs.
+pub const CACHE_SCHEMA_TAG: &str = "hirata-lab-cache-v1";
+
+/// Default cache directory: `$HIRATA_LAB_CACHE` if set, else
+/// `target/lab-cache` under the current directory.
+pub fn default_cache_dir() -> PathBuf {
+    match std::env::var_os("HIRATA_LAB_CACHE") {
+        Some(dir) => PathBuf::from(dir),
+        None => PathBuf::from("target").join("lab-cache"),
+    }
+}
+
+/// A directory of cached job outputs keyed by content hash.
+#[derive(Debug, Clone)]
+pub struct DiskCache {
+    dir: PathBuf,
+    tag: String,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) the cache at `dir` under the current
+    /// schema tag.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        Self::open_with_tag(dir, CACHE_SCHEMA_TAG)
+    }
+
+    /// Opens a cache with an explicit schema tag (exposed so tests can
+    /// demonstrate tag-bump invalidation).
+    pub fn open_with_tag(dir: impl Into<PathBuf>, tag: &str) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(DiskCache { dir, tag: tag.to_owned() })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Looks up a job output by content hash. Any missing file,
+    /// header mismatch, or parse failure reads as a miss.
+    pub fn load(&self, key: &str) -> Option<JobOutput> {
+        let text = fs::read_to_string(self.entry_path(key)).ok()?;
+        let mut lines = text.lines();
+        if lines.next()? != self.tag {
+            return None;
+        }
+        parse_entry(lines)
+    }
+
+    /// Stores a job output under its content hash. The write is
+    /// atomic (temp file + rename) so concurrent readers never see a
+    /// torn entry.
+    pub fn store(&self, key: &str, out: &JobOutput) -> io::Result<()> {
+        let tmp = self.dir.join(format!(".tmp-{key}-{}", std::process::id()));
+        fs::write(&tmp, render_entry(&self.tag, out))?;
+        fs::rename(&tmp, self.entry_path(key))
+    }
+
+    fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir.join(key)
+    }
+}
+
+fn render_u64s(values: impl IntoIterator<Item = u64>) -> String {
+    values.into_iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",")
+}
+
+fn render_entry(tag: &str, out: &JobOutput) -> String {
+    let s = &out.stats;
+    let m = &out.mem;
+    format!(
+        "{tag}\n\
+         cycles={}\n\
+         instructions={}\n\
+         per_slot_issued={}\n\
+         fu_invocations={}\n\
+         fu_busy={}\n\
+         fu_instances={}\n\
+         stalls={}\n\
+         context_switches={}\n\
+         threads_killed={}\n\
+         rotations={}\n\
+         mem_accesses={}\n\
+         mem_hits={}\n\
+         mem_misses={}\n\
+         mem_absences={}\n",
+        s.cycles,
+        s.instructions,
+        render_u64s(s.per_slot_issued.iter().copied()),
+        render_u64s(s.fu_invocations),
+        render_u64s(s.fu_busy),
+        render_u64s(s.fu_instances),
+        render_u64s(s.stalls.counts()),
+        s.context_switches,
+        s.threads_killed,
+        s.rotations,
+        m.accesses,
+        m.hits,
+        m.misses,
+        m.absences,
+    )
+}
+
+fn parse_entry<'a>(lines: impl Iterator<Item = &'a str>) -> Option<JobOutput> {
+    let mut stats = RunStats::default();
+    let mut mem = MemStats::default();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line.split_once('=')?;
+        match key {
+            "cycles" => stats.cycles = value.parse().ok()?,
+            "instructions" => stats.instructions = value.parse().ok()?,
+            "per_slot_issued" => stats.per_slot_issued = parse_u64s(value)?,
+            "fu_invocations" => stats.fu_invocations = parse_array(value)?,
+            "fu_busy" => stats.fu_busy = parse_array(value)?,
+            "fu_instances" => stats.fu_instances = parse_array(value)?,
+            "stalls" => stats.stalls = StallBreakdown::from_counts(parse_array(value)?),
+            "context_switches" => stats.context_switches = value.parse().ok()?,
+            "threads_killed" => stats.threads_killed = value.parse().ok()?,
+            "rotations" => stats.rotations = value.parse().ok()?,
+            "mem_accesses" => mem.accesses = value.parse().ok()?,
+            "mem_hits" => mem.hits = value.parse().ok()?,
+            "mem_misses" => mem.misses = value.parse().ok()?,
+            "mem_absences" => mem.absences = value.parse().ok()?,
+            _ => return None, // unknown field: treat as corrupt
+        }
+    }
+    Some(JobOutput { stats, mem })
+}
+
+fn parse_u64s(value: &str) -> Option<Vec<u64>> {
+    if value.is_empty() {
+        return Some(Vec::new());
+    }
+    value.split(',').map(|v| v.parse().ok()).collect()
+}
+
+fn parse_array<const N: usize>(value: &str) -> Option<[u64; N]> {
+    parse_u64s(value)?.try_into().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JobOutput {
+        let mut out = JobOutput::default();
+        out.stats.cycles = 12345;
+        out.stats.instructions = 678;
+        out.stats.per_slot_issued = vec![100, 200, 378];
+        out.stats.fu_invocations = [1, 2, 3, 4, 5, 6, 7];
+        out.stats.fu_busy = [2, 4, 6, 8, 10, 12, 14];
+        out.stats.fu_instances = [1, 1, 1, 1, 1, 1, 2];
+        out.stats.stalls = StallBreakdown::from_counts([9, 8, 7, 6, 5, 4, 3]);
+        out.stats.context_switches = 11;
+        out.stats.threads_killed = 2;
+        out.stats.rotations = 40;
+        out.mem = MemStats { accesses: 50, hits: 48, misses: 2, absences: 0 };
+        out
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("hirata-lab-cache-test-{name}"));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let cache = DiskCache::open(tmp_dir("roundtrip")).expect("open");
+        let out = sample();
+        cache.store("k1", &out).expect("store");
+        assert_eq!(cache.load("k1"), Some(out));
+    }
+
+    #[test]
+    fn missing_key_is_a_miss() {
+        let cache = DiskCache::open(tmp_dir("missing")).expect("open");
+        assert_eq!(cache.load("absent"), None);
+    }
+
+    #[test]
+    fn tag_mismatch_is_a_miss() {
+        let dir = tmp_dir("tags");
+        let old = DiskCache::open_with_tag(&dir, "hirata-lab-cache-v0").expect("open");
+        old.store("k", &sample()).expect("store");
+        let new = DiskCache::open(&dir).expect("open");
+        assert_eq!(new.load("k"), None);
+        // Re-storing under the current tag makes it visible again.
+        new.store("k", &sample()).expect("store");
+        assert_eq!(new.load("k"), Some(sample()));
+    }
+
+    #[test]
+    fn corrupt_entries_are_misses() {
+        let cache = DiskCache::open(tmp_dir("corrupt")).expect("open");
+        let path = cache.dir().join("bad");
+        fs::write(&path, format!("{CACHE_SCHEMA_TAG}\ncycles=notanumber\n")).expect("write");
+        assert_eq!(cache.load("bad"), None);
+        fs::write(&path, format!("{CACHE_SCHEMA_TAG}\nunknown_field=1\n")).expect("write");
+        assert_eq!(cache.load("bad"), None);
+    }
+}

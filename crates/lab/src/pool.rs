@@ -1,0 +1,329 @@
+//! The work-stealing batch engine.
+//!
+//! `run_batch` resolves cache hits up front, then distributes the
+//! remaining jobs round-robin over per-worker deques. Workers pop
+//! from the front of their own deque and steal from the back of their
+//! neighbours' when empty, so an uneven mix of fast and slow jobs
+//! still keeps every worker busy. Each job runs on its own thread so
+//! the worker can enforce a wall-clock timeout with `recv_timeout`,
+//! and panics are caught inside the job thread so one crash never
+//! takes down the batch.
+
+use std::collections::VecDeque;
+use std::io::{IsTerminal, Write as _};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use hirata_sim::MachineError;
+
+use crate::cache::{default_cache_dir, DiskCache};
+use crate::job::{execute, Job, JobError, JobOutput, JobResult};
+
+/// A function that simulates one job; the default is [`execute`].
+/// Injectable so tests can exercise the panic and timeout paths.
+type Runner = dyn Fn(&Job) -> Result<JobOutput, MachineError> + Send + Sync;
+
+/// A queued unit of work: submission index, cache key, and the job.
+type QueuedJob = (usize, String, Arc<Job>);
+
+/// The experiment-execution engine: a worker count plus an optional
+/// result cache.
+pub struct Lab {
+    workers: usize,
+    cache: Option<DiskCache>,
+    progress: bool,
+    report: bool,
+}
+
+impl Lab {
+    /// An engine with one worker per available CPU and the default
+    /// on-disk cache (`$HIRATA_LAB_CACHE` or `target/lab-cache`).
+    ///
+    /// Cache-directory creation failure (read-only filesystem, ...)
+    /// degrades to running without a cache rather than failing the
+    /// batch.
+    pub fn new() -> Self {
+        let workers = thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        Lab {
+            workers,
+            cache: DiskCache::open(default_cache_dir()).ok(),
+            progress: std::io::stderr().is_terminal(),
+            report: true,
+        }
+    }
+
+    /// Overrides the worker count (the `--jobs N` flag). Clamped to
+    /// at least one.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Disables the result cache (every job simulates).
+    pub fn without_cache(mut self) -> Self {
+        self.cache = None;
+        self
+    }
+
+    /// Uses a cache in the given directory instead of the default.
+    pub fn with_cache_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.cache = DiskCache::open(dir).ok();
+        self
+    }
+
+    /// Silences the live progress line and the end-of-batch report
+    /// (for tests and benchmarks that run many batches).
+    pub fn quiet(mut self) -> Self {
+        self.progress = false;
+        self.report = false;
+        self
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs a batch of jobs and returns per-job results in submission
+    /// order plus a batch report. See [`Lab::run_batch_with`].
+    pub fn run_batch(&self, jobs: Vec<Job>) -> Batch {
+        self.run_batch_with(jobs, execute)
+    }
+
+    /// Runs a batch with an explicit runner function in place of
+    /// [`execute`].
+    ///
+    /// Results come back in submission order. A job that fails —
+    /// simulator error, panic, or timeout — yields `Err(JobError)` in
+    /// its slot while the rest of the batch completes.
+    pub fn run_batch_with<F>(&self, jobs: Vec<Job>, runner: F) -> Batch
+    where
+        F: Fn(&Job) -> Result<JobOutput, MachineError> + Send + Sync + 'static,
+    {
+        let start = Instant::now();
+        let total = jobs.len();
+        let mut results: Vec<Option<JobResult>> = Vec::with_capacity(total);
+        let mut report = BatchReport { total, ..BatchReport::default() };
+
+        // Resolve cache hits up front; only misses go to the pool.
+        // The content hash is computed once here and travels with the
+        // job so the collector can store fresh results under it.
+        let mut pending: Vec<(usize, String, Job)> = Vec::new();
+        for (index, job) in jobs.into_iter().enumerate() {
+            let key = job.content_hash();
+            match self.cache.as_ref().and_then(|c| c.load(&key)) {
+                Some(out) => {
+                    report.cache_hits += 1;
+                    results.push(Some(Ok(out)));
+                }
+                None => {
+                    results.push(None);
+                    pending.push((index, key, job));
+                }
+            }
+        }
+
+        if !pending.is_empty() {
+            self.run_pending(pending, &mut results, &mut report, Arc::new(runner), start);
+        }
+
+        report.wall = start.elapsed();
+        self.print_report(&report);
+        let results =
+            results.into_iter().map(|r| r.expect("every job produced a result")).collect();
+        Batch { results, report }
+    }
+
+    fn run_pending(
+        &self,
+        pending: Vec<(usize, String, Job)>,
+        results: &mut [Option<JobResult>],
+        report: &mut BatchReport,
+        runner: Arc<Runner>,
+        start: Instant,
+    ) {
+        let workers = self.workers.min(pending.len());
+        let count = pending.len();
+
+        // Striped round-robin assignment over per-worker deques.
+        let mut queues: Vec<VecDeque<QueuedJob>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for (n, (index, key, job)) in pending.into_iter().enumerate() {
+            queues[n % workers].push_back((index, key, Arc::new(job)));
+        }
+        let queues: Arc<Vec<Mutex<VecDeque<QueuedJob>>>> =
+            Arc::new(queues.into_iter().map(Mutex::new).collect());
+
+        let (tx, rx) = mpsc::channel::<(usize, String, String, JobResult)>();
+        let mut handles = Vec::with_capacity(workers);
+        for me in 0..workers {
+            let queues = Arc::clone(&queues);
+            let runner = Arc::clone(&runner);
+            let tx = tx.clone();
+            handles.push(thread::spawn(move || {
+                while let Some((index, key, job)) = take_job(&queues, me) {
+                    let result = run_with_timeout(&job, &runner);
+                    if tx.send((index, key, job.name.clone(), result)).is_err() {
+                        break;
+                    }
+                }
+            }));
+        }
+        drop(tx);
+
+        let mut finished = 0;
+        for (index, key, name, result) in rx.iter() {
+            match &result {
+                Ok(out) => {
+                    report.simulated_cycles += out.stats.cycles;
+                    if let Some(cache) = &self.cache {
+                        // Only successful runs are cached; a store
+                        // failure just means a future miss.
+                        let _ = cache.store(&key, out);
+                    }
+                }
+                Err(err) => {
+                    report.failed += 1;
+                    eprintln!("[lab] job `{name}` failed: {err}");
+                }
+            }
+            report.executed += 1;
+            results[index] = Some(result);
+            finished += 1;
+            self.print_progress(report, finished, count, start);
+        }
+
+        for handle in handles {
+            // Workers catch job panics themselves; a panic here is an
+            // engine bug and worth propagating.
+            handle.join().expect("lab worker thread");
+        }
+    }
+
+    fn print_progress(&self, report: &BatchReport, finished: usize, count: usize, start: Instant) {
+        if !self.progress {
+            return;
+        }
+        let mut err = std::io::stderr().lock();
+        let _ = write!(
+            err,
+            "\r[lab] {finished}/{count} simulated ({} cached, {} failed, {:.1}s)\x1b[K",
+            report.cache_hits,
+            report.failed,
+            start.elapsed().as_secs_f64(),
+        );
+        if finished == count {
+            let _ = writeln!(err);
+        }
+        let _ = err.flush();
+    }
+
+    fn print_report(&self, report: &BatchReport) {
+        if self.report {
+            eprintln!("[lab] {report}");
+        }
+    }
+}
+
+impl Default for Lab {
+    fn default() -> Self {
+        Lab::new()
+    }
+}
+
+/// Pops a job from `me`'s own deque, stealing from the back of other
+/// workers' deques when it is empty.
+fn take_job(queues: &[Mutex<VecDeque<QueuedJob>>], me: usize) -> Option<QueuedJob> {
+    if let Some(job) = queues[me].lock().expect("queue lock").pop_front() {
+        return Some(job);
+    }
+    for offset in 1..queues.len() {
+        let victim = (me + offset) % queues.len();
+        if let Some(job) = queues[victim].lock().expect("queue lock").pop_back() {
+            return Some(job);
+        }
+    }
+    None
+}
+
+/// Runs one job on a dedicated thread, enforcing its wall-clock
+/// timeout and converting panics into [`JobError::Panicked`].
+fn run_with_timeout(job: &Arc<Job>, runner: &Arc<Runner>) -> JobResult {
+    let (tx, rx) = mpsc::channel();
+    let thread_job = Arc::clone(job);
+    let thread_runner = Arc::clone(runner);
+    thread::spawn(move || {
+        let outcome = catch_unwind(AssertUnwindSafe(|| thread_runner(&thread_job)));
+        let result = match outcome {
+            Ok(Ok(out)) => Ok(out),
+            Ok(Err(e)) => Err(JobError::Sim(e)),
+            Err(payload) => Err(JobError::Panicked(panic_message(&*payload))),
+        };
+        // The receiver disappears on timeout; nothing to report then.
+        let _ = tx.send(result);
+    });
+    match rx.recv_timeout(job.timeout) {
+        Ok(result) => result,
+        // The runaway thread keeps running detached until the
+        // simulator watchdog (`Config::max_cycles`) reaps it; the
+        // batch does not wait.
+        Err(RecvTimeoutError::Timeout) => Err(JobError::Timeout(job.timeout)),
+        Err(RecvTimeoutError::Disconnected) => {
+            Err(JobError::Panicked("job thread died without reporting".into()))
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// A completed batch: per-job results in submission order plus the
+/// summary report.
+#[derive(Debug)]
+pub struct Batch {
+    /// One result per submitted job, in submission order.
+    pub results: Vec<JobResult>,
+    /// Batch summary.
+    pub report: BatchReport,
+}
+
+/// End-of-batch summary counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BatchReport {
+    /// Jobs submitted.
+    pub total: usize,
+    /// Jobs actually simulated (cache misses).
+    pub executed: usize,
+    /// Jobs answered from the cache.
+    pub cache_hits: usize,
+    /// Jobs that failed (simulator error, panic, or timeout).
+    pub failed: usize,
+    /// Machine cycles simulated by the executed jobs.
+    pub simulated_cycles: u64,
+    /// Wall-clock time for the whole batch.
+    pub wall: Duration,
+}
+
+impl std::fmt::Display for BatchReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} jobs: {} simulated, {} cached, {} failed; {} cycles in {:.2}s",
+            self.total,
+            self.executed,
+            self.cache_hits,
+            self.failed,
+            self.simulated_cycles,
+            self.wall.as_secs_f64(),
+        )
+    }
+}

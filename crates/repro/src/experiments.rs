@@ -1,17 +1,31 @@
 //! The §3 experiments.
+//!
+//! Every experiment is a batch of independent simulations submitted
+//! through the [`Session`] execution engine: grid points run in
+//! parallel across workers, and repeat runs are answered from the
+//! content-addressed result cache. Table output depends only on the
+//! returned statistics, so it is byte-identical whatever the worker
+//! count and whether results were simulated or cached.
+
+use std::sync::Arc;
 
 use hirata_isa::{FuConfig, Program, RotationMode};
-use hirata_mem::{DsmMemory, FiniteCache};
+use hirata_lab::{Job, JobError, MemModelSpec};
 use hirata_sched::Strategy;
 use hirata_sim::{Config, Machine, RunStats};
 use hirata_workloads::linked_list::{self, ListShape};
 use hirata_workloads::livermore;
 use hirata_workloads::radiosity::{radiosity_program, RadiosityParams};
-use hirata_workloads::sort::sort_program;
 use hirata_workloads::raytrace::{raytrace_program, RayTraceParams};
+use hirata_workloads::sort::sort_program;
 use hirata_workloads::synthetic::{dsm_chase_program, DsmChaseParams, REMOTE_BASE};
 
-/// Runs `program` on `config` to completion and returns the stats.
+use crate::session::Session;
+
+/// Runs `program` on `config` to completion on the calling thread and
+/// returns the stats — the serial reference path the engine's
+/// byte-identity contract is checked against, also used by the
+/// benches.
 ///
 /// # Panics
 ///
@@ -23,8 +37,9 @@ pub fn run(config: Config, program: &Program) -> RunStats {
 
 /// Cycles of the sequential baseline (§3.1): the program on the base
 /// RISC processor of Figure 3(b).
-pub fn baseline_cycles(program: &Program) -> u64 {
-    run(Config::base_risc(), program).cycles
+pub fn baseline_cycles(session: &Session, program: &Arc<Program>) -> u64 {
+    let job = Job::new("baseline", Config::base_risc(), Arc::clone(program));
+    session.stats(vec![job])[0].cycles
 }
 
 // ---------------------------------------------------------------------
@@ -48,9 +63,27 @@ pub struct Table2Row {
 
 /// The paper's Table 2 values, for side-by-side printing.
 pub const PAPER_TABLE2: [Table2Row; 3] = [
-    Table2Row { slots: 2, one_ls_no_standby: 1.79, one_ls_standby: 1.83, two_ls_no_standby: 2.01, two_ls_standby: 2.02 },
-    Table2Row { slots: 4, one_ls_no_standby: 2.84, one_ls_standby: 2.89, two_ls_no_standby: 3.68, two_ls_standby: 3.72 },
-    Table2Row { slots: 8, one_ls_no_standby: 3.22, one_ls_standby: 3.22, two_ls_no_standby: 5.68, two_ls_standby: 5.79 },
+    Table2Row {
+        slots: 2,
+        one_ls_no_standby: 1.79,
+        one_ls_standby: 1.83,
+        two_ls_no_standby: 2.01,
+        two_ls_standby: 2.02,
+    },
+    Table2Row {
+        slots: 4,
+        one_ls_no_standby: 2.84,
+        one_ls_standby: 2.89,
+        two_ls_no_standby: 3.68,
+        two_ls_standby: 3.72,
+    },
+    Table2Row {
+        slots: 8,
+        one_ls_no_standby: 3.22,
+        one_ls_standby: 3.22,
+        two_ls_no_standby: 5.68,
+        two_ls_standby: 5.79,
+    },
 ];
 
 /// Runs the Table 2 experiment: speed-up of 2/4/8-slot multithreaded
@@ -58,24 +91,43 @@ pub const PAPER_TABLE2: [Table2Row; 3] = [
 /// one or two load/store units, with and without standby stations.
 /// `private_fetch` reproduces the §3.2 private-instruction-cache
 /// ablation.
-pub fn table2(params: &RayTraceParams, private_fetch: bool) -> (u64, Vec<Table2Row>) {
-    let program = raytrace_program(params);
-    let base = baseline_cycles(&program);
-    let speedup = |slots: usize, fu: FuConfig, standby: bool| {
-        let config = Config::multithreaded(slots)
-            .with_fu(fu)
-            .with_standby(standby)
-            .with_private_fetch(private_fetch);
-        base as f64 / run(config, &program).cycles as f64
-    };
-    let rows = [2usize, 4, 8]
-        .into_iter()
-        .map(|slots| Table2Row {
+pub fn table2(
+    session: &Session,
+    params: &RayTraceParams,
+    private_fetch: bool,
+) -> (u64, Vec<Table2Row>) {
+    let program = Arc::new(raytrace_program(params));
+    let combos: [(&str, FuConfig, bool); 4] = [
+        ("1LS", FuConfig::paper_one_ls(), false),
+        ("1LS+sb", FuConfig::paper_one_ls(), true),
+        ("2LS", FuConfig::paper_two_ls(), false),
+        ("2LS+sb", FuConfig::paper_two_ls(), true),
+    ];
+    let slots_axis = [2usize, 4, 8];
+
+    let mut jobs = vec![Job::new("table2 baseline", Config::base_risc(), Arc::clone(&program))];
+    for slots in slots_axis {
+        for (label, fu, standby) in combos.clone() {
+            let config = Config::multithreaded(slots)
+                .with_fu(fu)
+                .with_standby(standby)
+                .with_private_fetch(private_fetch);
+            jobs.push(Job::new(format!("table2 s{slots} {label}"), config, Arc::clone(&program)));
+        }
+    }
+
+    let stats = session.stats(jobs);
+    let base = stats[0].cycles;
+    let speedup = |s: &RunStats| base as f64 / s.cycles as f64;
+    let rows = slots_axis
+        .iter()
+        .zip(stats[1..].chunks_exact(combos.len()))
+        .map(|(&slots, grid)| Table2Row {
             slots,
-            one_ls_no_standby: speedup(slots, FuConfig::paper_one_ls(), false),
-            one_ls_standby: speedup(slots, FuConfig::paper_one_ls(), true),
-            two_ls_no_standby: speedup(slots, FuConfig::paper_two_ls(), false),
-            two_ls_standby: speedup(slots, FuConfig::paper_two_ls(), true),
+            one_ls_no_standby: speedup(&grid[0]),
+            one_ls_standby: speedup(&grid[1]),
+            two_ls_no_standby: speedup(&grid[2]),
+            two_ls_standby: speedup(&grid[3]),
         })
         .collect();
     (base, rows)
@@ -88,25 +140,28 @@ pub fn table2(params: &RayTraceParams, private_fetch: bool) -> (u64, Vec<Table2R
 /// Cycle counts of the 4-slot machine across rotation intervals
 /// `2^0 .. 2^8` (§3.2: "rotation interval did not have much
 /// influence").
-pub fn rotation_sweep(params: &RayTraceParams) -> Vec<(u32, u64)> {
-    let program = raytrace_program(params);
-    (0..=8u32)
-        .map(|n| {
-            let interval = 1u32 << n;
+pub fn rotation_sweep(session: &Session, params: &RayTraceParams) -> Vec<(u32, u64)> {
+    let program = Arc::new(raytrace_program(params));
+    let intervals: Vec<u32> = (0..=8u32).map(|n| 1u32 << n).collect();
+    let jobs = intervals
+        .iter()
+        .map(|&interval| {
             let config = Config::multithreaded(4)
                 .with_fu(FuConfig::paper_two_ls())
                 .with_rotation(RotationMode::Implicit { interval });
-            (interval, run(config, &program).cycles)
+            Job::new(format!("rotation i{interval}"), config, Arc::clone(&program))
         })
-        .collect()
+        .collect();
+    intervals.into_iter().zip(session.stats(jobs)).map(|(i, s)| (i, s.cycles)).collect()
 }
 
 /// Per-unit utilization of the `slots`-slot, one-load/store-unit
 /// machine on the ray tracer (§3.2 explains Table 2's saturation by
 /// the load/store unit reaching 99% at eight slots).
-pub fn utilization(params: &RayTraceParams, slots: usize) -> RunStats {
-    let program = raytrace_program(params);
-    run(Config::multithreaded(slots), &program)
+pub fn utilization(session: &Session, params: &RayTraceParams, slots: usize) -> RunStats {
+    let program = Arc::new(raytrace_program(params));
+    let job = Job::new(format!("utilization s{slots}"), Config::multithreaded(slots), program);
+    session.stats(vec![job]).remove(0)
 }
 
 // ---------------------------------------------------------------------
@@ -141,20 +196,37 @@ pub const PAPER_TABLE3: [(usize, usize, f64); 9] = [
 /// Runs Table 3: every `(D,S)` with `D x S ∈ {2, 4, 8}` on the
 /// eight-functional-unit machine, equal fetch bandwidth per total
 /// issue width.
-pub fn table3(params: &RayTraceParams) -> (u64, Vec<Table3Cell>) {
-    let program = raytrace_program(params);
-    let base = baseline_cycles(&program);
-    let mut cells = Vec::new();
+pub fn table3(session: &Session, params: &RayTraceParams) -> (u64, Vec<Table3Cell>) {
+    let program = Arc::new(raytrace_program(params));
+    let mut shapes = Vec::new();
     for total in [2usize, 4, 8] {
         let mut width = 1;
         while width <= total {
-            let slots = total / width;
-            let config = Config::hybrid(width, slots);
-            let speedup = base as f64 / run(config, &program).cycles as f64;
-            cells.push(Table3Cell { width, slots, speedup });
+            shapes.push((width, total / width));
             width *= 2;
         }
     }
+
+    let mut jobs = vec![Job::new("table3 baseline", Config::base_risc(), Arc::clone(&program))];
+    jobs.extend(shapes.iter().map(|&(width, slots)| {
+        Job::new(
+            format!("table3 ({width},{slots})"),
+            Config::hybrid(width, slots),
+            Arc::clone(&program),
+        )
+    }));
+
+    let stats = session.stats(jobs);
+    let base = stats[0].cycles;
+    let cells = shapes
+        .into_iter()
+        .zip(&stats[1..])
+        .map(|((width, slots), s)| Table3Cell {
+            width,
+            slots,
+            speedup: base as f64 / s.cycles as f64,
+        })
+        .collect();
     (base, cells)
 }
 
@@ -182,20 +254,32 @@ pub struct Table4Row {
 pub const PAPER_TABLE4_ANCHORS: [(usize, f64, f64); 2] = [(1, 50.0, 42.0), (8, 8.0, 8.0)];
 
 /// Runs Table 4 on Livermore Kernel 1 with one load/store unit.
-pub fn table4(n: usize) -> Vec<Table4Row> {
-    [1usize, 2, 3, 4, 5, 6, 7, 8]
-        .into_iter()
-        .map(|slots| {
-            let per_iter = |strategy: Strategy| {
-                let program = livermore::kernel1_program(n, strategy);
-                run(Config::multithreaded(slots), &program).cycles as f64 / n as f64
-            };
-            Table4Row {
-                slots,
-                non_optimized: per_iter(Strategy::None),
-                strategy_a: per_iter(Strategy::ListA),
-                strategy_b: per_iter(Strategy::ReservationB { threads: slots }),
-            }
+pub fn table4(session: &Session, n: usize) -> Vec<Table4Row> {
+    let slots_axis = [1usize, 2, 3, 4, 5, 6, 7, 8];
+    // The non-optimized and list-scheduled programs are slot-
+    // independent; strategy B schedules for a specific slot count.
+    let none = Arc::new(livermore::kernel1_program(n, Strategy::None));
+    let lista = Arc::new(livermore::kernel1_program(n, Strategy::ListA));
+
+    let mut jobs = Vec::new();
+    for slots in slots_axis {
+        let config = Config::multithreaded(slots);
+        let resb =
+            Arc::new(livermore::kernel1_program(n, Strategy::ReservationB { threads: slots }));
+        jobs.push(Job::new(format!("table4 s{slots} none"), config.clone(), Arc::clone(&none)));
+        jobs.push(Job::new(format!("table4 s{slots} listA"), config.clone(), Arc::clone(&lista)));
+        jobs.push(Job::new(format!("table4 s{slots} resB"), config, resb));
+    }
+
+    let stats = session.stats(jobs);
+    slots_axis
+        .iter()
+        .zip(stats.chunks_exact(3))
+        .map(|(&slots, grid)| Table4Row {
+            slots,
+            non_optimized: grid[0].cycles as f64 / n as f64,
+            strategy_a: grid[1].cycles as f64 / n as f64,
+            strategy_b: grid[2].cycles as f64 / n as f64,
         })
         .collect()
 }
@@ -218,22 +302,30 @@ pub struct Table5 {
 /// The paper's Table 5: 56 cycles/iteration sequential; 32.5, 21.67
 /// and 17 at two, three and four slots (saturated by the `ptr->next`
 /// recurrence; maximum speed-up 56/17 = 3.29).
-pub const PAPER_TABLE5: (f64, [(usize, f64); 3]) =
-    (56.0, [(2, 32.5), (3, 21.67), (4, 17.0)]);
+pub const PAPER_TABLE5: (f64, [(usize, f64); 3]) = (56.0, [(2, 32.5), (3, 21.67), (4, 17.0)]);
 
 /// Runs Table 5 on the Figure 6 linked-list loop.
-pub fn table5(shape: ListShape, slot_counts: &[usize]) -> Table5 {
+pub fn table5(session: &Session, shape: ListShape, slot_counts: &[usize]) -> Table5 {
     let iterations = shape.iterations();
-    let seq = run(Config::base_risc(), &linked_list::sequential_program(shape)).cycles;
-    let eager_prog = linked_list::eager_program(shape);
+    let seq_prog = Arc::new(linked_list::sequential_program(shape));
+    let eager_prog = Arc::new(linked_list::eager_program(shape));
+
+    let mut jobs = vec![Job::new("table5 sequential", Config::base_risc(), seq_prog)];
+    jobs.extend(slot_counts.iter().map(|&slots| {
+        Job::new(
+            format!("table5 eager s{slots}"),
+            Config::multithreaded(slots),
+            Arc::clone(&eager_prog),
+        )
+    }));
+
+    let stats = session.stats(jobs);
     let eager = slot_counts
         .iter()
-        .map(|&slots| {
-            let cycles = run(Config::multithreaded(slots), &eager_prog).cycles;
-            (slots, cycles as f64 / iterations as f64)
-        })
+        .zip(&stats[1..])
+        .map(|(&slots, s)| (slots, s.cycles as f64 / iterations as f64))
         .collect();
-    Table5 { iterations, sequential: seq as f64 / iterations as f64, eager }
+    Table5 { iterations, sequential: stats[0].cycles as f64 / iterations as f64, eager }
 }
 
 // ---------------------------------------------------------------------
@@ -257,136 +349,61 @@ pub struct ConcurrentResult {
 /// `frames` in `1..=max_threads`. Throughput (cycles per thread)
 /// improves with frames because data-absence traps switch in another
 /// resident thread instead of idling.
-pub fn concurrent(max_threads: usize, remote_latency: u64) -> ConcurrentResult {
+pub fn concurrent(session: &Session, max_threads: usize, remote_latency: u64) -> ConcurrentResult {
     let params = DsmChaseParams::default();
-    let program = dsm_chase_program(max_threads, &params);
-    let mut by_frames = Vec::new();
-    let mut switches = 0;
-    for frames in 1..=max_threads {
-        let mut config = Config::multithreaded(1).with_context_frames(frames);
-        config.mem_words = 1 << 16;
-        let mut m = Machine::with_mem_model(
-            config,
-            &program,
-            Box::new(DsmMemory::new(REMOTE_BASE, 2, remote_latency)),
-        )
-        .expect("dsm machine builds");
-        for _ in 1..frames {
-            m.add_thread(0).expect("one context frame per resident thread");
-        }
-        let stats = m.run().expect("dsm run completes");
-        switches = stats.context_switches;
-        by_frames.push((frames, stats.cycles, stats.cycles as f64 / frames as f64));
-    }
+    let program = Arc::new(dsm_chase_program(max_threads, &params));
+    let jobs = (1..=max_threads)
+        .map(|frames| {
+            let mut config = Config::multithreaded(1).with_context_frames(frames);
+            config.mem_words = 1 << 16;
+            Job::new(format!("concurrent f{frames}"), config, Arc::clone(&program))
+                .with_mem(MemModelSpec::Dsm {
+                    remote_base: REMOTE_BASE,
+                    local_latency: 2,
+                    remote_latency,
+                })
+                .with_extra_threads(vec![0; frames - 1])
+        })
+        .collect();
+
+    let stats = session.stats(jobs);
+    let by_frames = (1..=max_threads)
+        .zip(&stats)
+        .map(|(frames, s)| (frames, s.cycles, s.cycles as f64 / frames as f64))
+        .collect();
+    let switches = stats.last().expect("at least one frame count").context_switches;
     ConcurrentResult { by_frames, switches }
 }
 
 /// Finite-cache extension (§5 future work): the ray tracer under an
 /// ideal cache versus direct-mapped finite caches of falling size.
 /// Returns `(label, cycles, miss ratio)` per configuration.
-pub fn finite_cache(params: &RayTraceParams) -> Vec<(String, u64, f64)> {
-    let program = raytrace_program(params);
-    let mut out = Vec::new();
-    let ideal = run(Config::multithreaded(4), &program);
-    out.push(("ideal".to_owned(), ideal.cycles, 0.0));
-    for (lines, line_words) in [(1024usize, 4u64), (256, 4), (64, 4)] {
-        let mut m = Machine::with_mem_model(
+pub fn finite_cache(session: &Session, params: &RayTraceParams) -> Vec<(String, u64, f64)> {
+    let program = Arc::new(raytrace_program(params));
+    let shapes = [(1024usize, 4u64), (256, 4), (64, 4)];
+
+    let mut jobs =
+        vec![Job::new("finite-cache ideal", Config::multithreaded(4), Arc::clone(&program))];
+    jobs.extend(shapes.iter().map(|&(lines, line_words)| {
+        Job::new(
+            format!("finite-cache {lines}x{line_words}w"),
             Config::multithreaded(4),
-            &program,
-            Box::new(FiniteCache::new(lines, line_words, 2, 20)),
+            Arc::clone(&program),
         )
-        .expect("machine builds");
-        let stats = m.run().expect("finite cache run completes");
-        let miss = m.mem_stats().miss_ratio();
-        out.push((format!("{lines}x{line_words}w"), stats.cycles, miss));
-    }
-    out
-}
+        .with_mem(MemModelSpec::Finite {
+            lines,
+            line_words,
+            hit_latency: 2,
+            miss_latency: 20,
+        })
+    }));
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn tiny() -> RayTraceParams {
-        RayTraceParams { width: 8, height: 8, spheres: 3, seed: 5, shadows: false }
-    }
-
-    #[test]
-    fn table2_shapes_match_the_paper() {
-        let (_, rows) = table2(&tiny(), false);
-        assert_eq!(rows.len(), 3);
-        for w in rows.windows(2) {
-            assert!(
-                w[1].one_ls_standby >= w[0].one_ls_standby,
-                "speed-up grows with slots"
-            );
-            assert!(
-                w[1].two_ls_standby >= w[0].two_ls_standby,
-                "speed-up grows with slots"
-            );
-        }
-        for row in &rows {
-            // The second load/store unit matters once the first
-            // saturates; at low slot counts it is allowed to be a wash.
-            assert!(row.two_ls_standby >= row.one_ls_standby * 0.98, "second L/S unit");
-            assert!(row.one_ls_standby >= row.one_ls_no_standby * 0.99, "standby helps");
-            assert!(row.one_ls_standby > 1.0, "multithreading beats sequential");
-        }
-        let eight = rows.iter().find(|r| r.slots == 8).unwrap();
-        assert!(
-            eight.two_ls_standby > eight.one_ls_standby,
-            "at 8 slots the second L/S unit must pay off: {eight:?}"
-        );
-    }
-
-    #[test]
-    fn table3_threads_beat_width() {
-        let (_, cells) = table3(&tiny());
-        let get = |w: usize, s: usize| {
-            cells.iter().find(|c| c.width == w && c.slots == s).unwrap().speedup
-        };
-        assert!(get(1, 4) > get(2, 2), "S wins over D at budget 4");
-        assert!(get(2, 2) > get(4, 1), "S wins over D at budget 4");
-        assert!(get(1, 8) > get(8, 1), "S wins over D at budget 8");
-    }
-
-    #[test]
-    fn table4_has_floor_and_strategy_ordering() {
-        let rows = table4(128);
-        let one = &rows[0];
-        assert!(one.strategy_a < one.non_optimized, "A beats non-optimized at 1 slot");
-        assert!(one.strategy_b <= one.non_optimized, "B beats non-optimized at 1 slot");
-        for row in &rows {
-            assert!(row.strategy_b >= 8.0 - 1e-9, "the 8-cycle memory floor holds");
-        }
-        let eight = rows.iter().find(|r| r.slots == 8).unwrap();
-        assert!(eight.strategy_b < 13.0, "8 slots near the floor");
-    }
-
-    #[test]
-    fn table5_matches_paper_shape() {
-        let shape = ListShape { nodes: 48, break_at: Some(47) };
-        let t = table5(shape, &[2, 3, 4]);
-        assert!(t.sequential > t.eager[0].1, "eager helps at 2 slots");
-        assert!(t.eager[0].1 > t.eager[1].1, "3 slots beat 2");
-        assert!(t.eager[1].1 >= t.eager[2].1 * 0.95, "4 slots no worse than 3");
-    }
-
-    #[test]
-    fn concurrent_frames_improve_throughput() {
-        let r = concurrent(3, 150);
-        let first = r.by_frames[0].2;
-        let last = r.by_frames.last().unwrap().2;
-        assert!(last < first * 0.8, "cycles/thread must fall with frames: {:?}", r.by_frames);
-        assert!(r.switches > 0);
-    }
-
-    #[test]
-    fn finite_cache_costs_cycles() {
-        let rows = finite_cache(&tiny());
-        assert!(rows[1].1 >= rows[0].1, "misses cannot speed things up");
-        assert!(rows.last().unwrap().2 > 0.0, "small cache must miss");
-    }
+    let outs = session.outputs(jobs);
+    let mut rows = vec![("ideal".to_owned(), outs[0].stats.cycles, 0.0)];
+    rows.extend(shapes.iter().zip(&outs[1..]).map(|(&(lines, line_words), out)| {
+        (format!("{lines}x{line_words}w"), out.stats.cycles, out.mem.miss_ratio())
+    }));
+    rows
 }
 
 // ---------------------------------------------------------------------
@@ -404,42 +421,51 @@ pub type AblationRow = (String, Option<u64>);
 /// * the not-taken-branch refetch policy (paper) versus a fall-through
 ///   fast path, on the branchy sequential list traversal;
 /// * queue-register capacity 1 / 2 / 8 on the eager linked-list loop.
-pub fn ablations(params: &RayTraceParams) -> Vec<AblationRow> {
-    let mut rows = Vec::new();
-    let ray = raytrace_program(params);
+pub fn ablations(session: &Session, params: &RayTraceParams) -> Vec<AblationRow> {
+    let ray = Arc::new(raytrace_program(params));
+    let list = ListShape { nodes: 100, break_at: None };
+    let seq = Arc::new(linked_list::sequential_program(list));
+    let eager = Arc::new(linked_list::eager_program(list));
 
-    let mut push = |label: String, config: Config, program: &Program| {
-        let mut config = config;
+    let mut jobs = Vec::new();
+    let mut push = |label: &str, mut config: Config, program: &Arc<Program>| {
         config.max_cycles = 50_000_000;
-        let cycles = Machine::new(config, program)
-            .expect("ablation machine builds")
-            .run()
-            .ok()
-            .map(|s| s.cycles);
-        rows.push((label, cycles));
+        jobs.push(Job::new(label, config, Arc::clone(program)));
     };
 
-    push("ray x4, no standby stations".into(), Config::multithreaded(4).with_standby(false), &ray);
+    push("ray x4, no standby stations", Config::multithreaded(4).with_standby(false), &ray);
     for depth in [1usize, 2, 4] {
         let mut config = Config::multithreaded(4);
         config.standby_depth = depth;
-        push(format!("ray x4, standby depth {depth}"), config, &ray);
+        push(&format!("ray x4, standby depth {depth}"), config, &ray);
     }
 
-    let list = ListShape { nodes: 100, break_at: None };
-    let seq = linked_list::sequential_program(list);
-    push("list x1, refetch fall-through (paper)".into(), Config::base_risc(), &seq);
+    push("list x1, refetch fall-through (paper)", Config::base_risc(), &seq);
     let mut fast = Config::base_risc();
     fast.refetch_fallthrough = false;
-    push("list x1, fall-through fast path".into(), fast, &seq);
+    push("list x1, fall-through fast path", fast, &seq);
 
-    let eager = linked_list::eager_program(list);
     for cap in [1usize, 2, 8] {
         let mut config = Config::multithreaded(4);
         config.queue_capacity = cap;
-        push(format!("eager list x4, queue capacity {cap}"), config, &eager);
+        push(&format!("eager list x4, queue capacity {cap}"), config, &eager);
     }
-    rows
+
+    let names: Vec<String> = jobs.iter().map(|j| j.name.clone()).collect();
+    names
+        .into_iter()
+        .zip(session.results(jobs))
+        .map(|(label, result)| {
+            let cycles = match result {
+                Ok(out) => Some(out.stats.cycles),
+                // A machine check (typically the deadlock watchdog) is
+                // the expected failure mode for extreme ablations.
+                Err(JobError::Sim(_)) => None,
+                Err(err) => panic!("ablation `{label}` failed unexpectedly: {err}"),
+            };
+            (label, cycles)
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -461,55 +487,67 @@ pub struct KernelScaling {
 /// 1/2/4/8 slots (one load/store unit), speed-ups over the base RISC.
 /// Covers the parallelism spectrum: doall (ray, K1, K7), reduction
 /// (K3), doacross (K5), and the eager while loop.
-pub fn kernel_sweep(params: &RayTraceParams) -> Vec<KernelScaling> {
-    let slots = [1usize, 2, 4, 8];
+pub fn kernel_sweep(session: &Session, params: &RayTraceParams) -> Vec<KernelScaling> {
+    let slots_axis = [1usize, 2, 4, 8];
     let list = ListShape { nodes: 100, break_at: Some(99) };
-    let programs: Vec<(String, Program, Config)> = vec![
-        ("ray tracing (doall)".into(), raytrace_program(params), Config::base_risc()),
-        (
-            "LK1 hydro (doall)".into(),
-            livermore::kernel1_program(256, Strategy::ListA),
+    // `(name, baseline program, multithreaded program)` — identical
+    // for every workload except the eager while loop, whose parallel
+    // version is a different program.
+    let eager = Arc::new(linked_list::eager_program(list));
+    let workloads: Vec<(String, Arc<Program>, Arc<Program>)> = {
+        let same = |name: &str, p: Program| {
+            let p = Arc::new(p);
+            (name.to_owned(), Arc::clone(&p), p)
+        };
+        vec![
+            same("ray tracing (doall)", raytrace_program(params)),
+            same("LK1 hydro (doall)", livermore::kernel1_program(256, Strategy::ListA)),
+            same("LK3 inner product (reduction)", livermore::kernel3_program(256)),
+            same("LK5 tridiagonal (doacross)", livermore::kernel5_program(256)),
+            same("LK7 eq. of state (doall)", livermore::kernel7_program(192, Strategy::ListA)),
+            same("radiosity (Jacobi + barrier)", radiosity_program(&RadiosityParams::default())),
+            same("odd-even sort (integer)", sort_program(64, 7)),
+            (
+                "while loop (eager, §2.3.3)".to_owned(),
+                Arc::new(linked_list::sequential_program(list)),
+                eager,
+            ),
+        ]
+    };
+
+    let mut jobs = Vec::new();
+    for (name, base_prog, multi_prog) in &workloads {
+        jobs.push(Job::new(
+            format!("kernels {name} base"),
             Config::base_risc(),
-        ),
-        ("LK3 inner product (reduction)".into(), livermore::kernel3_program(256), Config::base_risc()),
-        ("LK5 tridiagonal (doacross)".into(), livermore::kernel5_program(256), Config::base_risc()),
-        (
-            "LK7 eq. of state (doall)".into(),
-            livermore::kernel7_program(192, Strategy::ListA),
-            Config::base_risc(),
-        ),
-        (
-            "radiosity (Jacobi + barrier)".into(),
-            radiosity_program(&RadiosityParams::default()),
-            Config::base_risc(),
-        ),
-        ("odd-even sort (integer)".into(), sort_program(64, 7), Config::base_risc()),
-    ];
-    let mut out: Vec<KernelScaling> = programs
-        .into_iter()
-        .map(|(name, program, base_cfg)| {
-            let base = run(base_cfg, &program).cycles;
-            let speedups = slots
-                .iter()
-                .map(|&s| {
-                    (s, base as f64 / run(Config::multithreaded(s), &program).cycles as f64)
-                })
-                .collect();
-            KernelScaling { name, base_cycles: base, speedups }
+            Arc::clone(base_prog),
+        ));
+        for &slots in &slots_axis {
+            jobs.push(Job::new(
+                format!("kernels {name} s{slots}"),
+                Config::multithreaded(slots),
+                Arc::clone(multi_prog),
+            ));
+        }
+    }
+
+    let stats = session.stats(jobs);
+    workloads
+        .iter()
+        .zip(stats.chunks_exact(1 + slots_axis.len()))
+        .map(|((name, _, _), grid)| {
+            let base = grid[0].cycles;
+            KernelScaling {
+                name: name.clone(),
+                base_cycles: base,
+                speedups: slots_axis
+                    .iter()
+                    .zip(&grid[1..])
+                    .map(|(&slots, s)| (slots, base as f64 / s.cycles as f64))
+                    .collect(),
+            }
         })
-        .collect();
-    // The eager while loop has distinct sequential/parallel programs.
-    let base = run(Config::base_risc(), &linked_list::sequential_program(list)).cycles;
-    let eager = linked_list::eager_program(list);
-    out.push(KernelScaling {
-        name: "while loop (eager, §2.3.3)".into(),
-        base_cycles: base,
-        speedups: slots
-            .iter()
-            .map(|&s| (s, base as f64 / run(Config::multithreaded(s), &eager).cycles as f64))
-            .collect(),
-    });
-    out
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -531,18 +569,130 @@ pub struct TraceDrivenRow {
 /// trace-driven methodology on the ray tracer: the emulator records
 /// each thread's dynamic instruction sequence, the trace replays on
 /// the cycle-level machine, and the cycle counts must agree.
-pub fn trace_driven(params: &RayTraceParams) -> Vec<TraceDrivenRow> {
+pub fn trace_driven(session: &Session, params: &RayTraceParams) -> Vec<TraceDrivenRow> {
     use hirata_sim::{build_trace_program, Emulator};
-    let program = raytrace_program(params);
-    [1usize, 2, 4, 8]
-        .into_iter()
-        .map(|slots| {
-            let direct = run(Config::multithreaded(slots), &program).cycles;
-            let out = Emulator::execute_with_traces(&program, slots, 1 << 20, 500_000_000)
-                .expect("emulation succeeds");
-            let replay = build_trace_program(&program, &out.traces).expect("replayable");
-            let traced = run(Config::multithreaded(slots), &replay).cycles;
-            TraceDrivenRow { slots, direct, traced }
+    let program = Arc::new(raytrace_program(params));
+    let slots_axis = [1usize, 2, 4, 8];
+
+    // Trace collection is a fast architectural emulation; only the
+    // cycle-level runs go through the engine.
+    let mut jobs = Vec::new();
+    for &slots in &slots_axis {
+        let out = Emulator::execute_with_traces(&program, slots, 1 << 20, 500_000_000)
+            .expect("emulation succeeds");
+        let replay = Arc::new(build_trace_program(&program, &out.traces).expect("replayable"));
+        let config = Config::multithreaded(slots);
+        jobs.push(Job::new(format!("trace s{slots} direct"), config.clone(), Arc::clone(&program)));
+        jobs.push(Job::new(format!("trace s{slots} replay"), config, replay));
+    }
+
+    let stats = session.stats(jobs);
+    slots_axis
+        .iter()
+        .zip(stats.chunks_exact(2))
+        .map(|(&slots, pair)| TraceDrivenRow {
+            slots,
+            direct: pair[0].cycles,
+            traced: pair[1].cycles,
         })
         .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> RayTraceParams {
+        RayTraceParams { width: 8, height: 8, spheres: 3, seed: 5, shadows: false }
+    }
+
+    #[test]
+    fn table2_shapes_match_the_paper() {
+        let session = Session::for_tests();
+        let (_, rows) = table2(&session, &tiny(), false);
+        assert_eq!(rows.len(), 3);
+        for w in rows.windows(2) {
+            assert!(w[1].one_ls_standby >= w[0].one_ls_standby, "speed-up grows with slots");
+            assert!(w[1].two_ls_standby >= w[0].two_ls_standby, "speed-up grows with slots");
+        }
+        for row in &rows {
+            // The second load/store unit matters once the first
+            // saturates; at low slot counts it is allowed to be a wash.
+            assert!(row.two_ls_standby >= row.one_ls_standby * 0.98, "second L/S unit");
+            assert!(row.one_ls_standby >= row.one_ls_no_standby * 0.99, "standby helps");
+            assert!(row.one_ls_standby > 1.0, "multithreading beats sequential");
+        }
+        let eight = rows.iter().find(|r| r.slots == 8).unwrap();
+        assert!(
+            eight.two_ls_standby > eight.one_ls_standby,
+            "at 8 slots the second L/S unit must pay off: {eight:?}"
+        );
+    }
+
+    #[test]
+    fn table2_engine_matches_serial_reference() {
+        // The engine path (batched, cached or not) must agree exactly
+        // with a direct serial Machine::run.
+        let session = Session::for_tests();
+        let program = raytrace_program(&tiny());
+        let serial = run(Config::multithreaded(4), &program).cycles;
+        let (_, rows) = table2(&session, &tiny(), false);
+        let base = run(Config::base_risc(), &program).cycles;
+        let four = rows.iter().find(|r| r.slots == 4).unwrap();
+        assert!((four.one_ls_standby - base as f64 / serial as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table3_threads_beat_width() {
+        let session = Session::for_tests();
+        let (_, cells) = table3(&session, &tiny());
+        let get = |w: usize, s: usize| {
+            cells.iter().find(|c| c.width == w && c.slots == s).unwrap().speedup
+        };
+        assert!(get(1, 4) > get(2, 2), "S wins over D at budget 4");
+        assert!(get(2, 2) > get(4, 1), "S wins over D at budget 4");
+        assert!(get(1, 8) > get(8, 1), "S wins over D at budget 8");
+    }
+
+    #[test]
+    fn table4_has_floor_and_strategy_ordering() {
+        let session = Session::for_tests();
+        let rows = table4(&session, 128);
+        let one = &rows[0];
+        assert!(one.strategy_a < one.non_optimized, "A beats non-optimized at 1 slot");
+        assert!(one.strategy_b <= one.non_optimized, "B beats non-optimized at 1 slot");
+        for row in &rows {
+            assert!(row.strategy_b >= 8.0 - 1e-9, "the 8-cycle memory floor holds");
+        }
+        let eight = rows.iter().find(|r| r.slots == 8).unwrap();
+        assert!(eight.strategy_b < 13.0, "8 slots near the floor");
+    }
+
+    #[test]
+    fn table5_matches_paper_shape() {
+        let session = Session::for_tests();
+        let shape = ListShape { nodes: 48, break_at: Some(47) };
+        let t = table5(&session, shape, &[2, 3, 4]);
+        assert!(t.sequential > t.eager[0].1, "eager helps at 2 slots");
+        assert!(t.eager[0].1 > t.eager[1].1, "3 slots beat 2");
+        assert!(t.eager[1].1 >= t.eager[2].1 * 0.95, "4 slots no worse than 3");
+    }
+
+    #[test]
+    fn concurrent_frames_improve_throughput() {
+        let session = Session::for_tests();
+        let r = concurrent(&session, 3, 150);
+        let first = r.by_frames[0].2;
+        let last = r.by_frames.last().unwrap().2;
+        assert!(last < first * 0.8, "cycles/thread must fall with frames: {:?}", r.by_frames);
+        assert!(r.switches > 0);
+    }
+
+    #[test]
+    fn finite_cache_costs_cycles() {
+        let session = Session::for_tests();
+        let rows = finite_cache(&session, &tiny());
+        assert!(rows[1].1 >= rows[0].1, "misses cannot speed things up");
+        assert!(rows.last().unwrap().2 > 0.0, "small cache must miss");
+    }
 }

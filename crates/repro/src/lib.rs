@@ -8,6 +8,8 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod session;
 pub mod tables;
 
 pub use experiments::*;
+pub use session::*;

@@ -1,106 +1,94 @@
 //! `repro` — regenerates every table and figure-level claim of Hirata
-//! et al. (ISCA 1992), §3.
+//! et al. (ISCA 1992), §3, through the parallel execution engine.
 //!
 //! ```text
 //! repro [table2|table2-private|table3|table4|table5|rotation|
-//!        utilization|concurrent|finite-cache|all] [--quick]
+//!        utilization|concurrent|finite-cache|ablations|kernels|
+//!        trace-driven|all] [--quick] [--jobs N] [--no-cache]
 //! ```
+//!
+//! `--jobs N` sets the worker count (default: one per CPU);
+//! `--no-cache` forces every simulation to run. Table bytes on stdout
+//! are identical whatever the worker count and cache state; engine
+//! progress goes to stderr.
 
-use hirata_repro::{tables, *};
-use hirata_workloads::linked_list::ListShape;
-use hirata_workloads::raytrace::RayTraceParams;
-
-struct Sizes {
-    ray: RayTraceParams,
-    kernel1_n: usize,
-    list: ListShape,
-}
-
-impl Sizes {
-    fn full() -> Self {
-        Sizes {
-            ray: RayTraceParams::default(),
-            kernel1_n: 512,
-            list: ListShape { nodes: 200, break_at: Some(199) },
-        }
-    }
-
-    fn quick() -> Self {
-        Sizes {
-            ray: RayTraceParams { width: 8, height: 8, spheres: 4, seed: 42, shadows: true },
-            kernel1_n: 64,
-            list: ListShape { nodes: 40, break_at: Some(39) },
-        }
-    }
-}
+use hirata_lab::Lab;
+use hirata_repro::{render_experiment, Session, Sizes, EXPERIMENTS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let no_cache = args.iter().any(|a| a == "--no-cache");
+    let jobs = match parse_jobs(&args) {
+        Ok(jobs) => jobs,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
     let sizes = if quick { Sizes::quick() } else { Sizes::full() };
-    let which = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all");
 
-    let known = [
-        "table2",
-        "table2-private",
-        "table3",
-        "table4",
-        "table5",
-        "rotation",
-        "utilization",
-        "concurrent",
-        "finite-cache",
-        "ablations",
-        "kernels",
-        "trace-driven",
-        "all",
-    ];
-    if !known.contains(&which) {
-        eprintln!("unknown experiment `{which}`; choose one of: {}", known.join(", "));
+    let which = positional_experiment(&args).unwrap_or("all");
+    if which != "all" && !EXPERIMENTS.contains(&which) {
+        eprintln!("unknown experiment `{which}`; choose one of: {}, all", EXPERIMENTS.join(", "));
         std::process::exit(2);
     }
-    let want = |name: &str| which == name || which == "all";
 
-    if want("table2") {
-        let (base, rows) = table2(&sizes.ray, false);
-        println!("{}", tables::render_table2(base, &rows, false));
+    let mut lab = Lab::new();
+    if let Some(jobs) = jobs {
+        lab = lab.with_workers(jobs);
     }
-    if want("table2-private") {
-        let (base, rows) = table2(&sizes.ray, true);
-        println!("{}", tables::render_table2(base, &rows, true));
+    if no_cache {
+        lab = lab.without_cache();
     }
-    if want("table3") {
-        let (base, cells) = table3(&sizes.ray);
-        println!("{}", tables::render_table3(base, &cells));
+    let session = Session::new(lab);
+
+    for name in EXPERIMENTS {
+        if which == name || which == "all" {
+            let table =
+                render_experiment(&session, &sizes, name).expect("EXPERIMENTS names are known");
+            println!("{table}");
+        }
     }
-    if want("table4") {
-        println!("{}", tables::render_table4(&table4(sizes.kernel1_n)));
+}
+
+/// Extracts the experiment name: the first positional argument that
+/// is not the value of `--jobs`.
+fn positional_experiment(args: &[String]) -> Option<&str> {
+    let mut skip_next = false;
+    for arg in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if arg == "--jobs" {
+            skip_next = true;
+            continue;
+        }
+        if !arg.starts_with("--") {
+            return Some(arg);
+        }
     }
-    if want("table5") {
-        let t = table5(sizes.list, &[2, 3, 4, 6, 8]);
-        println!("{}", tables::render_table5(&t));
+    None
+}
+
+/// Parses `--jobs N` (or `--jobs=N`). `Ok(None)` when absent.
+fn parse_jobs(args: &[String]) -> Result<Option<usize>, String> {
+    for (i, arg) in args.iter().enumerate() {
+        let value = if arg == "--jobs" {
+            args.get(i + 1).map(String::as_str)
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            Some(v)
+        } else {
+            continue;
+        };
+        let Some(value) = value else {
+            return Err("--jobs requires a value".to_owned());
+        };
+        return match value.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(Some(n)),
+            _ => Err(format!("invalid --jobs value `{value}`: expected a positive integer")),
+        };
     }
-    if want("rotation") {
-        println!("{}", tables::render_rotation(&rotation_sweep(&sizes.ray)));
-    }
-    if want("utilization") {
-        let stats = utilization(&sizes.ray, 8);
-        println!("{}", tables::render_utilization(8, &stats));
-    }
-    if want("concurrent") {
-        let threads = 4;
-        println!("{}", tables::render_concurrent(threads, &concurrent(threads, 200)));
-    }
-    if want("finite-cache") {
-        println!("{}", tables::render_finite_cache(&finite_cache(&sizes.ray)));
-    }
-    if want("ablations") {
-        println!("{}", tables::render_ablations(&ablations(&sizes.ray)));
-    }
-    if want("kernels") {
-        println!("{}", tables::render_kernel_sweep(&kernel_sweep(&sizes.ray)));
-    }
-    if want("trace-driven") {
-        println!("{}", tables::render_trace_driven(&trace_driven(&sizes.ray)));
-    }
+    Ok(None)
 }

@@ -83,7 +83,8 @@ pub fn render_table4(rows: &[Table4Row]) -> String {
             .collect::<Vec<_>>()
             .join(", ")
     );
-    let _ = writeln!(out, "{:>5} {:>10} {:>11} {:>11}", "slots", "non-opt", "strategy A", "strategy B");
+    let _ =
+        writeln!(out, "{:>5} {:>10} {:>11} {:>11}", "slots", "non-opt", "strategy A", "strategy B");
     for r in rows {
         let _ = writeln!(
             out,
@@ -144,10 +145,7 @@ pub fn render_rotation(rows: &[(u32, u64)]) -> String {
 /// Renders the utilization analysis (§3.2 prose).
 pub fn render_utilization(slots: usize, stats: &RunStats) -> String {
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "Functional-unit utilization, {slots} slots, 1 L/S unit (§3.2)\n"
-    );
+    let _ = writeln!(out, "Functional-unit utilization, {slots} slots, 1 L/S unit (§3.2)\n");
     out.push_str(&stats.utilization_report());
     let (busiest, util) = stats.busiest_unit();
     let _ = writeln!(
@@ -206,33 +204,29 @@ pub fn render_ablations(rows: &[crate::experiments::AblationRow]) -> String {
 /// Renders the kernel sweep.
 pub fn render_kernel_sweep(rows: &[crate::experiments::KernelScaling]) -> String {
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "Workload sweep (the broader evaluation §5 asks for), 1 L/S unit"
-    );
+    let _ = writeln!(out, "Workload sweep (the broader evaluation §5 asks for), 1 L/S unit");
     let _ = writeln!(
         out,
         "{:<32} {:>10} | {:>6} {:>6} {:>6} {:>6}",
         "workload", "base cyc", "x1", "x2", "x4", "x8"
     );
     for k in rows {
-        let cells: String =
-            k.speedups.iter().map(|(_, s)| format!(" {s:>6.2}")).collect();
+        let cells: String = k.speedups.iter().map(|(_, s)| format!(" {s:>6.2}")).collect();
         let _ = writeln!(out, "{:<32} {:>10} |{cells}", k.name, k.base_cycles);
     }
     out
 }
 
-
-
 /// Renders the trace-driven comparison.
 pub fn render_trace_driven(rows: &[crate::experiments::TraceDrivenRow]) -> String {
     let mut out = String::new();
+    let _ =
+        writeln!(out, "Trace-driven vs execution-driven simulation (the paper's §3.1 methodology)");
     let _ = writeln!(
         out,
-        "Trace-driven vs execution-driven simulation (the paper's §3.1 methodology)"
+        "{:>6} {:>12} {:>12} {:>8}",
+        "slots", "exec-driven", "trace-driven", "diff %"
     );
-    let _ = writeln!(out, "{:>6} {:>12} {:>12} {:>8}", "slots", "exec-driven", "trace-driven", "diff %");
     for r in rows {
         let diff = r.direct.abs_diff(r.traced) as f64 / r.direct as f64 * 100.0;
         let _ = writeln!(out, "{:>6} {:>12} {:>12} {:>8.2}", r.slots, r.direct, r.traced, diff);
@@ -243,7 +237,6 @@ pub fn render_trace_driven(rows: &[crate::experiments::TraceDrivenRow]) -> Strin
     );
     out
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -265,7 +258,8 @@ mod tests {
         let cells = vec![Table3Cell { width: 1, slots: 2, speedup: 2.0 }];
         assert!(render_table3(1000, &cells).contains("2.02"));
 
-        let t4 = vec![Table4Row { slots: 1, non_optimized: 50.0, strategy_a: 42.0, strategy_b: 40.0 }];
+        let t4 =
+            vec![Table4Row { slots: 1, non_optimized: 50.0, strategy_a: 42.0, strategy_b: 40.0 }];
         assert!(render_table4(&t4).contains("42.00"));
 
         let t5 = Table5 { iterations: 10, sequential: 56.0, eager: vec![(2, 32.0)] };

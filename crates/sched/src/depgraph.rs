@@ -65,10 +65,10 @@ impl DepGraph {
         let mut succs = vec![Vec::new(); n];
         let mut npreds = vec![0usize; n];
         let add_edge = |succs: &mut Vec<Vec<(usize, u32)>>,
-                            npreds: &mut Vec<usize>,
-                            from: usize,
-                            to: usize,
-                            lat: u32| {
+                        npreds: &mut Vec<usize>,
+                        from: usize,
+                        to: usize,
+                        lat: u32| {
             if let Some(entry) = succs[from].iter_mut().find(|(t, _)| *t == to) {
                 entry.1 = entry.1.max(lat);
                 return;
@@ -161,8 +161,7 @@ impl DepGraph {
         if pos.contains(&usize::MAX) {
             return false;
         }
-        (0..self.len())
-            .all(|i| self.succs[i].iter().all(|&(j, _)| pos[i] < pos[j]))
+        (0..self.len()).all(|i| self.succs[i].iter().all(|&(j, _)| pos[i] < pos[j]))
     }
 }
 

@@ -101,7 +101,7 @@ mod tests {
     fn fills_load_use_gaps_with_independent_work() {
         let block = vec![
             load(1, 10, 0),
-            add(2, 1, 1),  // depends on the load
+            add(2, 1, 1),   // depends on the load
             load(3, 10, 1), // independent
             load(4, 10, 2), // independent
         ];
@@ -146,13 +146,7 @@ mod tests {
 
     #[test]
     fn output_is_a_permutation() {
-        let block = vec![
-            load(1, 10, 0),
-            add(2, 1, 1),
-            load(3, 11, 0),
-            add(4, 3, 3),
-            add(5, 2, 4),
-        ];
+        let block = vec![load(1, 10, 0), add(2, 1, 1), load(3, 11, 0), add(4, 3, 3), add(5, 2, 4)];
         let mut out = list_schedule(&block, AliasModel::BaseOffset);
         let mut expect = block.clone();
         let key = |i: &Inst| format!("{i}");

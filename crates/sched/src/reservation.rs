@@ -39,7 +39,11 @@ impl ReservationConfig {
     /// The paper's Table 4 machine: `threads` slots, one load/store
     /// unit, standby stations present.
     pub fn for_threads(threads: usize) -> Self {
-        ReservationConfig { threads: threads.max(1), fu: FuConfig::paper_one_ls(), standby_table: true }
+        ReservationConfig {
+            threads: threads.max(1),
+            fu: FuConfig::paper_one_ls(),
+            standby_table: true,
+        }
     }
 }
 
@@ -92,8 +96,7 @@ pub(crate) fn schedule(
     let mut t = 0u64;
 
     while order.len() < n {
-        let candidates: Vec<usize> =
-            ready.iter().copied().filter(|&i| earliest[i] <= t).collect();
+        let candidates: Vec<usize> = ready.iter().copied().filter(|&i| earliest[i] <= t).collect();
         if candidates.is_empty() {
             t = ready.iter().map(|&i| earliest[i]).min().unwrap_or(t + 1).max(t + 1);
             continue;
@@ -110,11 +113,7 @@ pub(crate) fn schedule(
             candidates
                 .iter()
                 .copied()
-                .filter(|&i| {
-                    block[i]
-                        .fu_class()
-                        .is_some_and(|c| standby_free[c.index()] <= t)
-                })
+                .filter(|&i| block[i].fu_class().is_some_and(|c| standby_free[c.index()] <= t))
                 .max_by(|&a, &b| g.height(a).cmp(&g.height(b)).then(b.cmp(&a)))
         } else {
             None
@@ -142,11 +141,7 @@ pub(crate) fn schedule(
         makespan = makespan.max(exec_start + block[i].result_latency() as u64);
         for &(j, lat) in g.succs(i) {
             // Dependences count from the real execution start.
-            let sep = if lat > 1 {
-                exec_start + lat as u64
-            } else {
-                t + lat as u64
-            };
+            let sep = if lat > 1 { exec_start + lat as u64 } else { t + lat as u64 };
             earliest[j] = earliest[j].max(sep);
             remaining[j] -= 1;
             if remaining[j] == 0 {

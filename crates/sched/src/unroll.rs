@@ -24,13 +24,9 @@ fn rename_inst(inst: &Inst, f: &impl Fn(Reg) -> Reg) -> Inst {
         }
         Inst::Li { rd, imm } => Inst::Li { rd: g(rd), imm },
         Inst::LiF { fd, imm } => Inst::LiF { fd: fr(fd), imm },
-        Inst::FpBin { op, fd, fs, ft } => {
-            Inst::FpBin { op, fd: fr(fd), fs: fr(fs), ft: fr(ft) }
-        }
+        Inst::FpBin { op, fd, fs, ft } => Inst::FpBin { op, fd: fr(fd), fs: fr(fs), ft: fr(ft) },
         Inst::FpUn { op, fd, fs } => Inst::FpUn { op, fd: fr(fd), fs: fr(fs) },
-        Inst::FpCmp { cond, rd, fs, ft } => {
-            Inst::FpCmp { cond, rd: g(rd), fs: fr(fs), ft: fr(ft) }
-        }
+        Inst::FpCmp { cond, rd, fs, ft } => Inst::FpCmp { cond, rd: g(rd), fs: fr(fs), ft: fr(ft) },
         Inst::CvtIF { fd, rs } => Inst::CvtIF { fd: fr(fd), rs: g(rs) },
         Inst::CvtFI { rd, fs } => Inst::CvtFI { rd: g(rd), fs: fr(fs) },
         Inst::Load { dst, base, off } => Inst::Load { dst: f(dst), base: g(base), off },
@@ -79,9 +75,7 @@ pub fn unroll_body(
         for inst in body {
             let renamed = rename_inst(inst, &|r| rename(k, r));
             let stepped = match renamed {
-                Inst::Load { dst, base, off } => {
-                    Inst::Load { dst, base, off: adjust_off(k, off) }
-                }
+                Inst::Load { dst, base, off } => Inst::Load { dst, base, off: adjust_off(k, off) },
                 Inst::Store { src, base, off, gated } => {
                     Inst::Store { src, base, off: adjust_off(k, off), gated }
                 }
@@ -135,12 +129,7 @@ mod tests {
 
     #[test]
     fn offsets_step_per_copy() {
-        let body = vec![Inst::Store {
-            src: Reg::G(GReg(1)),
-            base: GReg(2),
-            off: 5,
-            gated: false,
-        }];
+        let body = vec![Inst::Store { src: Reg::G(GReg(1)), base: GReg(2), off: 5, gated: false }];
         let out = unroll_body(&body, 3, |_, r| r, |k, off| off + 10 * k as i64);
         let offs: Vec<i64> = out
             .iter()
@@ -155,12 +144,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "changed a register's file")]
     fn cross_file_rename_panics() {
-        let body = vec![Inst::IntOp {
-            op: IntOp::Add,
-            rd: GReg(1),
-            rs: GReg(1),
-            src2: GSrc::Imm(0),
-        }];
+        let body =
+            vec![Inst::IntOp { op: IntOp::Add, rd: GReg(1), rs: GReg(1), src2: GSrc::Imm(0) }];
         unroll_body(&body, 1, |_, _| Reg::F(hirata_isa::FReg(0)), |_, o| o);
     }
 }

@@ -130,21 +130,14 @@ impl Config {
     /// The sequential baseline: a single-threaded RISC with the
     /// Figure 3(b) pipeline and the same functional units (§3.1).
     pub fn base_risc() -> Self {
-        Config {
-            pipeline: PipelineKind::BaseRisc,
-            ..Config::multithreaded(1)
-        }
+        Config { pipeline: PipelineKind::BaseRisc, ..Config::multithreaded(1) }
     }
 
     /// A `(D,S)`-processor of §3.3: `slots` thread slots each issuing
     /// up to `width` instructions per cycle. `(D,1)` uses the base
     /// RISC pipeline as in the paper's Table 3 methodology.
     pub fn hybrid(width: usize, slots: usize) -> Self {
-        let mut cfg = if slots == 1 {
-            Config::base_risc()
-        } else {
-            Config::multithreaded(slots)
-        };
+        let mut cfg = if slots == 1 { Config::base_risc() } else { Config::multithreaded(slots) };
         cfg.issue_width = width;
         cfg.fu = FuConfig::paper_two_ls();
         cfg

@@ -73,9 +73,11 @@ impl Emulator {
         }
         let mut memory = Memory::new(mem_words);
         for seg in &program.data {
-            memory
-                .load_block(seg.base, &seg.words)
-                .map_err(|source| MachineError::Mem { slot: 0, pc: 0, source })?;
+            memory.load_block(seg.base, &seg.words).map_err(|source| MachineError::Mem {
+                slot: 0,
+                pc: 0,
+                source,
+            })?;
         }
         let mut threads: Vec<EmuThread> = (0..slots)
             .map(|i| EmuThread {
@@ -160,11 +162,8 @@ impl Emulator {
         }
         let read_link = i;
         let write_link = (i + 1) % self.threads.len();
-        let needs_queue_read = inst
-            .srcs()
-            .into_iter()
-            .flatten()
-            .any(|r| self.threads[i].qread == Some(r));
+        let needs_queue_read =
+            inst.srcs().into_iter().flatten().any(|r| self.threads[i].qread == Some(r));
         if needs_queue_read && self.queues[read_link].is_empty() {
             return Ok(false);
         }
@@ -240,17 +239,25 @@ impl Emulator {
                 // Functional-unit instruction: compute and write back.
                 let vals = self.read_operands(i, &inst);
                 let nlp = self.threads.len() as i64;
-                match fu_action(&inst, vals, self.threads[i].lpid, nlp) {
+                let action =
+                    fu_action(&inst, vals, self.threads[i].lpid, nlp).ok_or_else(|| {
+                        MachineError::DecodeAtFu { slot: i, pc, inst: inst.to_string() }
+                    })?;
+                match action {
                     FuAction::Write(bits) => self.write_dest(i, write_link, &inst, bits),
                     FuAction::Load { addr } => {
-                        let bits = self.memory.read(addr).map_err(|source| {
-                            MachineError::Mem { slot: i, pc, source }
+                        let bits = self.memory.read(addr).map_err(|source| MachineError::Mem {
+                            slot: i,
+                            pc,
+                            source,
                         })?;
                         self.write_dest(i, write_link, &inst, bits);
                     }
                     FuAction::Store { addr, bits } => {
-                        self.memory.write(addr, bits).map_err(|source| {
-                            MachineError::Mem { slot: i, pc, source }
+                        self.memory.write(addr, bits).map_err(|source| MachineError::Mem {
+                            slot: i,
+                            pc,
+                            source,
                         })?;
                     }
                 }

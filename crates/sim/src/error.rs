@@ -61,6 +61,16 @@ pub enum MachineError {
         /// What went wrong.
         detail: String,
     },
+    /// A decode-unit instruction reached a functional unit — the
+    /// program encodes an instruction mix the pipeline cannot route.
+    DecodeAtFu {
+        /// Thread slot.
+        slot: usize,
+        /// Instruction address.
+        pc: u32,
+        /// Rendering of the offending instruction.
+        inst: String,
+    },
     /// The run exceeded `max_cycles` — a livelock/deadlock backstop.
     Watchdog {
         /// The cycle limit that was hit.
@@ -88,6 +98,9 @@ impl fmt::Display for MachineError {
             }
             MachineError::QueueMisuse { slot, pc, detail } => {
                 write!(f, "queue register misuse at slot {slot}, @{pc}: {detail}")
+            }
+            MachineError::DecodeAtFu { slot, pc, inst } => {
+                write!(f, "decode-unit instruction `{inst}` reached a functional unit at slot {slot}, @{pc}")
             }
             MachineError::Watchdog { cycles } => {
                 write!(f, "watchdog: run exceeded {cycles} cycles (deadlock or runaway loop)")

@@ -103,12 +103,12 @@ fn fp_cmp(cond: BranchCond, a: f64, b: f64) -> bool {
 /// captured operand bits. `lpid` and `nlp` feed the `lpid`/`nlp`
 /// special reads.
 ///
-/// # Panics
-///
-/// Panics if called with a decode-unit instruction (those never reach
-/// a functional unit); this indicates a simulator bug.
-pub(crate) fn fu_action(inst: &Inst, vals: [u64; 2], lpid: i64, nlp: i64) -> FuAction {
-    match *inst {
+/// Returns `None` for decode-unit instructions (those never reach a
+/// functional unit); callers surface that as
+/// [`crate::MachineError::DecodeAtFu`] so a malformed program becomes
+/// a reportable machine check instead of a panic.
+pub(crate) fn fu_action(inst: &Inst, vals: [u64; 2], lpid: i64, nlp: i64) -> Option<FuAction> {
+    Some(match *inst {
         Inst::IntOp { op, .. } => {
             FuAction::Write(int_op(op, vals[0] as i64, vals[1] as i64) as u64)
         }
@@ -144,12 +144,11 @@ pub(crate) fn fu_action(inst: &Inst, vals: [u64; 2], lpid: i64, nlp: i64) -> FuA
         Inst::Load { off, .. } => {
             FuAction::Load { addr: (vals[0] as i64).wrapping_add(off) as u64 }
         }
-        Inst::Store { off, .. } => FuAction::Store {
-            addr: (vals[1] as i64).wrapping_add(off) as u64,
-            bits: vals[0],
-        },
-        _ => panic!("decode-unit instruction `{inst}` reached a functional unit"),
-    }
+        Inst::Store { off, .. } => {
+            FuAction::Store { addr: (vals[1] as i64).wrapping_add(off) as u64, bits: vals[0] }
+        }
+        _ => return None,
+    })
 }
 
 #[cfg(test)]
@@ -210,15 +209,15 @@ mod tests {
     fn fp_semantics() {
         let fadd = Inst::FpBin { op: FpBinOp::FAdd, fd: FReg(0), fs: FReg(1), ft: FReg(2) };
         let vals = [1.5f64.to_bits(), 2.25f64.to_bits()];
-        assert_eq!(fu_action(&fadd, vals, 0, 1), FuAction::Write(3.75f64.to_bits()));
+        assert_eq!(fu_action(&fadd, vals, 0, 1).unwrap(), FuAction::Write(3.75f64.to_bits()));
 
         let fdiv = Inst::FpBin { op: FpBinOp::FDiv, fd: FReg(0), fs: FReg(1), ft: FReg(2) };
         let vals = [1.0f64.to_bits(), 0.0f64.to_bits()];
-        assert_eq!(fu_action(&fdiv, vals, 0, 1), FuAction::Write(f64::INFINITY.to_bits()));
+        assert_eq!(fu_action(&fdiv, vals, 0, 1).unwrap(), FuAction::Write(f64::INFINITY.to_bits()));
 
         let fneg = Inst::FpUn { op: FpUnOp::FNeg, fd: FReg(0), fs: FReg(1) };
         assert_eq!(
-            fu_action(&fneg, [2.0f64.to_bits(), 0], 0, 1),
+            fu_action(&fneg, [2.0f64.to_bits(), 0], 0, 1).unwrap(),
             FuAction::Write((-2.0f64).to_bits())
         );
     }
@@ -227,16 +226,16 @@ mod tests {
     fn fp_compare_writes_zero_or_one() {
         let cmp = Inst::FpCmp { cond: BranchCond::Lt, rd: GReg(1), fs: FReg(0), ft: FReg(1) };
         assert_eq!(
-            fu_action(&cmp, [1.0f64.to_bits(), 2.0f64.to_bits()], 0, 1),
+            fu_action(&cmp, [1.0f64.to_bits(), 2.0f64.to_bits()], 0, 1).unwrap(),
             FuAction::Write(1)
         );
         assert_eq!(
-            fu_action(&cmp, [2.0f64.to_bits(), 1.0f64.to_bits()], 0, 1),
+            fu_action(&cmp, [2.0f64.to_bits(), 1.0f64.to_bits()], 0, 1).unwrap(),
             FuAction::Write(0)
         );
         // NaN compares false.
         assert_eq!(
-            fu_action(&cmp, [f64::NAN.to_bits(), 1.0f64.to_bits()], 0, 1),
+            fu_action(&cmp, [f64::NAN.to_bits(), 1.0f64.to_bits()], 0, 1).unwrap(),
             FuAction::Write(0)
         );
     }
@@ -245,30 +244,39 @@ mod tests {
     fn conversions() {
         let cvtif = Inst::CvtIF { fd: FReg(0), rs: GReg(1) };
         assert_eq!(
-            fu_action(&cvtif, [(-7i64) as u64, 0], 0, 1),
+            fu_action(&cvtif, [(-7i64) as u64, 0], 0, 1).unwrap(),
             FuAction::Write((-7.0f64).to_bits())
         );
         let cvtfi = Inst::CvtFI { rd: GReg(1), fs: FReg(0) };
-        assert_eq!(fu_action(&cvtfi, [(-7.9f64).to_bits(), 0], 0, 1), FuAction::Write(-7i64 as u64));
+        assert_eq!(
+            fu_action(&cvtfi, [(-7.9f64).to_bits(), 0], 0, 1).unwrap(),
+            FuAction::Write(-7i64 as u64)
+        );
     }
 
     #[test]
     fn load_store_addressing() {
         let load = Inst::Load { dst: g(1), base: GReg(2), off: -4 };
-        assert_eq!(fu_action(&load, [100, 0], 0, 1), FuAction::Load { addr: 96 });
+        assert_eq!(fu_action(&load, [100, 0], 0, 1).unwrap(), FuAction::Load { addr: 96 });
 
         let store = Inst::Store { src: g(1), base: GReg(2), off: 8, gated: false };
         // vals[0] = value, vals[1] = base.
         assert_eq!(
-            fu_action(&store, [42, 100], 0, 1),
+            fu_action(&store, [42, 100], 0, 1).unwrap(),
             FuAction::Store { addr: 108, bits: 42 }
         );
     }
 
     #[test]
     fn lpid_and_nlp_reads() {
-        assert_eq!(fu_action(&Inst::Lpid { rd: GReg(1) }, [0, 0], 3, 4), FuAction::Write(3));
-        assert_eq!(fu_action(&Inst::Nlp { rd: GReg(1) }, [0, 0], 3, 4), FuAction::Write(4));
+        assert_eq!(
+            fu_action(&Inst::Lpid { rd: GReg(1) }, [0, 0], 3, 4).unwrap(),
+            FuAction::Write(3)
+        );
+        assert_eq!(
+            fu_action(&Inst::Nlp { rd: GReg(1) }, [0, 0], 3, 4).unwrap(),
+            FuAction::Write(4)
+        );
     }
 
     #[test]
@@ -278,8 +286,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "reached a functional unit")]
-    fn decode_op_panics() {
-        fu_action(&Inst::Halt, [0, 0], 0, 1);
+    fn decode_op_is_rejected() {
+        assert_eq!(fu_action(&Inst::Halt, [0, 0], 0, 1), None);
+        assert_eq!(fu_action(&Inst::Nop, [0, 0], 0, 1), None);
     }
 }

@@ -216,7 +216,8 @@ impl Machine {
             })?;
         }
         let s = config.thread_slots;
-        let mut contexts: Vec<Context> = (0..config.context_frames).map(|_| Context::free()).collect();
+        let mut contexts: Vec<Context> =
+            (0..config.context_frames).map(|_| Context::free()).collect();
         contexts[0].state = CtxState::Ready;
         contexts[0].resume_pc = program.entry;
         let fu_next = std::array::from_fn(|i| vec![0u64; config.fu.count(FuClass::ALL[i])]);
@@ -333,9 +334,7 @@ impl Machine {
     /// True when every context has finished and all standby stations
     /// have drained.
     pub fn is_done(&self) -> bool {
-        self.contexts
-            .iter()
-            .all(|c| matches!(c.state, CtxState::Done | CtxState::Free))
+        self.contexts.iter().all(|c| matches!(c.state, CtxState::Done | CtxState::Free))
             && self.standby.iter().all(|per| per.iter().all(VecDeque::is_empty))
     }
 
@@ -479,9 +478,7 @@ impl Machine {
             }
         }
         for s in 0..self.slots.len() {
-            if self.slots[s].ctx.is_some()
-                || self.standby[s].iter().any(|q| !q.is_empty())
-            {
+            if self.slots[s].ctx.is_some() || self.standby[s].iter().any(|q| !q.is_empty()) {
                 continue;
             }
             let Some(c) = self.contexts.iter().position(|c| c.state == CtxState::Ready) else {
@@ -700,9 +697,7 @@ impl Machine {
         // performed at the highest priority), so `chgpri` waits for it.
         if matches!(inst, Inst::ChgPri) {
             let ls = FuClass::LoadStore.index();
-            if self.standby[s][ls]
-                .iter()
-                .any(|f| matches!(f.inst, Inst::Store { gated: true, .. }))
+            if self.standby[s][ls].iter().any(|f| matches!(f.inst, Inst::Store { gated: true, .. }))
             {
                 return Err(Stall(StallReason::Priority));
             }
@@ -906,13 +901,7 @@ impl Machine {
         self.fetch.set_active(s, false);
     }
 
-    fn fast_fork(
-        &mut self,
-        s: usize,
-        ctx_i: usize,
-        pc: u32,
-        now: u64,
-    ) -> Result<(), MachineError> {
+    fn fast_fork(&mut self, s: usize, ctx_i: usize, pc: u32, now: u64) -> Result<(), MachineError> {
         self.contexts[ctx_i].lpid = s as i64;
         for j in 0..self.slots.len() {
             if j == s {
@@ -991,9 +980,8 @@ impl Machine {
                 // This cycle's issue joins the back of the slot's
                 // standby queue (it is the youngest); the queue then
                 // drains in order while units are free.
-                if let Some(i) = cands
-                    .iter()
-                    .position(|f| f.slot == s && f.inst.fu_class() == Some(class))
+                if let Some(i) =
+                    cands.iter().position(|f| f.slot == s && f.inst.fu_class() == Some(class))
                 {
                     let f = cands.swap_remove(i);
                     self.standby[s][ci].push_back(f);
@@ -1007,8 +995,7 @@ impl Machine {
                     if front.inst.needs_highest_priority() && self.prio.highest() != s {
                         break;
                     }
-                    let Some(instance) = self.fu_next[ci].iter().position(|&t| t <= now)
-                    else {
+                    let Some(instance) = self.fu_next[ci].iter().position(|&t| t <= now) else {
                         break;
                     };
                     let f = self.standby[s][ci].pop_front().expect("front exists");
@@ -1033,7 +1020,10 @@ impl Machine {
         self.stats.fu_invocations[ci] += 1;
         self.stats.fu_busy[ci] += lat.issue as u64;
         let nlp = self.slots.len() as i64;
-        let action = fu_action(&f.inst, f.vals, self.contexts[f.ctx].lpid, nlp);
+        let action =
+            fu_action(&f.inst, f.vals, self.contexts[f.ctx].lpid, nlp).ok_or_else(|| {
+                MachineError::DecodeAtFu { slot: f.slot, pc: f.pc, inst: f.inst.to_string() }
+            })?;
         match action {
             FuAction::Write(bits) => {
                 self.write_dest(&f, bits, now, lat.result);
@@ -1105,11 +1095,10 @@ impl Machine {
         // standby queue are flushed into the access requirement buffer
         // too (§2.1.3: outstanding memory requests are saved as part
         // of the context); non-memory standby entries drain normally.
-        let flushed: Vec<(Inst, [u64; 2])> = self.standby[s]
-            [FuClass::LoadStore.index()]
-        .drain(..)
-        .map(|g| (g.inst, g.vals))
-        .collect();
+        let flushed: Vec<(Inst, [u64; 2])> = self.standby[s][FuClass::LoadStore.index()]
+            .drain(..)
+            .map(|g| (g.inst, g.vals))
+            .collect();
         let ctx = &mut self.contexts[f.ctx];
         ctx.replay.push((f.inst, f.vals));
         ctx.replay.extend(flushed);

@@ -25,7 +25,11 @@ pub(crate) struct RegBank {
 
 impl RegBank {
     pub(crate) fn new() -> Self {
-        RegBank { gvals: [0; NUM_GREGS], fvals: [0.0; NUM_FREGS], ready: [0; NUM_GREGS + NUM_FREGS] }
+        RegBank {
+            gvals: [0; NUM_GREGS],
+            fvals: [0.0; NUM_FREGS],
+            ready: [0; NUM_GREGS + NUM_FREGS],
+        }
     }
 
     /// True if `reg` can be read by an instruction issuing at `now`.

@@ -97,6 +97,17 @@ impl StallBreakdown {
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
     }
+
+    /// Raw per-reason counters, indexed like [`StallReason::ALL`].
+    pub fn counts(&self) -> [u64; 7] {
+        self.counts
+    }
+
+    /// Rebuilds a breakdown from raw counters (the inverse of
+    /// [`StallBreakdown::counts`], used when deserializing cached runs).
+    pub fn from_counts(counts: [u64; 7]) -> Self {
+        StallBreakdown { counts }
+    }
 }
 
 /// Statistics of one completed (or in-progress) run.
@@ -162,7 +173,8 @@ impl RunStats {
     pub fn utilization_report(&self) -> String {
         use fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "{:<12} {:>6} {:>12} {:>10}", "unit", "inst", "invocations", "util %");
+        let _ =
+            writeln!(out, "{:<12} {:>6} {:>12} {:>10}", "unit", "inst", "invocations", "util %");
         for class in FuClass::ALL {
             let i = class.index();
             if self.fu_instances[i] == 0 {

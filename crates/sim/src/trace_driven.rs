@@ -41,10 +41,9 @@ pub enum TraceError {
 impl fmt::Display for TraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TraceError::Unreplayable { thread } => write!(
-                f,
-                "thread {thread}'s trace contains synchronisation and cannot be replayed"
-            ),
+            TraceError::Unreplayable { thread } => {
+                write!(f, "thread {thread}'s trace contains synchronisation and cannot be replayed")
+            }
             TraceError::Empty => f.write_str("no traces supplied"),
         }
     }

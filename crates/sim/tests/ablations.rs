@@ -124,12 +124,8 @@ fn trapped_threads_replay_standby_memory_ops() {
     let prog = assemble(src).unwrap();
     let mut config = Config::multithreaded(1).with_context_frames(2);
     config.mem_words = 1 << 16;
-    let mut m = Machine::with_mem_model(
-        config,
-        &prog,
-        Box::new(DsmMemory::new(4096, 2, 100)),
-    )
-    .unwrap();
+    let mut m =
+        Machine::with_mem_model(config, &prog, Box::new(DsmMemory::new(4096, 2, 100))).unwrap();
     m.run().unwrap();
     assert_eq!(m.memory().read_i64(100).unwrap(), 0); // zeros summed
     assert!(m.stats().context_switches >= 1);

@@ -20,10 +20,7 @@ fn g(n: u8) -> GReg {
 
 #[test]
 fn fastfork_spawns_one_thread_per_slot_with_unique_lpids() {
-    let m = run(
-        Config::multithreaded(4),
-        "fastfork\nlpid r1\nnlp r2\nsw r1, 100(r1)\nhalt",
-    );
+    let m = run(Config::multithreaded(4), "fastfork\nlpid r1\nnlp r2\nsw r1, 100(r1)\nhalt");
     for lp in 0..4 {
         assert_eq!(m.memory().read_i64(100 + lp).unwrap(), lp as i64);
     }
@@ -42,10 +39,7 @@ fn fork_copies_parent_registers() {
 #[test]
 fn nlp_reports_machine_width() {
     for slots in [1usize, 2, 4, 8] {
-        let m = run(
-            Config::multithreaded(slots),
-            "nlp r1\nsw r1, 50(r0)\nhalt",
-        );
+        let m = run(Config::multithreaded(slots), "nlp r1\nsw r1, 50(r0)\nhalt");
         assert_eq!(m.memory().read_i64(50).unwrap(), slots as i64);
     }
 }
@@ -72,9 +66,7 @@ fn strided_work_partition_matches_sequential_result() {
     ";
     for slots in [1usize, 2, 4] {
         let m = run(Config::multithreaded(slots), src);
-        let total: i64 = (0..slots)
-            .map(|lp| m.memory().read_i64(300 + lp as u64).unwrap())
-            .sum();
+        let total: i64 = (0..slots).map(|lp| m.memory().read_i64(300 + lp as u64).unwrap()).sum();
         assert_eq!(total, 210, "{slots} slots");
     }
 }
@@ -245,12 +237,8 @@ fn concurrent_multithreading_hides_remote_latency() {
     let prog = assemble(src).unwrap();
     let mut config = Config::multithreaded(1).with_context_frames(2);
     config.mem_words = 1 << 16;
-    let mut m = Machine::with_mem_model(
-        config,
-        &prog,
-        Box::new(DsmMemory::new(4096, 2, 200)),
-    )
-    .unwrap();
+    let mut m =
+        Machine::with_mem_model(config, &prog, Box::new(DsmMemory::new(4096, 2, 200))).unwrap();
     // Seed remote data and add the second thread.
     m.add_thread(0).unwrap();
     m.run().unwrap();
@@ -277,8 +265,7 @@ fn context_switch_overlap_beats_serial_waiting() {
         let mut config = Config::multithreaded(1).with_context_frames(frames);
         config.mem_words = 1 << 16;
         let mut m =
-            Machine::with_mem_model(config, &prog, Box::new(DsmMemory::new(4096, 2, 300)))
-                .unwrap();
+            Machine::with_mem_model(config, &prog, Box::new(DsmMemory::new(4096, 2, 300))).unwrap();
         for _ in 1..threads {
             m.add_thread(0).unwrap();
         }
@@ -433,10 +420,7 @@ fn fork_into_busy_slot_is_an_error() {
 
 #[test]
 fn queue_misuse_is_detected() {
-    let err = run_err(
-        Config::multithreaded(2),
-        "qmap r10, r11\nfastfork\nadd r1, r11, #0\nhalt",
-    );
+    let err = run_err(Config::multithreaded(2), "qmap r10, r11\nfastfork\nadd r1, r11, #0\nhalt");
     assert!(matches!(err, MachineError::QueueMisuse { .. }), "{err:?}");
 
     let err = run_err(Config::multithreaded(2), "qmap r10, r10\nhalt");
@@ -456,7 +440,10 @@ fn priority_token_skips_halted_slots() {
     // circulating and thread 1 completes instead of deadlocking.
     let mut config = Config::multithreaded(2);
     config.max_cycles = 10_000;
-    let m = run(config, "setrot explicit\nfastfork\nlpid r1\nbeq r1, #0, zero\nchgpri\nhalt\nzero: halt");
+    let m = run(
+        config,
+        "setrot explicit\nfastfork\nlpid r1\nbeq r1, #0, zero\nchgpri\nhalt\nzero: halt",
+    );
     assert_eq!(m.stats().instructions, 5 + 4 /* per-thread paths */);
 }
 

@@ -29,10 +29,7 @@ fn dependent_alu_separation_is_three_cycles_multithreaded() {
     // §2.1.2: "assuming instruction I2 uses the result of instruction
     // I1 as a source, at least three cycles are required between I1
     // and I2" — ALU result latency 2, separation 2 + 1 = 3.
-    let m = trace_run(
-        Config::multithreaded(1),
-        "li r1, #5\nadd r2, r1, r1\nhalt",
-    );
+    let m = trace_run(Config::multithreaded(1), "li r1, #5\nadd r2, r1, r1\nhalt");
     assert_eq!(issue_cycle(&m, 1) - issue_cycle(&m, 0), 3);
 }
 
@@ -45,10 +42,7 @@ fn dependent_alu_separation_is_three_cycles_base_risc() {
 
 #[test]
 fn independent_instructions_issue_every_cycle() {
-    let m = trace_run(
-        Config::base_risc(),
-        "li r1, #1\nli r2, #2\nli r3, #3\nhalt",
-    );
+    let m = trace_run(Config::base_risc(), "li r1, #1\nli r2, #2\nli r3, #3\nhalt");
     assert_eq!(issue_cycle(&m, 1) - issue_cycle(&m, 0), 1);
     assert_eq!(issue_cycle(&m, 2) - issue_cycle(&m, 1), 1);
 }
@@ -56,10 +50,8 @@ fn independent_instructions_issue_every_cycle() {
 #[test]
 fn fp_add_consumer_waits_result_latency_plus_one() {
     // FP add result latency 4 -> separation 5.
-    let m = trace_run(
-        Config::multithreaded(1),
-        "lif f1, #1.0\nfadd f2, f1, f1\nfadd f3, f2, f2\nhalt",
-    );
+    let m =
+        trace_run(Config::multithreaded(1), "lif f1, #1.0\nfadd f2, f1, f1\nfadd f3, f2, f2\nhalt");
     // lif has result latency 2 (FP move class), fadd 4.
     assert_eq!(issue_cycle(&m, 1) - issue_cycle(&m, 0), 3);
     assert_eq!(issue_cycle(&m, 2) - issue_cycle(&m, 1), 5);
@@ -68,10 +60,7 @@ fn fp_add_consumer_waits_result_latency_plus_one() {
 #[test]
 fn load_use_separation_is_five_cycles() {
     // Load result latency 4 (2-cycle data cache) -> consumer 5 later.
-    let m = trace_run(
-        Config::multithreaded(1),
-        "lw r1, 100(r0)\nadd r2, r1, r1\nhalt",
-    );
+    let m = trace_run(Config::multithreaded(1), "lw r1, 100(r0)\nadd r2, r1, r1\nhalt");
     assert_eq!(issue_cycle(&m, 1) - issue_cycle(&m, 0), 5);
 }
 
@@ -117,15 +106,10 @@ fn loads_on_one_unit_issue_every_two_cycles() {
 
 #[test]
 fn two_load_store_units_double_load_throughput() {
-    let body: String = (0..16)
-        .map(|i| format!("lw r{}, {}(r0)\n", (i % 8) + 1, 10 + i))
-        .collect();
+    let body: String = (0..16).map(|i| format!("lw r{}, {}(r0)\n", (i % 8) + 1, 10 + i)).collect();
     let src = format!("{body}halt");
     let one = trace_run(Config::multithreaded(1), &src);
-    let two = trace_run(
-        Config::multithreaded(1).with_fu(FuConfig::paper_two_ls()),
-        &src,
-    );
+    let two = trace_run(Config::multithreaded(1).with_fu(FuConfig::paper_two_ls()), &src);
     let c1 = one.stats().cycles;
     let c2 = two.stats().cycles;
     assert!(
@@ -172,10 +156,7 @@ fn rotation_interval_counts_rotations() {
 
 #[test]
 fn utilization_accounts_invocations_times_latency() {
-    let m = trace_run(
-        Config::multithreaded(1),
-        "lw r1, 10(r0)\nlw r2, 11(r0)\nhalt",
-    );
+    let m = trace_run(Config::multithreaded(1), "lw r1, 10(r0)\nlw r2, 11(r0)\nhalt");
     let stats = m.stats();
     let i = FuClass::LoadStore.index();
     assert_eq!(stats.fu_invocations[i], 2);
@@ -245,10 +226,7 @@ fn fetch_contention_can_extend_the_branch_shadow() {
         shadows.push(tgt - jmp);
     }
     assert!(shadows.iter().all(|&s| s >= 5));
-    assert!(
-        shadows.iter().any(|&s| s > 5),
-        "some slot must see an extended shadow: {shadows:?}"
-    );
+    assert!(shadows.iter().any(|&s| s > 5), "some slot must see an extended shadow: {shadows:?}");
 }
 
 #[test]
@@ -256,10 +234,7 @@ fn waw_interlocks_until_the_first_writer_completes() {
     // Two writes to r1 with nothing between them: the second issues
     // only after the first's scoreboard bit clears (WAW), i.e. mul's
     // result latency 6 + 1 cycles later.
-    let m = trace_run(
-        Config::multithreaded(1),
-        "mul r1, r31, #3\nli r1, #9\nhalt",
-    );
+    let m = trace_run(Config::multithreaded(1), "mul r1, r31, #3\nli r1, #9\nhalt");
     assert_eq!(issue_cycle(&m, 1) - issue_cycle(&m, 0), 7);
 }
 
@@ -305,10 +280,7 @@ fn frozen_priority_starves_the_contender() {
     let halt_pc = 13;
     let halt0 = m.trace().iter().find(|e| e.slot == 0 && e.pc == halt_pc).unwrap().cycle;
     let halt1 = m.trace().iter().find(|e| e.slot == 1 && e.pc == halt_pc).unwrap().cycle;
-    assert!(
-        halt0 < halt1,
-        "the permanently-highest slot must win contention: {halt0} vs {halt1}"
-    );
+    assert!(halt0 < halt1, "the permanently-highest slot must win contention: {halt0} vs {halt1}");
 }
 
 #[test]
@@ -319,12 +291,8 @@ fn context_switch_penalty_is_visible() {
         let mut config = Config::multithreaded(1).with_context_frames(2);
         config.switch_penalty = penalty;
         config.mem_words = 1 << 16;
-        let mut m = Machine::with_mem_model(
-            config,
-            &prog,
-            Box::new(DsmMemory::new(4096, 2, 50)),
-        )
-        .unwrap();
+        let mut m =
+            Machine::with_mem_model(config, &prog, Box::new(DsmMemory::new(4096, 2, 50))).unwrap();
         m.add_thread(0).unwrap();
         m.run().unwrap().cycles
     };

@@ -26,10 +26,7 @@ fn ray_tracer_trace_replay_matches_execution_timing() {
     for slots in [1usize, 2, 4] {
         let (direct, traced) = compare(&program, slots);
         let diff = direct.abs_diff(traced) as f64 / direct as f64;
-        assert!(
-            diff < 0.02,
-            "{slots} slots: execution-driven {direct} vs trace-driven {traced}"
-        );
+        assert!(diff < 0.02, "{slots} slots: execution-driven {direct} vs trace-driven {traced}");
     }
 }
 
@@ -49,16 +46,12 @@ fn kernel7_trace_replay_matches_execution_timing_on_average() {
     let mut direct_sum = 0u64;
     let mut traced_sum = 0u64;
     for interval in [1u32, 2, 4, 8, 16, 32] {
-        let cfg = Config::multithreaded(4)
-            .with_rotation(RotationMode::Implicit { interval });
+        let cfg = Config::multithreaded(4).with_rotation(RotationMode::Implicit { interval });
         let mut d = Machine::new(cfg.clone(), &program).unwrap();
         direct_sum += d.run().unwrap().cycles;
         let mut t = Machine::new(cfg, &replay).unwrap();
         traced_sum += t.run().unwrap().cycles;
     }
     let diff = direct_sum.abs_diff(traced_sum) as f64 / direct_sum as f64;
-    assert!(
-        diff < 0.1,
-        "aggregate execution-driven {direct_sum} vs trace-driven {traced_sum}"
-    );
+    assert!(diff < 0.1, "aggregate execution-driven {direct_sum} vs trace-driven {traced_sum}");
 }

@@ -227,15 +227,13 @@ mod tests {
     use hirata_sim::{Config, Machine};
 
     fn run_seq(shape: ListShape) -> Machine {
-        let mut m =
-            Machine::new(Config::base_risc(), &sequential_program(shape)).unwrap();
+        let mut m = Machine::new(Config::base_risc(), &sequential_program(shape)).unwrap();
         m.run().unwrap();
         m
     }
 
     fn run_eager(shape: ListShape, slots: usize) -> Machine {
-        let mut m =
-            Machine::new(Config::multithreaded(slots), &eager_program(shape)).unwrap();
+        let mut m = Machine::new(Config::multithreaded(slots), &eager_program(shape)).unwrap();
         m.run().unwrap();
         m
     }
@@ -264,11 +262,7 @@ mod tests {
         let (_, tmp) = reference(shape);
         for slots in [1usize, 2, 3, 4] {
             let m = run_eager(shape, slots);
-            assert_eq!(
-                m.memory().read_f64(RESULT_ADDR).unwrap(),
-                tmp.unwrap(),
-                "{slots} slots"
-            );
+            assert_eq!(m.memory().read_f64(RESULT_ADDR).unwrap(), tmp.unwrap(), "{slots} slots");
         }
     }
 

@@ -156,11 +156,7 @@ mod tests {
             for slots in [1usize, 2, 4, 8] {
                 let mut m = Machine::new(Config::multithreaded(slots), &prog).unwrap();
                 m.run().unwrap();
-                assert_eq!(
-                    x_array(&m, n),
-                    reference,
-                    "strategy {strategy:?}, {slots} slots"
-                );
+                assert_eq!(x_array(&m, n), reference, "strategy {strategy:?}, {slots} slots");
             }
         }
     }
@@ -169,9 +165,8 @@ mod tests {
     fn strategy_a_shortens_single_thread_iterations() {
         let n = 64;
         let naive = {
-            let mut m =
-                Machine::new(Config::multithreaded(1), &kernel1_program(n, Strategy::None))
-                    .unwrap();
+            let mut m = Machine::new(Config::multithreaded(1), &kernel1_program(n, Strategy::None))
+                .unwrap();
             m.run().unwrap();
             m.stats().cycles
         };

@@ -117,8 +117,7 @@ mod tests {
     fn inner_product_matches_reference_on_every_width() {
         let n = 50;
         for slots in [1usize, 2, 3, 4, 8] {
-            let mut m =
-                Machine::new(Config::multithreaded(slots), &kernel3_program(n)).unwrap();
+            let mut m = Machine::new(Config::multithreaded(slots), &kernel3_program(n)).unwrap();
             m.run().unwrap();
             assert_eq!(
                 m.memory().read_f64(K3_RESULT).unwrap(),

@@ -117,8 +117,7 @@ mod tests {
         let n = 33;
         let expected = kernel5_reference(n);
         for slots in [1usize, 2, 3, 4, 8] {
-            let mut m =
-                Machine::new(Config::multithreaded(slots), &kernel5_program(n)).unwrap();
+            let mut m = Machine::new(Config::multithreaded(slots), &kernel5_program(n)).unwrap();
             m.run().unwrap();
             assert_eq!(x_array(&m, n), expected, "{slots} slots");
         }
@@ -144,10 +143,7 @@ mod tests {
             m.run().unwrap().cycles
         };
         let (one, four) = (cycles(1), cycles(4));
-        assert!(
-            (four as f64) < 0.8 * one as f64,
-            "doacross should pipeline: {one} vs {four}"
-        );
+        assert!((four as f64) < 0.8 * one as f64, "doacross should pipeline: {one} vs {four}");
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! explicit-rotation regime). Like Kernel 1 it supports the §2.3.2
 //! scheduling strategies on its body.
 
-use hirata_isa::{FpBinOp, FReg, GReg, Inst, Program, Reg};
+use hirata_isa::{FReg, FpBinOp, GReg, Inst, Program, Reg};
 use hirata_sched::{apply_strategy, Strategy};
 
 /// Word address of `X` (output).
@@ -52,12 +52,12 @@ pub fn kernel7_body() -> Vec<Inst> {
     vec![
         // a = u[k] + r*(z[k] + r*y[k])
         load(1, K7_Y_BASE),
-        bin(FMul, 2, 20, 1),  // r*y
+        bin(FMul, 2, 20, 1), // r*y
         load(3, K7_Z_BASE),
-        bin(FAdd, 2, 3, 2),   // z + r*y
-        bin(FMul, 2, 20, 2),  // r*(...)
+        bin(FAdd, 2, 3, 2),  // z + r*y
+        bin(FMul, 2, 20, 2), // r*(...)
         load(4, K7_U_BASE),
-        bin(FAdd, 2, 4, 2),   // a
+        bin(FAdd, 2, 4, 2), // a
         // b = u[k+3] + r*(u[k+2] + r*u[k+1])
         load(5, K7_U_BASE + 1),
         bin(FMul, 6, 20, 5),
@@ -65,7 +65,7 @@ pub fn kernel7_body() -> Vec<Inst> {
         bin(FAdd, 6, 7, 6),
         bin(FMul, 6, 20, 6),
         load(8, K7_U_BASE + 3),
-        bin(FAdd, 6, 8, 6),   // b
+        bin(FAdd, 6, 8, 6), // b
         // c = u[k+6] + q*(u[k+5] + q*u[k+4])
         load(9, K7_U_BASE + 4),
         bin(FMul, 10, 22, 9),
@@ -177,11 +177,9 @@ mod tests {
         let expected = kernel7_reference(n);
         for strategy in [Strategy::None, Strategy::ListA, Strategy::ReservationB { threads: 4 }] {
             for slots in [1usize, 4] {
-                let mut m = Machine::new(
-                    Config::multithreaded(slots),
-                    &kernel7_program(n, strategy),
-                )
-                .unwrap();
+                let mut m =
+                    Machine::new(Config::multithreaded(slots), &kernel7_program(n, strategy))
+                        .unwrap();
                 m.run().unwrap();
                 assert_eq!(x_array(&m, n), expected, "{strategy:?}, {slots} slots");
             }

@@ -58,9 +58,8 @@ pub fn radiosity_scene(p: &RadiosityParams) -> (Vec<f64>, Vec<f64>) {
         (0..n).map(|i| if i % 5 == 0 { rng.gen_range(0.5..1.0) } else { 0.0 }).collect();
     let mut ff = vec![0.0f64; n * n];
     for i in 0..n {
-        let mut row: Vec<f64> = (0..n)
-            .map(|j| if i == j { 0.0 } else { rng.gen_range(0.0..1.0f64) })
-            .collect();
+        let mut row: Vec<f64> =
+            (0..n).map(|j| if i == j { 0.0 } else { rng.gen_range(0.0..1.0f64) }).collect();
         let sum: f64 = row.iter().sum();
         for v in &mut row {
             *v /= sum * 1.25; // rows sum to 0.8
@@ -216,8 +215,7 @@ mod tests {
         let p = RadiosityParams { patches: 10, iterations: 3, seed: 9 };
         let expected = radiosity_reference(&p);
         for slots in [2usize, 4, 8] {
-            let mut m =
-                Machine::new(Config::multithreaded(slots), &radiosity_program(&p)).unwrap();
+            let mut m = Machine::new(Config::multithreaded(slots), &radiosity_program(&p)).unwrap();
             m.run().unwrap();
             assert_eq!(result(&m, &p), expected, "{slots} slots");
         }

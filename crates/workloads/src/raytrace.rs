@@ -204,10 +204,7 @@ pub fn raytrace_program(params: &RayTraceParams) -> Program {
     let scene_words: String = spheres
         .iter()
         .map(|s| {
-            format!(
-                ".float {:?}, {:?}, {:?}, {:?}\n",
-                s.center[0], s.center[1], s.center[2], s.r2
-            )
+            format!(".float {:?}, {:?}, {:?}, {:?}\n", s.center[0], s.center[1], s.center[2], s.r2)
         })
         .collect();
 
@@ -395,9 +392,7 @@ mod tests {
     use hirata_sim::{Config, Machine};
 
     fn image_from(m: &Machine, params: &RayTraceParams) -> Vec<i64> {
-        (0..params.pixels())
-            .map(|p| m.memory().read_i64(IMAGE_BASE + p as u64).unwrap())
-            .collect()
+        (0..params.pixels()).map(|p| m.memory().read_i64(IMAGE_BASE + p as u64).unwrap()).collect()
     }
 
     #[test]
@@ -439,8 +434,7 @@ mod tests {
         let prog = raytrace_program(&params);
         let expected = reference_image(&params);
         for slots in [2usize, 4, 8] {
-            let config =
-                Config::multithreaded(slots).with_fu(FuConfig::paper_two_ls());
+            let config = Config::multithreaded(slots).with_fu(FuConfig::paper_two_ls());
             let mut m = Machine::new(config, &prog).unwrap();
             m.run().unwrap();
             assert_eq!(image_from(&m, &params), expected, "{slots} slots");

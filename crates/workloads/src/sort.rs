@@ -37,11 +37,7 @@ pub fn sort_reference(n: usize, seed: u64) -> Vec<i64> {
 /// Panics if `n < 2` or `n` exceeds [`SORT_MAX_N`].
 pub fn sort_program(n: usize, seed: u64) -> Program {
     assert!((2..=SORT_MAX_N).contains(&n), "n must be in 2..={SORT_MAX_N}");
-    let data = sort_input(n, seed)
-        .iter()
-        .map(i64::to_string)
-        .collect::<Vec<_>>()
-        .join(", ");
+    let data = sort_input(n, seed).iter().map(i64::to_string).collect::<Vec<_>>().join(", ");
     let src = format!(
         "
 .equ N, {n}
@@ -121,8 +117,7 @@ mod tests {
         let (n, seed) = (25, 11);
         let expected = sort_reference(n, seed);
         for slots in [1usize, 2, 3, 4, 8] {
-            let mut m =
-                Machine::new(Config::multithreaded(slots), &sort_program(n, seed)).unwrap();
+            let mut m = Machine::new(Config::multithreaded(slots), &sort_program(n, seed)).unwrap();
             m.run().unwrap();
             assert_eq!(sorted(&m, n), expected, "{slots} slots");
         }
@@ -150,10 +145,7 @@ mod tests {
             m.run().unwrap().cycles
         };
         let (one, four) = (cycles(1), cycles(4));
-        assert!(
-            (four as f64) < 0.6 * one as f64,
-            "phases should parallelise: {one} vs {four}"
-        );
+        assert!((four as f64) < 0.6 * one as f64, "phases should parallelise: {one} vs {four}");
     }
 
     #[test]

@@ -152,9 +152,8 @@ pub fn mix_program(params: &MixParams) -> Program {
         };
         body.push_str(&line);
     }
-    let pool_init: String = (1..8)
-        .map(|r| format!("    li   r{r}, #{r}\n    lif  f{r}, #{r}.5\n"))
-        .collect();
+    let pool_init: String =
+        (1..8).map(|r| format!("    li   r{r}, #{r}\n    lif  f{r}, #{r}.5\n")).collect();
     let src = format!(
         "
 .text
@@ -190,12 +189,9 @@ mod tests {
         let prog = dsm_chase_program(3, &params);
         let mut config = Config::multithreaded(1).with_context_frames(3);
         config.mem_words = 1 << 16;
-        let mut m = Machine::with_mem_model(
-            config,
-            &prog,
-            Box::new(DsmMemory::new(REMOTE_BASE, 2, 100)),
-        )
-        .unwrap();
+        let mut m =
+            Machine::with_mem_model(config, &prog, Box::new(DsmMemory::new(REMOTE_BASE, 2, 100)))
+                .unwrap();
         m.add_thread(0).unwrap();
         m.add_thread(0).unwrap();
         m.run().unwrap();

@@ -55,14 +55,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Cycle-level machine; memory images must agree exactly.
     let mut machine = Machine::new(Config::multithreaded(4), &reconstituted)?;
     let stats = machine.run()?;
-    println!(
-        "machine:  {} cycles, IPC {:.2}",
-        stats.cycles,
-        stats.ipc()
-    );
+    println!("machine:  {} cycles, IPC {:.2}", stats.cycles, stats.ipc());
     let total_emu: f64 = (0..4).map(|lp| emu.memory.read_f64(100 + lp).unwrap()).sum();
-    let total_mach: f64 =
-        (0..4).map(|lp| machine.memory().read_f64(100 + lp).unwrap()).sum();
+    let total_mach: f64 = (0..4).map(|lp| machine.memory().read_f64(100 + lp).unwrap()).sum();
     assert_eq!(total_emu, total_mach, "golden model and machine agree");
     println!("sum over all logical processors: {total_mach} (expected 72)");
     assert_eq!(total_mach, 72.0);

@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("sequential (base RISC): {seq_per_iter:.2} cycles/iteration (paper: 56)");
 
     let program = eager_program(shape);
-    println!("\n{:>6} {:>12} {:>9} {:>8} {:>7}", "slots", "cycles/iter", "speed-up", "killed", "paper");
+    println!(
+        "\n{:>6} {:>12} {:>9} {:>8} {:>7}",
+        "slots", "cycles/iter", "speed-up", "killed", "paper"
+    );
     for slots in [2usize, 3, 4, 6, 8] {
         let mut m = Machine::new(Config::multithreaded(slots), &program)?;
         let stats = m.run()?;

@@ -33,10 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let n = 128;
     let mut inputs = BTreeMap::new();
-    inputs.insert(
-        "v".to_owned(),
-        (0..n + 2).map(|i| ((i % 17) as f64) * 0.5).collect::<Vec<f64>>(),
-    );
+    inputs
+        .insert("v".to_owned(), (0..n + 2).map(|i| ((i % 17) as f64) * 0.5).collect::<Vec<f64>>());
     let reference = &kernel.reference(n, &inputs)["out"];
 
     println!("\n{:>22} {:>7} {:>10}", "configuration", "slots", "cycles");

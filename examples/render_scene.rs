@@ -7,9 +7,7 @@
 
 use hirata::isa::FuConfig;
 use hirata::sim::{Config, Machine};
-use hirata::workloads::raytrace::{
-    raytrace_program, reference_image, RayTraceParams, IMAGE_BASE,
-};
+use hirata::workloads::raytrace::{raytrace_program, reference_image, RayTraceParams, IMAGE_BASE};
 
 const RAMP: &[u8] = b" .:-=+*#%@";
 
@@ -57,12 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for (ls, fu) in [(1, FuConfig::paper_one_ls()), (2, FuConfig::paper_two_ls())] {
             let mut m = Machine::new(Config::multithreaded(slots).with_fu(fu), &program)?;
             let cycles = m.run()?.cycles;
-            println!(
-                "{slots:>6} {ls:>6} {cycles:>10} {:>9.2}",
-                base_cycles as f64 / cycles as f64
-            );
+            println!("{slots:>6} {ls:>6} {cycles:>10} {:>9.2}", base_cycles as f64 / cycles as f64);
         }
     }
-    println!("\n(compare the paper's Table 2: 2.02 at 2 slots, 3.72 at 4, 5.79 at 8 with 2 L/S units)");
+    println!(
+        "\n(compare the paper's Table 2: 2.02 at 2 slots, 3.72 at 4, 5.79 at 8 with 2 L/S units)"
+    );
     Ok(())
 }

@@ -33,8 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{:>6} {:>10} {:>11} {:>11}", "slots", "non-opt", "strategy A", "strategy B");
     for slots in [1usize, 2, 4, 6, 8] {
         let mut row = Vec::new();
-        for strategy in
-            [Strategy::None, Strategy::ListA, Strategy::ReservationB { threads: slots }]
+        for strategy in [Strategy::None, Strategy::ListA, Strategy::ReservationB { threads: slots }]
         {
             let program = kernel1_program(n, strategy);
             let mut machine = Machine::new(Config::multithreaded(slots), &program)?;

@@ -53,8 +53,9 @@
 #![warn(missing_docs)]
 
 pub use hirata_asm as asm;
-pub use hirata_kernelc as kernelc;
 pub use hirata_isa as isa;
+pub use hirata_kernelc as kernelc;
+pub use hirata_lab as lab;
 pub use hirata_mem as mem;
 pub use hirata_sched as sched;
 pub use hirata_sim as sim;

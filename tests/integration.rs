@@ -42,8 +42,7 @@ fn full_pipeline_asm_to_memory() {
     for slots in [1usize, 2, 4] {
         let mut m = Machine::new(Config::multithreaded(slots), &program).unwrap();
         m.run().unwrap();
-        let total: i64 =
-            (0..slots).map(|lp| m.memory().read_i64(100 + lp as u64).unwrap()).sum();
+        let total: i64 = (0..slots).map(|lp| m.memory().read_i64(100 + lp as u64).unwrap()).sum();
         assert_eq!(total, 3 + 1 + 4 + 1 + 5 + 9 + 2 + 6, "{slots} slots");
     }
 }
@@ -66,10 +65,7 @@ fn table2_shape_speedups_grow_and_saturate() {
     );
     // The second load/store unit relieves the bottleneck at 8 slots.
     let two_ls_8 = base as f64
-        / cycles(
-            Config::multithreaded(8).with_fu(FuConfig::paper_two_ls()),
-            &program,
-        ) as f64;
+        / cycles(Config::multithreaded(8).with_fu(FuConfig::paper_two_ls()), &program) as f64;
     assert!(two_ls_8 > one_ls[2] * 1.1, "2 L/S units must help at 8 slots");
 }
 
@@ -104,8 +100,7 @@ fn table4_shape_floor_and_strategy_gain() {
 fn table5_shape_eager_execution_saturates_on_recurrence() {
     let shape = ListShape { nodes: 80, break_at: Some(79) };
     let iters = shape.iterations() as f64;
-    let seq =
-        cycles(Config::base_risc(), &linked_list::sequential_program(shape)) as f64 / iters;
+    let seq = cycles(Config::base_risc(), &linked_list::sequential_program(shape)) as f64 / iters;
     let eager = linked_list::eager_program(shape);
     let at = |s: usize| cycles(Config::multithreaded(s), &eager) as f64 / iters;
     let (two, four, eight) = (at(2), at(4), at(8));
@@ -138,11 +133,8 @@ fn raytracer_image_bit_exact_on_a_wide_machine() {
     let params = RayTraceParams { width: 8, height: 6, spheres: 5, seed: 99, shadows: true };
     let program = raytrace::raytrace_program(&params);
     let expected = raytrace::reference_image(&params);
-    let mut m = Machine::new(
-        Config::multithreaded(8).with_fu(FuConfig::paper_two_ls()),
-        &program,
-    )
-    .unwrap();
+    let mut m =
+        Machine::new(Config::multithreaded(8).with_fu(FuConfig::paper_two_ls()), &program).unwrap();
     m.run().unwrap();
     let got: Vec<i64> = (0..params.pixels())
         .map(|p| m.memory().read_i64(raytrace::IMAGE_BASE + p as u64).unwrap())

@@ -22,10 +22,8 @@ use proptest::prelude::*;
 fn arb_inst() -> impl Strategy<Value = Inst> {
     let greg = (0u8..12).prop_map(GReg);
     let freg = (0u8..12).prop_map(FReg);
-    let gsrc = prop_oneof![
-        (0u8..12).prop_map(|n| GSrc::Reg(GReg(n))),
-        (-64i64..64).prop_map(GSrc::Imm),
-    ];
+    let gsrc =
+        prop_oneof![(0u8..12).prop_map(|n| GSrc::Reg(GReg(n))), (-64i64..64).prop_map(GSrc::Imm),];
     let int_op = prop::sample::select(IntOp::ALL.to_vec());
     let fp_op = prop::sample::select(FpBinOp::ALL.to_vec());
     let fp_un = prop::sample::select(FpUnOp::ALL.to_vec());
@@ -102,8 +100,18 @@ fn arb_branchy_block() -> impl Strategy<Value = Vec<Inst>> {
 fn harness(block: &[Inst]) -> Program {
     let mut insts = block.to_vec();
     for n in 0..12u8 {
-        insts.push(Inst::Store { src: Reg::G(GReg(n)), base: GReg(0), off: 64 + n as i64, gated: false });
-        insts.push(Inst::Store { src: Reg::F(FReg(n)), base: GReg(0), off: 76 + n as i64, gated: false });
+        insts.push(Inst::Store {
+            src: Reg::G(GReg(n)),
+            base: GReg(0),
+            off: 64 + n as i64,
+            gated: false,
+        });
+        insts.push(Inst::Store {
+            src: Reg::F(FReg(n)),
+            base: GReg(0),
+            off: 76 + n as i64,
+            gated: false,
+        });
     }
     insts.push(Inst::Halt);
     Program::from_insts(insts)
@@ -174,10 +182,7 @@ proptest! {
 /// Random list shapes for the eager-execution equivalence property.
 fn arb_shape() -> impl Strategy<Value = hirata::workloads::linked_list::ListShape> {
     (1usize..24, proptest::option::of(0usize..24)).prop_map(|(nodes, brk)| {
-        hirata::workloads::linked_list::ListShape {
-            nodes,
-            break_at: brk.map(|b| b % nodes),
-        }
+        hirata::workloads::linked_list::ListShape { nodes, break_at: brk.map(|b| b % nodes) }
     })
 }
 

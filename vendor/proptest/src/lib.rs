@@ -431,8 +431,8 @@ pub mod option {
 /// The glob import used by property tests.
 pub mod prelude {
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{BoxedStrategy, Just, Strategy};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{BoxedStrategy, Just, Strategy};
 
     /// The `prop::` module tree (`prop::collection::vec`, ...).
     pub mod prop {
@@ -481,12 +481,12 @@ macro_rules! proptest {
     (
         #![proptest_config($config:expr)]
         $(
-            #[test]
+            $(#[$meta:meta])*
             fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
         )*
     ) => {
         $(
-            #[test]
+            $(#[$meta])*
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $config;
                 let mut rng =
@@ -502,13 +502,13 @@ macro_rules! proptest {
     };
     (
         $(
-            #[test]
+            $(#[$meta:meta])*
             fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
         )*
     ) => {
         $crate::proptest! {
             #![proptest_config($crate::test_runner::ProptestConfig::default())]
-            $(#[test] fn $name ( $($pat in $strat),+ ) $body)*
+            $($(#[$meta])* fn $name ( $($pat in $strat),+ ) $body)*
         }
     };
 }
