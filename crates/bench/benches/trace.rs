@@ -1,0 +1,76 @@
+//! Tracing-overhead benchmarks: the same Figure 6 while-loop workload
+//! with no sink attached, with a [`NullSink`] (the zero-cost-when-
+//! disabled claim: every event site is gated on the sink option, so
+//! the no-op sink only pays the gate plus event construction), and
+//! with the full [`ChromeSink`] pipeline including JSON rendering.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hirata_sim::{chrome_trace_json, ChromeSink, Config, Machine, NullSink, RingSink};
+use hirata_workloads::linked_list::{eager_program, ListShape};
+
+fn trace_overhead(c: &mut Criterion) {
+    let shape = ListShape { nodes: 60, break_at: Some(59) };
+    let program = eager_program(shape);
+    let config = Config::multithreaded(4);
+
+    let cycles = {
+        let mut m = Machine::new(config.clone(), &program).expect("machine builds");
+        m.run().expect("program runs");
+        m.cycles()
+    };
+
+    let mut group = c.benchmark_group("trace-overhead");
+    group.throughput(Throughput::Elements(cycles));
+
+    group.bench_function("fig6-no-sink", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(config.clone(), &program).expect("machine builds");
+            m.run().expect("program runs");
+            m.cycles()
+        })
+    });
+
+    group.bench_function("fig6-null-sink", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(config.clone(), &program).expect("machine builds");
+            m.attach_trace_sink(Box::new(NullSink));
+            m.run().expect("program runs");
+            m.cycles()
+        })
+    });
+
+    group.bench_function("fig6-chrome-sink", |b| {
+        b.iter(|| {
+            let sink = ChromeSink::new();
+            let mut m = Machine::new(config.clone(), &program).expect("machine builds");
+            m.attach_trace_sink(Box::new(sink.clone()));
+            m.run().expect("program runs");
+            sink.render(config.thread_slots, &config.fu).len()
+        })
+    });
+
+    group.finish();
+}
+
+fn render_only(c: &mut Criterion) {
+    // JSON rendering alone, separated from simulation: collect the
+    // event stream once, then serialize it per iteration.
+    let shape = ListShape { nodes: 60, break_at: Some(59) };
+    let program = eager_program(shape);
+    let config = Config::multithreaded(4);
+    let sink = RingSink::new(1 << 22);
+    let mut m = Machine::new(config.clone(), &program).expect("machine builds");
+    m.attach_trace_sink(Box::new(sink.clone()));
+    m.run().expect("program runs");
+    let events = sink.events();
+
+    let mut group = c.benchmark_group("trace-render");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.bench_function("chrome-json", |b| {
+        b.iter(|| chrome_trace_json(&events, config.thread_slots, &config.fu).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, trace_overhead, render_only);
+criterion_main!(benches);

@@ -4,6 +4,8 @@
 //! hirata check  <file.s>                  assemble, report errors
 //! hirata disasm <file.s>                  assemble and print the listing
 //! hirata run    <file.s> [options]        assemble and simulate
+//! hirata trace  <file.s> [--slots N] [--format chrome|text]
+//!                                          structured per-cycle event trace
 //! hirata debug  <file.s> [--slots N]      scriptable single-step debugger
 //! hirata emu    <file.s> [--slots N] [--dump A..B]
 //!                                          architectural emulator (no timing)
@@ -28,6 +30,15 @@
 //!   --jobs N          engine worker threads (default: one per CPU)
 //!   --no-cache        simulate every point even if cached
 //!   --timeout SECS    per-job wall-clock timeout
+//!
+//! trace options:
+//!   --slots N         thread slots (default 1)
+//!   --width D         per-slot issue width (default 1)
+//!   --two-ls          second load/store unit
+//!   --format F        chrome (trace_event JSON for chrome://tracing or
+//!                     Perfetto, one track per slot and per FU) or text
+//!                     (compact line-per-event log; default)
+//!   --max-cycles N    watchdog limit
 //! ```
 //!
 //! The command logic lives in this library (returning the would-be
@@ -73,6 +84,8 @@ pub const USAGE: &str = "usage:
   hirata run    <file.s> [--slots N] [--base] [--width D] [--two-ls]
                          [--no-standby] [--private-fetch] [--trace]
                          [--timeline] [--dump A..B] [--max-cycles N]
+  hirata trace  <file.s> [--slots N] [--width D] [--two-ls]
+                         [--format chrome|text] [--max-cycles N]
   hirata debug  <file.s> [--slots N]    (commands on stdin: s/c/b/r/f/m/i/q)
   hirata emu    <file.s> [--slots N] [--dump A..B]
   hirata lab    <file.s> [--slots LIST] [--ls LIST] [--jobs N]
@@ -112,6 +125,7 @@ pub fn execute(
             }
         }
         "run" => run(&args[1..], read),
+        "trace" => trace_cmd(&args[1..], read),
         "lab" => lab(&args[1..], read),
         "emu" => {
             let mut path: Option<&String> = None;
@@ -329,6 +343,90 @@ fn run(
     Ok(out)
 }
 
+/// `hirata trace`: simulate with a structured-event sink attached and
+/// return the rendered trace — Chrome `trace_event` JSON (loadable in
+/// `chrome://tracing` or Perfetto, one track per thread slot and per
+/// functional unit) or the compact text log.
+fn trace_cmd(
+    args: &[String],
+    read: impl Fn(&str) -> std::io::Result<String>,
+) -> Result<String, CliError> {
+    let mut path: Option<&String> = None;
+    let mut slots = 1usize;
+    let mut width = 1usize;
+    let mut two_ls = false;
+    let mut format = TraceFormat::Text;
+    let mut max_cycles: Option<u64> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--slots" => slots = parse_num("--slots", it.next())?,
+            "--width" => width = parse_num("--width", it.next())?,
+            "--two-ls" => two_ls = true,
+            "--max-cycles" => max_cycles = Some(parse_num("--max-cycles", it.next())?),
+            "--format" => {
+                let value = it
+                    .next()
+                    .ok_or_else(|| CliError::Usage(format!("--format needs a value\n{USAGE}")))?;
+                format = match value.as_str() {
+                    "chrome" => TraceFormat::Chrome,
+                    "text" => TraceFormat::Text,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown trace format `{other}` (chrome or text)\n{USAGE}"
+                        )))
+                    }
+                };
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown flag `{flag}`\n{USAGE}")))
+            }
+            _ if path.is_none() => path = Some(arg),
+            _ => return Err(CliError::Usage(format!("unexpected argument `{arg}`\n{USAGE}"))),
+        }
+    }
+    let path = path.ok_or_else(|| CliError::Usage(USAGE.into()))?;
+    let source = read(path).map_err(|e| CliError::Failure(format!("cannot read `{path}`: {e}")))?;
+    let program =
+        hirata_asm::assemble(&source).map_err(|e| CliError::Failure(format!("{path}:{e}")))?;
+
+    let mut config = Config::multithreaded(slots);
+    config.issue_width = width;
+    if two_ls {
+        config.fu = FuConfig::paper_two_ls();
+    }
+    if let Some(limit) = max_cycles {
+        config.max_cycles = limit;
+    }
+    config.validate().map_err(|e| CliError::Failure(e.to_string()))?;
+    let fu = config.fu.clone();
+    let slots_used = config.thread_slots;
+
+    let mut machine =
+        Machine::new(config, &program).map_err(|e| CliError::Failure(e.to_string()))?;
+    match format {
+        TraceFormat::Chrome => {
+            let sink = hirata_sim::ChromeSink::new();
+            machine.attach_trace_sink(Box::new(sink.clone()));
+            machine.run().map_err(|e| CliError::Failure(e.to_string()))?;
+            Ok(sink.render(slots_used, &fu))
+        }
+        TraceFormat::Text => {
+            let sink = hirata_sim::TextSink::new();
+            machine.attach_trace_sink(Box::new(sink.clone()));
+            machine.run().map_err(|e| CliError::Failure(e.to_string()))?;
+            Ok(sink.text())
+        }
+    }
+}
+
+/// Output format of `hirata trace`.
+enum TraceFormat {
+    Chrome,
+    Text,
+}
+
 /// `hirata lab`: assemble a program and sweep a slots x load/store
 /// grid through the parallel execution engine, one job per grid
 /// point. Engine progress and the batch report go to stderr; the
@@ -538,6 +636,33 @@ mod tests {
         let out = execute(&args("run prog.s --trace --base"), fake_fs(PROG)).unwrap();
         assert!(out.contains("slot 0"), "{out}");
         assert!(out.contains("mul  r2, r1, r1") || out.contains("mul r2, r1, r1"), "{out}");
+    }
+
+    #[test]
+    fn trace_text_logs_events() {
+        let out = execute(&args("trace prog.s --slots 4"), fake_fs(PROG)).unwrap();
+        assert!(out.contains("issue pc=0x0000"), "{out}");
+        assert!(out.contains("fu-win"), "{out}");
+        assert!(out.contains("stall no-thread"), "{out}");
+    }
+
+    #[test]
+    fn trace_chrome_emits_trace_event_json() {
+        let out = execute(&args("trace prog.s --slots 4 --format chrome"), fake_fs(PROG)).unwrap();
+        assert!(out.starts_with("{\"traceEvents\":["), "{out}");
+        for s in 0..4 {
+            assert!(out.contains(&format!("slot {s}")), "{out}");
+        }
+        assert!(out.contains("int-mul.0"), "{out}");
+        assert_eq!(out.matches('{').count(), out.matches('}').count());
+    }
+
+    #[test]
+    fn trace_usage_errors() {
+        for bad in ["trace", "trace prog.s --format pdf", "trace prog.s --bogus"] {
+            let err = execute(&args(bad), fake_fs(PROG)).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{bad:?} -> {err:?}");
+        }
     }
 
     #[test]

@@ -12,14 +12,18 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use hirata_mem::MemStats;
-use hirata_sim::{RunStats, StallBreakdown};
+use hirata_sim::{RunStats, StallBreakdown, StallWindow};
 
 use crate::job::JobOutput;
 
 /// Schema tag of the on-disk format. Bump on any change to the
 /// serialized fields *or* to simulator semantics that alters results
 /// for unchanged inputs.
-pub const CACHE_SCHEMA_TAG: &str = "hirata-lab-cache-v1";
+///
+/// v2: the stall breakdown gained the `branch-shadow` reason (eight
+/// counters instead of seven) and entries carry the per-window stall
+/// attribution (`stall_windows=`).
+pub const CACHE_SCHEMA_TAG: &str = "hirata-lab-cache-v2";
 
 /// Default cache directory: `$HIRATA_LAB_CACHE` if set, else
 /// `target/lab-cache` under the current directory.
@@ -98,6 +102,7 @@ fn render_entry(tag: &str, out: &JobOutput) -> String {
          fu_busy={}\n\
          fu_instances={}\n\
          stalls={}\n\
+         stall_windows={}\n\
          context_switches={}\n\
          threads_killed={}\n\
          rotations={}\n\
@@ -112,6 +117,7 @@ fn render_entry(tag: &str, out: &JobOutput) -> String {
         render_u64s(s.fu_busy),
         render_u64s(s.fu_instances),
         render_u64s(s.stalls.counts()),
+        render_windows(&s.stall_windows),
         s.context_switches,
         s.threads_killed,
         s.rotations,
@@ -138,6 +144,7 @@ fn parse_entry<'a>(lines: impl Iterator<Item = &'a str>) -> Option<JobOutput> {
             "fu_busy" => stats.fu_busy = parse_array(value)?,
             "fu_instances" => stats.fu_instances = parse_array(value)?,
             "stalls" => stats.stalls = StallBreakdown::from_counts(parse_array(value)?),
+            "stall_windows" => stats.stall_windows = parse_windows(value)?,
             "context_switches" => stats.context_switches = value.parse().ok()?,
             "threads_killed" => stats.threads_killed = value.parse().ok()?,
             "rotations" => stats.rotations = value.parse().ok()?,
@@ -162,6 +169,19 @@ fn parse_array<const N: usize>(value: &str) -> Option<[u64; N]> {
     parse_u64s(value)?.try_into().ok()
 }
 
+/// Windows render as semicolon-separated groups of comma-separated
+/// counters, one group per 1k-cycle window.
+fn render_windows(windows: &[StallWindow]) -> String {
+    windows.iter().map(|w| render_u64s(w.iter().copied())).collect::<Vec<_>>().join(";")
+}
+
+fn parse_windows(value: &str) -> Option<Vec<StallWindow>> {
+    if value.is_empty() {
+        return Some(Vec::new());
+    }
+    value.split(';').map(parse_array).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -174,7 +194,8 @@ mod tests {
         out.stats.fu_invocations = [1, 2, 3, 4, 5, 6, 7];
         out.stats.fu_busy = [2, 4, 6, 8, 10, 12, 14];
         out.stats.fu_instances = [1, 1, 1, 1, 1, 1, 2];
-        out.stats.stalls = StallBreakdown::from_counts([9, 8, 7, 6, 5, 4, 3]);
+        out.stats.stalls = StallBreakdown::from_counts([9, 8, 7, 6, 5, 4, 3, 2]);
+        out.stats.stall_windows = vec![[4, 4, 3, 3, 2, 2, 1, 1], [5, 4, 4, 3, 3, 2, 2, 1]];
         out.stats.context_switches = 11;
         out.stats.threads_killed = 2;
         out.stats.rotations = 40;

@@ -2,12 +2,13 @@
 //! content hash.
 
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
 use hirata_isa::{encode_program, Program};
 use hirata_mem::{DataMemModel, DsmMemory, FiniteCache, IdealCache, MemStats};
-use hirata_sim::{Config, Machine, MachineError, RunStats};
+use hirata_sim::{ChromeSink, Config, Machine, MachineError, RunStats};
 
 use crate::cache::CACHE_SCHEMA_TAG;
 
@@ -96,6 +97,11 @@ pub struct Job {
     pub extra_threads: Vec<u32>,
     /// Wall-clock timeout for this job.
     pub timeout: Duration,
+    /// When set, [`execute`] records a Chrome `trace_event` JSON
+    /// artifact of the run at `<dir>/<content_hash>.json`. Engine-side
+    /// only: like `name` and `timeout`, excluded from the content hash
+    /// (tracing never changes the simulation outcome).
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Job {
@@ -109,6 +115,7 @@ impl Job {
             mem: MemModelSpec::Ideal,
             extra_threads: Vec::new(),
             timeout: DEFAULT_TIMEOUT,
+            trace_dir: None,
         }
     }
 
@@ -128,6 +135,18 @@ impl Job {
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
         self
+    }
+
+    /// Records a Chrome trace artifact of the run under `dir`, keyed
+    /// by the job's content hash.
+    pub fn with_trace_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.trace_dir = Some(dir.into());
+        self
+    }
+
+    /// Path of the trace artifact this job would write, if tracing.
+    pub fn trace_path(&self) -> Option<PathBuf> {
+        self.trace_dir.as_ref().map(|dir| dir.join(format!("{}.json", self.content_hash())))
     }
 
     /// Stable 128-bit content hash of the job under the current cache
@@ -254,9 +273,32 @@ pub fn execute(job: &Job) -> Result<JobOutput, MachineError> {
     for &pc in &job.extra_threads {
         m.add_thread(pc)?;
     }
+    let sink = job.trace_dir.as_ref().map(|_| {
+        let sink = ChromeSink::new();
+        m.attach_trace_sink(Box::new(sink.clone()));
+        sink
+    });
     let stats = m.run()?;
     let mem = m.mem_stats();
+    if let (Some(dir), Some(sink)) = (&job.trace_dir, sink) {
+        let json = sink.render(job.config.thread_slots, &job.config.fu);
+        write_trace(dir, &job.content_hash(), &json);
+    }
     Ok(JobOutput { stats, mem })
+}
+
+/// Writes one trace artifact atomically (temp file + rename), so a
+/// concurrent reader never sees a torn trace. Failure to write is a
+/// warning, not a job failure: the simulation result stands.
+fn write_trace(dir: &Path, key: &str, json: &str) {
+    let path = dir.join(format!("{key}.json"));
+    let tmp = dir.join(format!(".tmp-{key}-{}", std::process::id()));
+    let ok = std::fs::create_dir_all(dir).is_ok()
+        && std::fs::write(&tmp, json).is_ok()
+        && std::fs::rename(&tmp, &path).is_ok();
+    if !ok {
+        eprintln!("[lab] could not write trace artifact {}", path.display());
+    }
 }
 
 #[cfg(test)]

@@ -36,6 +36,7 @@ pub struct Lab {
     cache: Option<DiskCache>,
     progress: bool,
     report: bool,
+    trace_dir: Option<std::path::PathBuf>,
 }
 
 impl Lab {
@@ -52,6 +53,7 @@ impl Lab {
             cache: DiskCache::open(default_cache_dir()).ok(),
             progress: std::io::stderr().is_terminal(),
             report: true,
+            trace_dir: None,
         }
     }
 
@@ -71,6 +73,18 @@ impl Lab {
     /// Uses a cache in the given directory instead of the default.
     pub fn with_cache_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
         self.cache = DiskCache::open(dir).ok();
+        self
+    }
+
+    /// Emits a Chrome trace artifact per executed job under `dir`,
+    /// keyed by content hash. With tracing on, a cached result only
+    /// counts as a hit when its trace artifact already exists —
+    /// otherwise the job re-simulates to regenerate the trace, so a
+    /// batch always leaves a complete artifact set behind.
+    pub fn with_trace_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        let dir = dir.into();
+        let _ = std::fs::create_dir_all(&dir);
+        self.trace_dir = Some(dir);
         self
     }
 
@@ -112,9 +126,19 @@ impl Lab {
         // The content hash is computed once here and travels with the
         // job so the collector can store fresh results under it.
         let mut pending: Vec<(usize, String, Job)> = Vec::new();
-        for (index, job) in jobs.into_iter().enumerate() {
+        for (index, mut job) in jobs.into_iter().enumerate() {
+            if let Some(dir) = &self.trace_dir {
+                job.trace_dir = Some(dir.clone());
+            }
             let key = job.content_hash();
-            match self.cache.as_ref().and_then(|c| c.load(&key)) {
+            // With tracing on, a hit additionally requires the trace
+            // artifact on disk; a cached result without one
+            // re-simulates so the artifact set comes out complete.
+            let trace_present = match job.trace_path() {
+                Some(path) => path.exists(),
+                None => true,
+            };
+            match self.cache.as_ref().and_then(|c| c.load(&key)).filter(|_| trace_present) {
                 Some(out) => {
                     report.cache_hits += 1;
                     results.push(Some(Ok(out)));

@@ -156,6 +156,7 @@ fn output_from(
     scalars: (u64, u64, u64, u64, u64),
     per_slot: Vec<u64>,
     arrays: (Vec<u64>, Vec<u64>, Vec<u64>, Vec<u64>),
+    windows: Vec<Vec<u64>>,
     mem: (u64, u64, u64, u64),
 ) -> JobOutput {
     let mut stats = RunStats {
@@ -171,6 +172,7 @@ fn output_from(
     stats.fu_busy = arrays.1.try_into().unwrap();
     stats.fu_instances = arrays.2.try_into().unwrap();
     stats.stalls = StallBreakdown::from_counts(arrays.3.try_into().unwrap());
+    stats.stall_windows = windows.into_iter().map(|w| w.try_into().unwrap()).collect();
     let mem = hirata_mem::MemStats { accesses: mem.0, hits: mem.1, misses: mem.2, absences: mem.3 };
     JobOutput { stats, mem }
 }
@@ -186,12 +188,13 @@ proptest! {
             proptest::collection::vec(0u64..u64::MAX, 7..8),
             proptest::collection::vec(0u64..u64::MAX, 7..8),
             proptest::collection::vec(0u64..u64::MAX, 7..8),
-            proptest::collection::vec(0u64..u64::MAX, 7..8),
+            proptest::collection::vec(0u64..u64::MAX, 8..9),
         ),
+        windows in proptest::collection::vec(proptest::collection::vec(0u64..u64::MAX, 8..9), 0..4),
         mem in (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
         key_seed in 0u64..u64::MAX,
     ) {
-        let out = output_from(scalars, per_slot, arrays, mem);
+        let out = output_from(scalars, per_slot, arrays, windows, mem);
         let cache = DiskCache::open(temp_cache("prop")).expect("open");
         let key = format!("{key_seed:032x}");
         cache.store(&key, &out).expect("store");

@@ -5,12 +5,16 @@
 //! repro [table2|table2-private|table3|table4|table5|rotation|
 //!        utilization|concurrent|finite-cache|ablations|kernels|
 //!        trace-driven|all] [--quick] [--jobs N] [--no-cache]
+//!       [--trace-dir DIR]
 //! ```
 //!
 //! `--jobs N` sets the worker count (default: one per CPU);
-//! `--no-cache` forces every simulation to run. Table bytes on stdout
-//! are identical whatever the worker count and cache state; engine
-//! progress goes to stderr.
+//! `--no-cache` forces every simulation to run. `--trace-dir DIR`
+//! writes a Chrome `trace_event` JSON artifact per executed job under
+//! `DIR`, keyed by job content hash (cached results re-simulate when
+//! their artifact is missing, so the set comes out complete). Table
+//! bytes on stdout — and trace artifact bytes — are identical whatever
+//! the worker count and cache state; engine progress goes to stderr.
 
 use hirata_lab::Lab;
 use hirata_repro::{render_experiment, Session, Sizes, EXPERIMENTS};
@@ -21,6 +25,13 @@ fn main() {
     let no_cache = args.iter().any(|a| a == "--no-cache");
     let jobs = match parse_jobs(&args) {
         Ok(jobs) => jobs,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let trace_dir = match parse_trace_dir(&args) {
+        Ok(dir) => dir,
         Err(msg) => {
             eprintln!("{msg}");
             std::process::exit(2);
@@ -41,6 +52,9 @@ fn main() {
     if no_cache {
         lab = lab.without_cache();
     }
+    if let Some(dir) = trace_dir {
+        lab = lab.with_trace_dir(dir);
+    }
     let session = Session::new(lab);
 
     for name in EXPERIMENTS {
@@ -53,7 +67,7 @@ fn main() {
 }
 
 /// Extracts the experiment name: the first positional argument that
-/// is not the value of `--jobs`.
+/// is not the value of a `--flag VALUE` pair.
 fn positional_experiment(args: &[String]) -> Option<&str> {
     let mut skip_next = false;
     for arg in args {
@@ -61,7 +75,7 @@ fn positional_experiment(args: &[String]) -> Option<&str> {
             skip_next = false;
             continue;
         }
-        if arg == "--jobs" {
+        if arg == "--jobs" || arg == "--trace-dir" {
             skip_next = true;
             continue;
         }
@@ -70,6 +84,25 @@ fn positional_experiment(args: &[String]) -> Option<&str> {
         }
     }
     None
+}
+
+/// Parses `--trace-dir DIR` (or `--trace-dir=DIR`). `Ok(None)` when
+/// absent.
+fn parse_trace_dir(args: &[String]) -> Result<Option<std::path::PathBuf>, String> {
+    for (i, arg) in args.iter().enumerate() {
+        let value = if arg == "--trace-dir" {
+            args.get(i + 1).map(String::as_str)
+        } else if let Some(v) = arg.strip_prefix("--trace-dir=") {
+            Some(v)
+        } else {
+            continue;
+        };
+        let Some(value) = value else {
+            return Err("--trace-dir requires a directory".to_owned());
+        };
+        return Ok(Some(std::path::PathBuf::from(value)));
+    }
+    Ok(None)
 }
 
 /// Parses `--jobs N` (or `--jobs=N`). `Ok(None)` when absent.

@@ -1,0 +1,103 @@
+//! Trace-artifact determinism, checked end to end through the `repro`
+//! binary: the Chrome trace JSON a job emits is byte-identical
+//! whatever the worker count, and a warm-cache rerun — which only
+//! re-simulates jobs whose artifact is missing — reproduces the same
+//! bytes for every artifact it regenerates.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro-trace-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn repro(cache: &Path, args: &[&str]) {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .env("HIRATA_LAB_CACHE", cache)
+        .output()
+        .expect("repro binary runs");
+    assert!(out.status.success(), "repro {args:?} failed: {out:?}");
+}
+
+/// Reads every trace artifact in `dir` as `name -> bytes`.
+fn artifacts(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    std::fs::read_dir(dir)
+        .expect("trace dir exists")
+        .map(|e| {
+            let path = e.expect("dir entry").path();
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            (name, std::fs::read(&path).expect("artifact is readable"))
+        })
+        .collect()
+}
+
+#[test]
+fn trace_artifacts_are_byte_identical_across_worker_counts_and_cache_states() {
+    let cache = temp_dir("cache");
+    let traces_serial = temp_dir("serial");
+    let traces_parallel = temp_dir("parallel");
+
+    // Cold cache, one worker; populates the cache and the artifacts.
+    repro(
+        &cache,
+        &["--quick", "table5", "--jobs", "1", "--trace-dir", traces_serial.to_str().unwrap()],
+    );
+    // Four workers, cache bypassed: a genuinely cold parallel run.
+    repro(
+        &cache,
+        &[
+            "--quick",
+            "table5",
+            "--no-cache",
+            "--jobs",
+            "4",
+            "--trace-dir",
+            traces_parallel.to_str().unwrap(),
+        ],
+    );
+
+    let serial = artifacts(&traces_serial);
+    let parallel = artifacts(&traces_parallel);
+    assert!(!serial.is_empty(), "the sweep must emit trace artifacts");
+    assert_eq!(serial, parallel, "trace JSON must be byte-identical at --jobs 1 and --jobs 4");
+    for (name, bytes) in &serial {
+        let text = std::str::from_utf8(bytes).expect("trace JSON is UTF-8");
+        assert!(text.starts_with("{\"traceEvents\":["), "{name} is not a Chrome trace");
+        assert!(text.trim_end().ends_with('}'), "{name} is truncated");
+    }
+
+    // Warm cache, fresh trace dir: every result is cached but no
+    // artifact exists, so every job re-simulates to regenerate its
+    // trace — and must land on the very same bytes.
+    let traces_warm = temp_dir("warm");
+    repro(
+        &cache,
+        &["--quick", "table5", "--jobs", "4", "--trace-dir", traces_warm.to_str().unwrap()],
+    );
+    assert_eq!(
+        serial,
+        artifacts(&traces_warm),
+        "warm-cache regeneration must be byte-identical to the cold run"
+    );
+
+    for dir in [&cache, &traces_serial, &traces_parallel, &traces_warm] {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn trace_dir_flag_requires_a_value() {
+    let cache = temp_dir("flag-errors");
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["table5", "--trace-dir"])
+        .env("HIRATA_LAB_CACHE", &cache)
+        .output()
+        .expect("repro binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--trace-dir requires a directory"));
+    let _ = std::fs::remove_dir_all(&cache);
+}

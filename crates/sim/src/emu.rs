@@ -29,6 +29,11 @@ pub struct EmuOutcome {
     pub instructions: u64,
     /// Threads killed by `killothers`.
     pub threads_killed: u64,
+    /// Final architectural register image per logical processor: the
+    /// 32 integer registers (two's complement) followed by the 32
+    /// floating registers (IEEE-754 bits). Comparable against
+    /// [`crate::Machine::register_image`] for differential testing.
+    pub regs: Vec<Vec<u64>>,
     /// Per-thread dynamic instruction traces (empty unless recording
     /// was requested with [`Emulator::execute_with_traces`]).
     pub traces: Vec<Vec<Inst>>,
@@ -136,6 +141,7 @@ impl Emulator {
             }
         }
         Ok(EmuOutcome {
+            regs: self.threads.iter().map(|t| t.regs.image()).collect(),
             memory: self.memory,
             instructions: self.instructions,
             threads_killed: self.threads_killed,

@@ -56,11 +56,18 @@ mod priority;
 mod queue;
 mod regfile;
 mod stats;
+pub mod trace;
 pub mod trace_driven;
 
 pub use config::{Config, ConfigError, PipelineKind};
 pub use emu::{EmuOutcome, Emulator};
 pub use error::MachineError;
 pub use machine::{IssueEvent, Machine, SlotView};
-pub use stats::{RunStats, StallBreakdown, StallReason};
+pub use stats::{
+    RunStats, StallBreakdown, StallReason, StallWindow, STALL_REASON_COUNT, STALL_WINDOW_CYCLES,
+};
+pub use trace::{
+    chrome_trace_json, format_event, ChromeSink, NullSink, RingSink, RotationKind, SlotSet,
+    TextSink, TraceEvent, TraceSink,
+};
 pub use trace_driven::{build_trace_program, TraceError};

@@ -15,6 +15,7 @@ use crate::priority::Priorities;
 use crate::queue::QueueRing;
 use crate::regfile::RegBank;
 use crate::stats::{RunStats, StallReason};
+use crate::trace::{RotationKind, SlotSet, TraceEvent, TraceSink};
 
 /// An issued instruction travelling to (or waiting in a standby
 /// station of) a functional unit, with its operand values captured at
@@ -29,6 +30,9 @@ struct InFlight {
     /// Re-execution from the access requirement buffer: the remote
     /// request already completed, so the memory model is bypassed.
     replayed: bool,
+    /// Cycle the instruction issued (distinguishes fresh standby
+    /// arrivals from holdovers in the trace).
+    issued_at: u64,
 }
 
 /// One entry of a slot's decode window.
@@ -134,6 +138,11 @@ pub struct Machine {
     slots: Vec<Slot>,
     contexts: Vec<Context>,
     standby: Vec<Vec<VecDeque<InFlight>>>,
+    /// Per FU class, the slots whose standby station for that class is
+    /// non-empty — kept in sync with `standby` at every mutation so
+    /// the tracing path reads competitor sets without rescanning the
+    /// stations each cycle.
+    standby_mask: [SlotSet; FU_CLASS_COUNT],
     fu_next: [Vec<u64>; FU_CLASS_COUNT],
     queues: QueueRing,
     fetch: FetchSystem,
@@ -141,6 +150,7 @@ pub struct Machine {
     stats: RunStats,
     cycle: u64,
     trace: Option<Vec<IssueEvent>>,
+    sink: Option<Box<dyn TraceSink>>,
 }
 
 /// One issue event, recorded when tracing is enabled with
@@ -251,6 +261,7 @@ impl Machine {
             queues: QueueRing::new(s, config.queue_capacity),
             slots: (0..s).map(|_| Slot::new()).collect(),
             standby: vec![vec![VecDeque::new(); FU_CLASS_COUNT]; s],
+            standby_mask: [SlotSet::EMPTY; FU_CLASS_COUNT],
             contexts,
             fu_next,
             memory,
@@ -260,6 +271,7 @@ impl Machine {
             stats,
             cycle: 0,
             trace: None,
+            sink: None,
         })
     }
 
@@ -310,6 +322,14 @@ impl Machine {
         }
         if self.prio.tick(now) {
             self.stats.rotations += 1;
+            let highest = self.prio.highest();
+            if let Some(sink) = self.sink.as_deref_mut() {
+                sink.event(&TraceEvent::Rotation {
+                    cycle: now,
+                    kind: RotationKind::Implicit,
+                    highest,
+                });
+            }
         }
         self.skip_empty_priority_slots(now);
         let depth = self.config.pipeline.decode_depth();
@@ -318,12 +338,23 @@ impl Machine {
                 let slot = &mut self.slots[d.slot];
                 slot.earliest_issue = slot.earliest_issue.max(now + depth);
             }
+            if let Some(sink) = self.sink.as_deref_mut() {
+                sink.event(&TraceEvent::Fetch { cycle: now, slot: d.slot, redirect: d.redirect });
+            }
         }
         self.wake_and_bind(now);
         let cands = self.issue_phase(now)?;
         self.arbitrate(cands, now)?;
         if self.prio.apply_pending(now) {
             self.stats.rotations += 1;
+            let highest = self.prio.highest();
+            if let Some(sink) = self.sink.as_deref_mut() {
+                sink.event(&TraceEvent::Rotation {
+                    cycle: now,
+                    kind: RotationKind::Explicit,
+                    highest,
+                });
+            }
         }
         self.fetch.end_cycle(now);
         self.cycle += 1;
@@ -374,6 +405,23 @@ impl Machine {
     /// Panics if `ctx` is out of range.
     pub fn reg_f(&self, ctx: usize, r: hirata_isa::FReg) -> f64 {
         self.contexts[ctx].regs.peek_f(r)
+    }
+
+    /// The raw architectural register image of context frame `ctx`:
+    /// the 32 integer registers (two's complement) followed by the 32
+    /// floating registers (IEEE-754 bits). Matches the layout of
+    /// [`crate::EmuOutcome::regs`] for differential testing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctx` is out of range.
+    pub fn register_image(&self, ctx: usize) -> Vec<u64> {
+        self.contexts[ctx].regs.image()
+    }
+
+    /// Number of context frames (for iterating [`Self::register_image`]).
+    pub fn context_frames(&self) -> usize {
+        self.contexts.len()
     }
 
     /// Seeds an integer register of context frame `ctx` before running.
@@ -442,6 +490,30 @@ impl Machine {
         self.trace.as_deref().unwrap_or(&[])
     }
 
+    /// Attaches a structured-event sink ([`crate::trace`]). The machine
+    /// drives it with one [`TraceEvent`] per micro-architectural
+    /// occurrence until detached; sinks built on shared handles
+    /// ([`crate::RingSink`], [`crate::ChromeSink`], [`crate::TextSink`])
+    /// stay inspectable through their clones.
+    pub fn attach_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detaches and returns the structured-event sink, if any.
+    pub fn detach_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.take()
+    }
+
+    /// Records one stalled slot-cycle in the stats (aggregate and
+    /// per-window) and emits the matching trace event. `pc` is the
+    /// blocking instruction's address, when one exists.
+    fn record_stall(&mut self, now: u64, slot: usize, reason: StallReason, pc: Option<u32>) {
+        self.stats.record_stall(reason, now);
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.event(&TraceEvent::Stall { cycle: now, slot, reason, pc });
+        }
+    }
+
     // ------------------------------------------------------------------
     // Cycle phases
     // ------------------------------------------------------------------
@@ -464,6 +536,14 @@ impl Machine {
                 break;
             }
             self.prio.force_rotate(now);
+            let highest = self.prio.highest();
+            if let Some(sink) = self.sink.as_deref_mut() {
+                sink.event(&TraceEvent::Rotation {
+                    cycle: now,
+                    kind: RotationKind::Forced,
+                    highest,
+                });
+            }
         }
     }
 
@@ -497,8 +577,12 @@ impl Machine {
                 slot.window.push_back(WinEntry::Replay(inst, vals));
             }
             slot.earliest_issue = now + penalty;
+            let pc = slot.fetch_pc;
             self.fetch.set_active(s, true);
             self.fetch.request_redirect(s, now);
+            if let Some(sink) = self.sink.as_deref_mut() {
+                sink.event(&TraceEvent::ThreadBind { cycle: now, slot: s, ctx: c, pc });
+            }
         }
     }
 
@@ -521,11 +605,15 @@ impl Machine {
         cands: &mut Vec<InFlight>,
     ) -> Result<(), MachineError> {
         let Some(ctx_i) = self.slots[s].ctx else {
-            self.stats.stalls.record(StallReason::NoThread);
+            self.record_stall(now, s, StallReason::NoThread, None);
             return Ok(());
         };
         if now < self.slots[s].earliest_issue {
-            self.stats.stalls.record(StallReason::Fetch);
+            // The redirect (or rebind) has been delivered but the
+            // decode pipeline is still refilling: the branch-shadow
+            // tail, distinct from waiting on the fetch unit itself.
+            let pc = self.next_window_pc(s);
+            self.record_stall(now, s, StallReason::BranchShadow, Some(pc));
             return Ok(());
         }
         // Fill the decode window ("the instruction window is filled
@@ -546,13 +634,15 @@ impl Machine {
             {
                 return Err(MachineError::PcOutOfRange { slot: s, pc: self.slots[s].fetch_pc });
             }
-            self.stats.stalls.record(StallReason::Fetch);
+            let pc = self.slots[s].fetch_pc;
+            self.record_stall(now, s, StallReason::Fetch, Some(pc));
             return Ok(());
         }
         // Without standby stations, a previously issued instruction
         // that lost arbitration blocks the whole decode unit.
         if !self.config.standby_stations && self.standby[s].iter().any(|q| !q.is_empty()) {
-            self.stats.stalls.record(StallReason::FuConflict);
+            let pc = self.standby[s].iter().find_map(|q| q.front()).map(|f| f.pc);
+            self.record_stall(now, s, StallReason::FuConflict, pc);
             return Ok(());
         }
 
@@ -563,6 +653,7 @@ impl Machine {
         let mut class_taken = [false; FU_CLASS_COUNT];
         let mut issued = 0usize;
         let mut head_reason = None;
+        let mut head_pc = None;
         let mut i = 0usize;
         while i < self.slots[s].window.len() && issued < width {
             let entry = self.slots[s].window[i];
@@ -596,6 +687,7 @@ impl Machine {
                 Err(IssueBlock::Stall(reason)) => {
                     if i == 0 {
                         head_reason = Some(reason);
+                        head_pc = Some(pc);
                     }
                     if inst.fu_class().is_none() {
                         break; // never bypass an unissued decode-unit op
@@ -622,6 +714,9 @@ impl Machine {
                     if let Some(trace) = &mut self.trace {
                         trace.push(IssueEvent { cycle: now, slot: s, ctx: ctx_i, pc });
                     }
+                    if let Some(sink) = self.sink.as_deref_mut() {
+                        sink.event(&TraceEvent::Issue { cycle: now, slot: s, ctx: ctx_i, pc });
+                    }
                     if let Some(class) = inst.fu_class() {
                         class_taken[class.index()] = true;
                         let fi = self.capture(s, ctx_i, pc, inst, preset, now);
@@ -636,9 +731,23 @@ impl Machine {
             }
         }
         if issued == 0 {
-            self.stats.stalls.record(head_reason.unwrap_or(StallReason::Fetch));
+            self.record_stall(now, s, head_reason.unwrap_or(StallReason::Fetch), head_pc);
         }
         Ok(())
+    }
+
+    /// Address of the oldest fresh instruction the slot will issue
+    /// (falls back to the fetch PC when the window holds no fresh
+    /// entries).
+    fn next_window_pc(&self, s: usize) -> u32 {
+        self.slots[s]
+            .window
+            .iter()
+            .find_map(|e| match e {
+                WinEntry::Fresh(pc) => Some(*pc),
+                WinEntry::Replay(..) => None,
+            })
+            .unwrap_or(self.slots[s].fetch_pc)
     }
 
     /// All the §2.1.1/§2.2 issue conditions for one instruction.
@@ -759,7 +868,7 @@ impl Machine {
         pc: u32,
         inst: Inst,
         preset: Option<[u64; 2]>,
-        _now: u64,
+        now: u64,
     ) -> InFlight {
         let vals = match preset {
             Some(v) => v,
@@ -769,7 +878,7 @@ impl Machine {
                 let mut dequeued: Option<u64> = None;
                 let regs = &self.contexts[ctx_i].regs;
                 let queues = &mut self.queues;
-                resolve_operands(&inst, |r| {
+                let vals = resolve_operands(&inst, |r| {
                     if qread == Some(r) {
                         // One dequeue per instruction even if both
                         // operands name the mapped register.
@@ -777,7 +886,14 @@ impl Machine {
                     } else {
                         regs.read_bits(r)
                     }
-                })
+                });
+                if dequeued.is_some() {
+                    let depth = self.queues.len(link);
+                    if let Some(sink) = self.sink.as_deref_mut() {
+                        sink.event(&TraceEvent::QueuePop { cycle: now, slot: s, link, depth });
+                    }
+                }
+                vals
             }
         };
         if let Some(d) = inst.dest() {
@@ -785,7 +901,7 @@ impl Machine {
                 self.contexts[ctx_i].regs.mark_busy(d);
             }
         }
-        InFlight { slot: s, ctx: ctx_i, pc, inst, vals, replayed: preset.is_some() }
+        InFlight { slot: s, ctx: ctx_i, pc, inst, vals, replayed: preset.is_some(), issued_at: now }
     }
 
     /// Executes a decode-unit instruction at issue time. Returns true
@@ -801,7 +917,7 @@ impl Machine {
         match inst {
             Inst::Nop => Ok(false),
             Inst::Branch { cond, .. } => {
-                let vals = self.read_decode_operands(s, ctx_i, &inst);
+                let vals = self.read_decode_operands(s, ctx_i, &inst, now);
                 let target = match inst {
                     Inst::Branch { target, .. } => target,
                     _ => unreachable!(),
@@ -825,7 +941,7 @@ impl Machine {
                 Ok(true)
             }
             Inst::JumpReg { .. } => {
-                let vals = self.read_decode_operands(s, ctx_i, &inst);
+                let vals = self.read_decode_operands(s, ctx_i, &inst, now);
                 self.redirect(s, vals[0] as u32, now);
                 Ok(true)
             }
@@ -873,19 +989,26 @@ impl Machine {
 
     /// Operand read for decode-executed instructions (branches and
     /// indirect jumps); dequeues mapped queue reads like `capture`.
-    fn read_decode_operands(&mut self, s: usize, ctx_i: usize, inst: &Inst) -> [u64; 2] {
+    fn read_decode_operands(&mut self, s: usize, ctx_i: usize, inst: &Inst, now: u64) -> [u64; 2] {
         let link = self.queues.read_link(s);
         let qread = self.contexts[ctx_i].qread;
         let mut dequeued: Option<u64> = None;
         let regs = &self.contexts[ctx_i].regs;
         let queues = &mut self.queues;
-        resolve_operands(inst, |r| {
+        let vals = resolve_operands(inst, |r| {
             if qread == Some(r) {
                 *dequeued.get_or_insert_with(|| queues.read(link))
             } else {
                 regs.read_bits(r)
             }
-        })
+        });
+        if dequeued.is_some() {
+            let depth = self.queues.len(link);
+            if let Some(sink) = self.sink.as_deref_mut() {
+                sink.event(&TraceEvent::QueuePop { cycle: now, slot: s, link, depth });
+            }
+        }
+        vals
     }
 
     fn redirect(&mut self, s: usize, next_pc: u32, now: u64) {
@@ -947,8 +1070,9 @@ impl Machine {
                 self.stats.threads_killed += 1;
             }
             self.slots[j].window.clear();
-            for q in &mut self.standby[j] {
+            for (ci, q) in self.standby[j].iter_mut().enumerate() {
                 q.clear();
+                self.standby_mask[ci].remove(j);
             }
             self.fetch.set_active(j, false);
         }
@@ -974,8 +1098,39 @@ impl Machine {
     /// execution, losers (or survivors) sit in standby stations.
     fn arbitrate(&mut self, mut cands: Vec<InFlight>, now: u64) -> Result<(), MachineError> {
         let order: Vec<usize> = self.prio.order().to_vec();
+        let tracing = self.sink.is_some();
+        debug_assert!(
+            {
+                let mut rescan = [SlotSet::EMPTY; FU_CLASS_COUNT];
+                for (s, per_class) in self.standby.iter().enumerate() {
+                    for (ci, q) in per_class.iter().enumerate() {
+                        if !q.is_empty() {
+                            rescan[ci].insert(s);
+                        }
+                    }
+                }
+                rescan == self.standby_mask
+            },
+            "standby occupancy mask tracks the stations"
+        );
+        // Trace bookkeeping: per class, the slots competing for it this
+        // cycle (for win/loss attribution) — the standing occupancy
+        // mask plus this cycle's issues. Packed bitmasks, so the
+        // tracing path stays allocation-free and the idle classes cost
+        // nothing even with a sink attached.
+        let mut competing_by_class = [SlotSet::EMPTY; FU_CLASS_COUNT];
+        if tracing {
+            competing_by_class = self.standby_mask;
+            for f in &cands {
+                if let Some(class) = f.inst.fu_class() {
+                    competing_by_class[class.index()].insert(f.slot);
+                }
+            }
+        }
         for class in FuClass::ALL {
             let ci = class.index();
+            let competing = competing_by_class[ci];
+            let mut winner_slots = SlotSet::EMPTY;
             for &s in &order {
                 // This cycle's issue joins the back of the slot's
                 // standby queue (it is the youngest); the queue then
@@ -985,6 +1140,7 @@ impl Machine {
                 {
                     let f = cands.swap_remove(i);
                     self.standby[s][ci].push_back(f);
+                    self.standby_mask[ci].insert(s);
                 }
                 while let Some(front) = self.standby[s][ci].front() {
                     // A priority-gated store is performed only by the
@@ -999,8 +1155,56 @@ impl Machine {
                         break;
                     };
                     let f = self.standby[s][ci].pop_front().expect("front exists");
+                    if self.standby[s][ci].is_empty() {
+                        self.standby_mask[ci].remove(s);
+                    }
                     self.fu_next[ci][instance] = now + f.inst.issue_latency() as u64;
+                    if tracing {
+                        winner_slots.insert(s);
+                        if let Some(sink) = self.sink.as_deref_mut() {
+                            sink.event(&TraceEvent::FuWin {
+                                cycle: now,
+                                slot: s,
+                                class,
+                                instance,
+                                pc: f.pc,
+                                busy: f.inst.issue_latency() as u64,
+                                competitors: competing.without(s),
+                            });
+                        }
+                    }
                     self.execute_selected(f, class, instance, now)?;
+                }
+            }
+            if tracing && !competing.is_empty() {
+                // Everything still standing by either lost arbitration
+                // (the slot's front runner) or parked behind it. The
+                // standby and sink fields borrow disjointly, so losses
+                // emit directly without buffering.
+                let highest = self.prio.highest();
+                let standby = &self.standby;
+                if let Some(sink) = self.sink.as_deref_mut() {
+                    for &s in &order {
+                        for (i, f) in standby[s][ci].iter().enumerate() {
+                            if i == 0 {
+                                sink.event(&TraceEvent::FuLoss {
+                                    cycle: now,
+                                    slot: s,
+                                    class,
+                                    pc: f.pc,
+                                    gated: f.inst.needs_highest_priority() && highest != s,
+                                    winners: winner_slots,
+                                });
+                            } else if f.issued_at == now {
+                                sink.event(&TraceEvent::Park {
+                                    cycle: now,
+                                    slot: s,
+                                    class,
+                                    pc: f.pc,
+                                });
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -1080,9 +1284,24 @@ impl Machine {
         let Some(d) = f.inst.dest() else { return };
         if self.contexts[f.ctx].qwrite == Some(d) {
             let link = self.queues.write_link(f.slot);
-            self.queues.write(link, now + result_latency as u64 + 1, bits);
+            let avail = now + result_latency as u64 + 1;
+            self.queues.write(link, avail, bits);
+            let depth = self.queues.len(link);
+            if let Some(sink) = self.sink.as_deref_mut() {
+                sink.event(&TraceEvent::QueuePush { cycle: now, slot: f.slot, link, avail, depth });
+            }
         } else {
             self.contexts[f.ctx].regs.write(d, bits, now, result_latency);
+            if let Some(sink) = self.sink.as_deref_mut() {
+                sink.event(&TraceEvent::Writeback {
+                    cycle: now,
+                    slot: f.slot,
+                    ctx: f.ctx,
+                    pc: f.pc,
+                    dest: d,
+                    avail: now + result_latency as u64,
+                });
+            }
         }
     }
 
@@ -1099,6 +1318,7 @@ impl Machine {
             .drain(..)
             .map(|g| (g.inst, g.vals))
             .collect();
+        self.standby_mask[FuClass::LoadStore.index()].remove(s);
         let ctx = &mut self.contexts[f.ctx];
         ctx.replay.push((f.inst, f.vals));
         ctx.replay.extend(flushed);
@@ -1123,5 +1343,13 @@ impl Machine {
         }
         self.detach(s);
         self.stats.context_switches += 1;
+        if let Some(sink) = self.sink.as_deref_mut() {
+            sink.event(&TraceEvent::ContextSwitch {
+                cycle: self.cycle,
+                slot: s,
+                ctx: f.ctx,
+                resume_at: ready_at,
+            });
+        }
     }
 }

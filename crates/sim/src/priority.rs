@@ -164,3 +164,77 @@ mod tests {
         assert_eq!(p.highest(), 0);
     }
 }
+
+/// Property tests (found regressions live in
+/// `crates/sim/properties.proptest-regressions`).
+#[cfg(test)]
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Op codes for a random driver sequence: tick, chgpri
+    /// (request + cycle-end apply), forced rotation.
+    const TICK: u8 = 0;
+    const CHGPRI: u8 = 1;
+
+    proptest! {
+        /// However the rotation sources interleave, the priority order
+        /// stays a permutation of the slots, and its exact value is
+        /// the initial order rotated left once per applied rotation —
+        /// so no rotation ever loses or duplicates a priority level.
+        #[test]
+        fn any_rotation_interleaving_is_a_left_rotation(
+            slots in 1usize..9,
+            interval in 1u32..6,
+            ops in prop::collection::vec(0u8..3, 1..64),
+        ) {
+            let mut p = Priorities::new(slots, RotationMode::Implicit { interval });
+            let mut rotations = 0usize;
+            for (now, op) in ops.into_iter().enumerate() {
+                let now = now as u64 + 1;
+                match op {
+                    TICK => rotations += usize::from(p.tick(now)),
+                    CHGPRI => {
+                        p.request_explicit();
+                        rotations += usize::from(p.apply_pending(now));
+                    }
+                    _ => {
+                        p.force_rotate(now);
+                        rotations += 1;
+                    }
+                }
+                let mut expected: Vec<usize> = (0..slots).collect();
+                expected.rotate_left(rotations % slots);
+                prop_assert_eq!(p.order(), expected.as_slice());
+            }
+        }
+
+        /// In explicit mode the implicit timer is dead: no amount of
+        /// ticking rotates, while a `chgpri` request always applies at
+        /// cycle end — exactly once — whatever ticks surround it.
+        #[test]
+        fn explicit_chgpri_wins_over_implicit(
+            slots in 2usize..9,
+            ticks_before in 0u64..40,
+            ticks_after in 0u64..40,
+        ) {
+            let mut p = Priorities::new(slots, RotationMode::Explicit);
+            let mut now = 0;
+            for _ in 0..ticks_before {
+                now += 1;
+                prop_assert!(!p.tick(now));
+            }
+            prop_assert_eq!(p.highest(), 0);
+
+            p.request_explicit();
+            for _ in 0..ticks_after {
+                now += 1;
+                prop_assert!(!p.tick(now)); // still no implicit rotation
+                prop_assert_eq!(p.highest(), 0); // deferred to cycle end
+            }
+            prop_assert!(p.apply_pending(now));
+            prop_assert_eq!(p.highest(), 1 % slots);
+            prop_assert!(!p.apply_pending(now + 1)); // one-shot
+        }
+    }
+}

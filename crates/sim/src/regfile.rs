@@ -100,6 +100,19 @@ impl RegBank {
         self.fvals[reg.0 as usize] = value;
         self.ready[Reg::F(reg).dense_index()] = 0;
     }
+
+    /// The raw architectural image of the bank: the 32 integer
+    /// registers (two's complement) followed by the 32 floating
+    /// registers (IEEE-754 bits). Scoreboard state is excluded, so two
+    /// banks holding the same values compare equal regardless of
+    /// timing history — the basis of differential testing.
+    pub(crate) fn image(&self) -> Vec<u64> {
+        self.gvals
+            .iter()
+            .map(|&v| v as u64)
+            .chain(self.fvals.iter().map(|&v| v.to_bits()))
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -13,9 +13,14 @@ use hirata_isa::{FuClass, FU_CLASS_COUNT};
 pub enum StallReason {
     /// No thread bound to the slot.
     NoThread,
-    /// Instruction buffer empty / waiting on the fetch unit (includes
-    /// the branch shadow while the redirect is fetched).
+    /// Instruction buffer empty / waiting on the fetch unit.
     Fetch,
+    /// Decode pipeline refilling after a redirect reached the slot —
+    /// the tail of the paper's branch shadow (the head, waiting for
+    /// the redirected fetch itself, counts as [`StallReason::Fetch`]).
+    /// Also covers the context-switch rebind penalty, which flushes
+    /// the decode stage the same way.
+    BranchShadow,
     /// A source register was not ready (RAW) or the destination was
     /// still busy (WAW).
     Data,
@@ -34,9 +39,10 @@ pub enum StallReason {
 
 impl StallReason {
     /// All reasons, in display order.
-    pub const ALL: [StallReason; 7] = [
+    pub const ALL: [StallReason; STALL_REASON_COUNT] = [
         StallReason::NoThread,
         StallReason::Fetch,
+        StallReason::BranchShadow,
         StallReason::Data,
         StallReason::FuConflict,
         StallReason::Priority,
@@ -44,15 +50,17 @@ impl StallReason {
         StallReason::QueueFull,
     ];
 
-    fn index(self) -> usize {
+    /// Position in [`StallReason::ALL`] and in raw counter arrays.
+    pub fn index(self) -> usize {
         match self {
             StallReason::NoThread => 0,
             StallReason::Fetch => 1,
-            StallReason::Data => 2,
-            StallReason::FuConflict => 3,
-            StallReason::Priority => 4,
-            StallReason::QueueEmpty => 5,
-            StallReason::QueueFull => 6,
+            StallReason::BranchShadow => 2,
+            StallReason::Data => 3,
+            StallReason::FuConflict => 4,
+            StallReason::Priority => 5,
+            StallReason::QueueEmpty => 6,
+            StallReason::QueueFull => 7,
         }
     }
 
@@ -61,6 +69,7 @@ impl StallReason {
         match self {
             StallReason::NoThread => "no-thread",
             StallReason::Fetch => "fetch",
+            StallReason::BranchShadow => "branch-shadow",
             StallReason::Data => "data-dep",
             StallReason::FuConflict => "fu-conflict",
             StallReason::Priority => "priority",
@@ -69,6 +78,9 @@ impl StallReason {
         }
     }
 }
+
+/// Number of distinct [`StallReason`] variants.
+pub const STALL_REASON_COUNT: usize = 8;
 
 impl fmt::Display for StallReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -79,7 +91,7 @@ impl fmt::Display for StallReason {
 /// Slot-cycle counts per stall reason.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct StallBreakdown {
-    counts: [u64; 7],
+    counts: [u64; STALL_REASON_COUNT],
 }
 
 impl StallBreakdown {
@@ -99,16 +111,24 @@ impl StallBreakdown {
     }
 
     /// Raw per-reason counters, indexed like [`StallReason::ALL`].
-    pub fn counts(&self) -> [u64; 7] {
+    pub fn counts(&self) -> [u64; STALL_REASON_COUNT] {
         self.counts
     }
 
     /// Rebuilds a breakdown from raw counters (the inverse of
     /// [`StallBreakdown::counts`], used when deserializing cached runs).
-    pub fn from_counts(counts: [u64; 7]) -> Self {
+    pub fn from_counts(counts: [u64; STALL_REASON_COUNT]) -> Self {
         StallBreakdown { counts }
     }
 }
+
+/// Slot-cycles of stalling per reason within one window of
+/// [`STALL_WINDOW_CYCLES`] machine cycles. Window `w` covers cycles
+/// `[w * STALL_WINDOW_CYCLES, (w + 1) * STALL_WINDOW_CYCLES)`.
+pub type StallWindow = [u64; STALL_REASON_COUNT];
+
+/// Width of one stall-attribution window in machine cycles.
+pub const STALL_WINDOW_CYCLES: u64 = 1_000;
 
 /// Statistics of one completed (or in-progress) run.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -129,6 +149,10 @@ pub struct RunStats {
     pub fu_instances: [u64; FU_CLASS_COUNT],
     /// Issue-stall breakdown in slot-cycles.
     pub stalls: StallBreakdown,
+    /// The same breakdown bucketed by [`STALL_WINDOW_CYCLES`]-cycle
+    /// windows, in window order. Summing every window reproduces
+    /// `stalls` exactly.
+    pub stall_windows: Vec<StallWindow>,
     /// Context switches performed (concurrent multithreading).
     pub context_switches: u64,
     /// Threads killed by `killothers`.
@@ -169,7 +193,20 @@ impl RunStats {
         }
     }
 
-    /// Formats a utilization table resembling the analyses in §3.2.
+    /// Records one stalled slot-cycle at machine time `now`, updating
+    /// both the aggregate breakdown and the per-window attribution.
+    pub(crate) fn record_stall(&mut self, reason: StallReason, now: u64) {
+        self.stalls.record(reason);
+        let window = (now / STALL_WINDOW_CYCLES) as usize;
+        if self.stall_windows.len() <= window {
+            self.stall_windows.resize(window + 1, [0; STALL_REASON_COUNT]);
+        }
+        self.stall_windows[window][reason.index()] += 1;
+    }
+
+    /// Formats a utilization table resembling the analyses in §3.2,
+    /// followed by the per-window stall-attribution table when any
+    /// stalls were recorded.
     pub fn utilization_report(&self) -> String {
         use fmt::Write as _;
         let mut out = String::new();
@@ -188,6 +225,43 @@ impl RunStats {
                 self.fu_invocations[i],
                 self.utilization(class)
             );
+        }
+        if self.stalls.total() > 0 && !self.stall_windows.is_empty() {
+            let _ = writeln!(out);
+            let _ = writeln!(
+                out,
+                "stall attribution per {}-cycle window (slot-cycles)",
+                STALL_WINDOW_CYCLES
+            );
+            let _ = write!(out, "{:<10}", "window");
+            for reason in StallReason::ALL {
+                let _ = write!(out, " {:>13}", reason.name());
+            }
+            let _ = writeln!(out);
+            // Long runs collapse the tail into one `rest` row so the
+            // report stays readable at any cycle count.
+            const SHOWN: usize = 12;
+            for (w, counts) in self.stall_windows.iter().enumerate().take(SHOWN) {
+                let _ = write!(out, "{:<10}", w as u64 * STALL_WINDOW_CYCLES);
+                for count in counts {
+                    let _ = write!(out, " {:>13}", count);
+                }
+                let _ = writeln!(out);
+            }
+            if self.stall_windows.len() > SHOWN {
+                let mut rest = [0u64; STALL_REASON_COUNT];
+                for counts in &self.stall_windows[SHOWN..] {
+                    for (acc, count) in rest.iter_mut().zip(counts) {
+                        *acc += count;
+                    }
+                }
+                let _ =
+                    write!(out, "{:<10}", format!("rest(+{})", self.stall_windows.len() - SHOWN));
+                for count in rest {
+                    let _ = write!(out, " {:>13}", count);
+                }
+                let _ = writeln!(out);
+            }
         }
         out
     }
@@ -239,6 +313,48 @@ mod tests {
         assert_eq!(b.count(StallReason::Fetch), 1);
         assert_eq!(b.count(StallReason::Priority), 0);
         assert_eq!(b.total(), 3);
+    }
+
+    #[test]
+    fn record_stall_buckets_by_window() {
+        let mut stats = RunStats::default();
+        stats.record_stall(StallReason::Data, 0);
+        stats.record_stall(StallReason::Data, STALL_WINDOW_CYCLES - 1);
+        stats.record_stall(StallReason::Fetch, STALL_WINDOW_CYCLES);
+        stats.record_stall(StallReason::QueueFull, 5 * STALL_WINDOW_CYCLES + 3);
+        assert_eq!(stats.stall_windows.len(), 6);
+        assert_eq!(stats.stall_windows[0][StallReason::Data.index()], 2);
+        assert_eq!(stats.stall_windows[1][StallReason::Fetch.index()], 1);
+        assert_eq!(stats.stall_windows[5][StallReason::QueueFull.index()], 1);
+        // The windows sum back to the aggregate breakdown.
+        let mut sum = [0u64; STALL_REASON_COUNT];
+        for w in &stats.stall_windows {
+            for (acc, c) in sum.iter_mut().zip(w) {
+                *acc += c;
+            }
+        }
+        assert_eq!(sum, stats.stalls.counts());
+    }
+
+    #[test]
+    fn report_appends_window_table_only_when_stalled() {
+        let mut stats = RunStats { cycles: 10, ..RunStats::default() };
+        stats.fu_instances[FuClass::IntAlu.index()] = 1;
+        assert!(!stats.utilization_report().contains("stall attribution"));
+        stats.record_stall(StallReason::BranchShadow, 4);
+        let report = stats.utilization_report();
+        assert!(report.contains("stall attribution per 1000-cycle window"));
+        assert!(report.contains("branch-shadow"));
+    }
+
+    #[test]
+    fn report_collapses_window_tail() {
+        let mut stats = RunStats { cycles: 10, ..RunStats::default() };
+        for w in 0..20 {
+            stats.record_stall(StallReason::Data, w * STALL_WINDOW_CYCLES);
+        }
+        let report = stats.utilization_report();
+        assert!(report.contains("rest(+8)"));
     }
 
     #[test]

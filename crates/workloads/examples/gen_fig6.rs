@@ -1,0 +1,10 @@
+//! Regenerates `examples/asm/fig6_while.s` (the canonical eager
+//! Figure 6 while-loop) on stdout:
+//!
+//! ```text
+//! cargo run -p hirata-workloads --example gen_fig6 > examples/asm/fig6_while.s
+//! ```
+
+fn main() {
+    print!("{}", hirata_workloads::linked_list::fig6_example_text());
+}

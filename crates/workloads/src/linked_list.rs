@@ -107,16 +107,16 @@ fn data_section(shape: ListShape) -> String {
     out
 }
 
-/// The sequential Figure 6 program (run on the base RISC for the
-/// Table 5 baseline). Stores the iteration count at [`COUNT_ADDR`] and
-/// the breaking `tmp` (if any) at [`RESULT_ADDR`].
+/// Assembly source of the sequential Figure 6 program (see
+/// [`sequential_program`]). Exposed so the canonical example file
+/// under `examples/asm/` can be regenerated verbatim.
 ///
 /// # Panics
 ///
 /// Panics if the shape is empty or internally inconsistent.
-pub fn sequential_program(shape: ListShape) -> Program {
+pub fn sequential_source(shape: ListShape) -> String {
     validate(shape);
-    let src = format!(
+    format!(
         "
 {data}
 .text
@@ -151,20 +151,30 @@ exit:
         data = data_section(shape),
         b_addr = CONST_BASE + 1,
         c_addr = CONST_BASE + 2,
-    );
-    hirata_asm::assemble(&src).expect("sequential list program assembles")
+    )
 }
 
-/// The eager-execution program (§2.3.3, Figure 7): run on a
-/// multithreaded machine in explicit-rotation mode. The breaking
-/// thread stores `tmp` at [`RESULT_ADDR`] after killing the others.
+/// The sequential Figure 6 program (run on the base RISC for the
+/// Table 5 baseline). Stores the iteration count at [`COUNT_ADDR`] and
+/// the breaking `tmp` (if any) at [`RESULT_ADDR`].
 ///
 /// # Panics
 ///
 /// Panics if the shape is empty or internally inconsistent.
-pub fn eager_program(shape: ListShape) -> Program {
+pub fn sequential_program(shape: ListShape) -> Program {
+    hirata_asm::assemble(&sequential_source(shape)).expect("sequential list program assembles")
+}
+
+/// Assembly source of the eager-execution program (see
+/// [`eager_program`]). `examples/asm/fig6_while.s` is this text for
+/// the canonical 20-node shape breaking at node 13.
+///
+/// # Panics
+///
+/// Panics if the shape is empty or internally inconsistent.
+pub fn eager_source(shape: ListShape) -> String {
     validate(shape);
-    let src = format!(
+    format!(
         "
 {data}
 .text
@@ -209,8 +219,42 @@ offend:
         data = data_section(shape),
         b_addr = CONST_BASE + 1,
         c_addr = CONST_BASE + 2,
-    );
-    hirata_asm::assemble(&src).expect("eager list program assembles")
+    )
+}
+
+/// The eager-execution program (§2.3.3, Figure 7): run on a
+/// multithreaded machine in explicit-rotation mode. The breaking
+/// thread stores `tmp` at [`RESULT_ADDR`] after killing the others.
+///
+/// # Panics
+///
+/// Panics if the shape is empty or internally inconsistent.
+pub fn eager_program(shape: ListShape) -> Program {
+    hirata_asm::assemble(&eager_source(shape)).expect("eager list program assembles")
+}
+
+/// List shape of the checked-in `examples/asm/fig6_while.s`: 20 nodes
+/// with `tmp` going negative at node 13, the same traversal the
+/// workload tests use.
+pub const FIG6_EXAMPLE_SHAPE: ListShape = ListShape { nodes: 20, break_at: Some(13) };
+
+/// Exact text of `examples/asm/fig6_while.s`: a usage header plus
+/// [`eager_source`] for [`FIG6_EXAMPLE_SHAPE`]. The example file is
+/// checked in (so `hirata` can run it without building this crate)
+/// and a test asserts it matches this function; regenerate with
+/// `cargo run -p hirata-workloads --example gen_fig6`.
+pub fn fig6_example_text() -> String {
+    format!(
+        "; Figure 6 eager while-loop (Hirata et al. 1992, \u{a7}2.3.3): each\n\
+         ; logical processor runs one iteration of a pointer-chasing loop,\n\
+         ; forwarding ptr->next through the queue ring before the loop\n\
+         ; condition resolves. 20 nodes; tmp goes negative at node 13.\n\
+         ;   hirata run   examples/asm/fig6_while.s --slots 4\n\
+         ;   hirata trace examples/asm/fig6_while.s --slots 4 --format chrome\n\
+         ; Regenerate: cargo run -p hirata-workloads --example gen_fig6\n\
+         {}",
+        eager_source(FIG6_EXAMPLE_SHAPE)
+    )
 }
 
 fn validate(shape: ListShape) {
@@ -302,5 +346,17 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn empty_list_rejected() {
         sequential_program(ListShape { nodes: 0, break_at: None });
+    }
+
+    #[test]
+    fn checked_in_fig6_example_is_current() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/asm/fig6_while.s");
+        let on_disk = std::fs::read_to_string(path).expect("examples/asm/fig6_while.s exists");
+        assert_eq!(
+            on_disk,
+            fig6_example_text(),
+            "regenerate with: cargo run -p hirata-workloads --example gen_fig6 \
+             > examples/asm/fig6_while.s"
+        );
     }
 }

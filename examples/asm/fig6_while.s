@@ -1,0 +1,94 @@
+; Figure 6 eager while-loop (Hirata et al. 1992, §2.3.3): each
+; logical processor runs one iteration of a pointer-chasing loop,
+; forwarding ptr->next through the queue ring before the loop
+; condition resolves. 20 nodes; tmp goes negative at node 13.
+;   hirata run   examples/asm/fig6_while.s --slots 4
+;   hirata trace examples/asm/fig6_while.s --slots 4 --format chrome
+; Regenerate: cargo run -p hirata-workloads --example gen_fig6
+
+.data
+.org 500
+consts: .float 0.75, 0.5, 0.1
+.org 601
+head: .word 1000
+.org 1000
+.word 5000, 1002
+.word 5002, 1004
+.word 5004, 1006
+.word 5006, 1008
+.word 5008, 1010
+.word 5010, 1012
+.word 5012, 1014
+.word 5014, 1016
+.word 5016, 1018
+.word 5018, 1020
+.word 5020, 1022
+.word 5022, 1024
+.word 5024, 1026
+.word 5026, 1028
+.word 5028, 1030
+.word 5030, 1032
+.word 5032, 1034
+.word 5034, 1036
+.word 5036, 1038
+.word 5038, 0
+.org 5000
+.float 1.2, 0.0
+.float 1.1333333333333333, 0.1
+.float 1.0666666666666667, 0.2
+.float 1.0, 0.30000000000000004
+.float 0.9333333333333332, 0.4
+.float 0.8666666666666667, 0.5
+.float 0.7999999999999999, 0.6000000000000001
+.float 0.7333333333333334, 0.7000000000000001
+.float 0.6666666666666666, 0.8
+.float 0.6, 0.9
+.float 0.5333333333333333, 1.0
+.float 0.4666666666666666, 1.1
+.float 0.3999999999999999, 1.2000000000000002
+.float -2.3333333333333335, 1.3
+.float 0.2666666666666666, 1.4000000000000001
+.float 0.20000000000000004, 1.5
+.float 0.1333333333333333, 1.6
+.float 0.06666666666666658, 1.7000000000000002
+.float 0.0, 1.8
+.float -0.06666666666666672, 1.9000000000000001
+
+.text
+.entry main
+main:
+    lf   f20, 500(r0)
+    lf   f21, 501(r0)
+    lf   f22, 502(r0)
+    lif  f30, #0.0
+    setrot explicit
+    qmap r10, r11
+    fastfork
+    lpid r1
+    bne  r1, #0, recv
+    lw   r20, 601(r0)   ; logical processor 0 takes the header
+    j    loop
+recv:
+    mv   r20, r10               ; others receive ptr from the ring
+loop:
+    beq  r20, #0, offend        ; ptr == NULL
+    lw   r11, 1(r20)            ; forward ptr->next to the successor
+    lw   r2, 0(r20)             ; (multiple versions of ptr, Figure 7)
+    lf   f1, 0(r2)
+    lf   f2, 1(r2)
+    fmul f3, f20, f1
+    fmul f4, f21, f2
+    fadd f3, f3, f4
+    fadd f3, f3, f22            ; tmp
+    fcmplt r3, f3, f30
+    bne  r3, #0, brk
+    chgpri                      ; acknowledge this iteration
+    mv   r20, r10               ; receive the next assigned iteration
+    j    loop
+brk:
+    killothers                  ; waits for the highest priority
+    sf   f3, 600(r0)
+    halt
+offend:
+    killothers
+    halt
