@@ -1,0 +1,48 @@
+//! Simulator-throughput benchmark over the Table 2 grid: how many
+//! simulated cycles per wall-clock second (and issued MIPS) the
+//! simulator itself sustains on the three EXPERIMENTS.md workloads at
+//! 1, 4, and 8 thread slots.
+//!
+//! This measures the *simulator*, not the simulated machine — the same
+//! grid the `throughput_check` example gates in CI against
+//! `BENCH_throughput.json`. Use this bench for profiling sessions and
+//! the example for the pass/fail regression check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hirata_sched::Strategy;
+use hirata_sim::{Config, Machine, PredecodedProgram};
+use hirata_workloads::linked_list::{eager_program, sequential_program, ListShape};
+use hirata_workloads::livermore::kernel1_program;
+use hirata_workloads::raytrace::{raytrace_program, RayTraceParams};
+
+fn throughput(c: &mut Criterion) {
+    let ray = raytrace_program(&RayTraceParams::default());
+    let fig6 = ListShape { nodes: 60, break_at: Some(59) };
+    let mut group = c.benchmark_group("throughput");
+    for slots in [1usize, 4, 8] {
+        let config = if slots == 1 { Config::base_risc() } else { Config::multithreaded(slots) };
+        let (k1, list) = if slots == 1 {
+            (kernel1_program(64, Strategy::None), sequential_program(fig6))
+        } else {
+            (kernel1_program(64, Strategy::ReservationB { threads: slots }), eager_program(fig6))
+        };
+        for (name, program) in [("raytrace", &ray), ("livermore-k1", &k1), ("fig6-list", &list)] {
+            // Predecode once outside the timing loop — the bench times
+            // the cycle loop plus (cheap) machine construction, the
+            // unit the regression gate tracks.
+            let pre = PredecodedProgram::shared(program).expect("program predecodes");
+            let id = BenchmarkId::from_parameter(format!("{name}/s{slots}"));
+            group.bench_with_input(id, &config, |b, config| {
+                b.iter(|| {
+                    let mut m = Machine::from_predecoded(config.clone(), pre.clone())
+                        .expect("machine builds");
+                    m.run().expect("program runs").cycles
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, throughput);
+criterion_main!(benches);

@@ -19,5 +19,5 @@ pub fn bench_scene() -> RayTraceParams {
 /// programs are trusted).
 pub fn run(config: Config, program: &Program) -> RunStats {
     let mut m = Machine::new(config, program).expect("bench machine builds");
-    m.run().expect("bench program runs")
+    m.run().expect("bench program runs").clone()
 }

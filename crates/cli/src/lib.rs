@@ -305,7 +305,8 @@ fn run(
     let mut machine =
         Machine::new(config, &program).map_err(|e| CliError::Failure(e.to_string()))?;
     machine.set_trace(trace || timeline);
-    let stats = machine.run().map_err(|e| CliError::Failure(e.to_string()))?;
+    machine.run().map_err(|e| CliError::Failure(e.to_string()))?;
+    let stats = machine.stats();
 
     let mut out = String::new();
     if trace {

@@ -278,7 +278,7 @@ pub fn execute(job: &Job) -> Result<JobOutput, MachineError> {
         m.attach_trace_sink(Box::new(sink.clone()));
         sink
     });
-    let stats = m.run()?;
+    let stats = m.run()?.clone();
     let mem = m.mem_stats();
     if let (Some(dir), Some(sink)) = (&job.trace_dir, sink) {
         let json = sink.render(job.config.thread_slots, &job.config.fu);

@@ -32,7 +32,7 @@ use crate::session::Session;
 /// Panics on any machine error — experiment programs are trusted.
 pub fn run(config: Config, program: &Program) -> RunStats {
     let mut m = Machine::new(config, program).expect("experiment machine builds");
-    m.run().expect("experiment program runs")
+    m.run().expect("experiment program runs").clone()
 }
 
 /// Cycles of the sequential baseline (§3.1): the program on the base

@@ -2,6 +2,12 @@
 
 use hirata_isa::{FuConfig, RotationMode};
 
+/// Maximum standby-station depth the machine supports. The stations
+/// are fixed-capacity inline arrays (no per-entry heap allocation), so
+/// the depth ablation sweep (`1`, `2`, `4`) must fit under this bound;
+/// [`Config::validate`] rejects deeper configurations.
+pub const MAX_STANDBY_DEPTH: usize = 8;
+
 /// Which instruction pipeline the processor uses (Figure 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PipelineKind {
@@ -224,6 +230,12 @@ impl Config {
         }
         if self.standby_depth == 0 {
             return Err(ConfigError("standby_depth must be at least 1".into()));
+        }
+        if self.standby_depth > MAX_STANDBY_DEPTH {
+            return Err(ConfigError(format!(
+                "standby_depth ({}) exceeds the supported maximum ({MAX_STANDBY_DEPTH})",
+                self.standby_depth
+            )));
         }
         if self.icache_cycles == 0 {
             return Err(ConfigError("icache_cycles must be at least 1".into()));

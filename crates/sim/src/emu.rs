@@ -12,12 +12,14 @@
 //! both use the same operation semantics (the `exec` module).
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use hirata_isa::{Inst, Program, Reg};
 use hirata_mem::Memory;
 
 use crate::error::MachineError;
 use crate::exec::{branch_taken, fu_action, resolve_operands, FuAction};
+use crate::predecode::PredecodedProgram;
 use crate::regfile::RegBank;
 
 /// Result of an emulator run.
@@ -52,7 +54,7 @@ struct EmuThread {
 /// The architectural emulator. See the module docs.
 #[derive(Debug)]
 pub struct Emulator {
-    program: Program,
+    program: Arc<PredecodedProgram>,
     memory: Memory,
     threads: Vec<EmuThread>,
     queues: Vec<VecDeque<u64>>,
@@ -72,12 +74,24 @@ impl Emulator {
     /// Returns [`MachineError`] if the program is invalid or its data
     /// does not fit.
     pub fn new(program: &Program, slots: usize, mem_words: usize) -> Result<Self, MachineError> {
-        program.validate()?;
-        if program.is_empty() {
-            return Err(MachineError::EmptyProgram);
-        }
+        Self::from_predecoded(PredecodedProgram::shared(program)?, slots, mem_words)
+    }
+
+    /// Creates an emulator from an already-lowered program, sharing
+    /// the instruction store with any machines running it (see
+    /// [`PredecodedProgram::shared`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError`] if the program's data does not fit in
+    /// memory.
+    pub fn from_predecoded(
+        program: Arc<PredecodedProgram>,
+        slots: usize,
+        mem_words: usize,
+    ) -> Result<Self, MachineError> {
         let mut memory = Memory::new(mem_words);
-        for seg in &program.data {
+        for seg in program.data() {
             memory.load_block(seg.base, &seg.words).map_err(|source| MachineError::Mem {
                 slot: 0,
                 pc: 0,
@@ -95,9 +109,9 @@ impl Emulator {
             })
             .collect();
         threads[0].alive = true;
-        threads[0].pc = program.entry;
+        threads[0].pc = program.entry();
         Ok(Emulator {
-            program: program.clone(),
+            program,
             memory,
             threads,
             queues: vec![VecDeque::new(); slots],
@@ -157,19 +171,20 @@ impl Emulator {
     /// thread is blocked this turn.
     fn step_thread(&mut self, i: usize) -> Result<bool, MachineError> {
         let pc = self.threads[i].pc;
-        if pc as usize >= self.program.insts.len() {
+        if pc as usize >= self.program.len() {
             return Err(MachineError::PcOutOfRange { slot: i, pc });
         }
-        let inst = self.program.insts[pc as usize];
+        let di = self.program.insts()[pc as usize];
+        let inst = di.inst;
 
         // Blocking conditions.
-        if inst.needs_highest_priority() && self.highest_live() != Some(i) {
+        if di.needs_highest_priority() && self.highest_live() != Some(i) {
             return Ok(false);
         }
         let read_link = i;
         let write_link = (i + 1) % self.threads.len();
         let needs_queue_read =
-            inst.srcs().into_iter().flatten().any(|r| self.threads[i].qread == Some(r));
+            di.srcs.into_iter().flatten().any(|r| self.threads[i].qread == Some(r));
         if needs_queue_read && self.queues[read_link].is_empty() {
             return Ok(false);
         }
@@ -205,10 +220,19 @@ impl Emulator {
                     if self.threads[j].alive {
                         return Err(MachineError::ForkBusy { slot: j, pc });
                     }
-                    let regs = self.threads[i].regs.clone();
                     let (qread, qwrite) = (self.threads[i].qread, self.threads[i].qwrite);
+                    // Copy only the architectural values; the emulator
+                    // never consults scoreboard state (see `RegBank::
+                    // copy_arch_from`).
+                    let (parent, child) = if i < j {
+                        let (lo, hi) = self.threads.split_at_mut(j);
+                        (&lo[i], &mut hi[0])
+                    } else {
+                        let (lo, hi) = self.threads.split_at_mut(i);
+                        (&hi[0], &mut lo[j])
+                    };
+                    child.regs.copy_arch_from(&parent.regs);
                     let t = &mut self.threads[j];
-                    t.regs = regs;
                     t.pc = pc + 1;
                     t.lpid = j as i64;
                     t.alive = true;

@@ -7,6 +7,21 @@
 
 use hirata_isa::{BranchCond, FpBinOp, FpUnOp, GSrc, Inst, IntOp};
 
+use crate::predecode::DecodedInst;
+
+/// Debug-only check that a predecoded entry still matches a fresh
+/// decode of its instruction — the differential guard for the
+/// predecode pass. Release builds compile this to nothing.
+#[inline]
+pub(crate) fn debug_assert_fresh_decode(d: &DecodedInst) {
+    debug_assert_eq!(
+        *d,
+        DecodedInst::of(d.inst),
+        "predecoded entry diverged from a fresh decode of `{}`",
+        d.inst
+    );
+}
+
 /// What a functional unit does when it finally executes an
 /// instruction.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -123,9 +123,11 @@ impl FetchSystem {
         }
     }
 
-    /// Start-of-cycle: applies deliveries landing at `now`.
-    pub(crate) fn begin_cycle(&mut self, now: u64) -> Vec<Delivery> {
-        let mut out = Vec::new();
+    /// Start-of-cycle: applies deliveries landing at `now`, appending
+    /// them to `out` (a reused scratch buffer — see the machine's
+    /// cycle loop).
+    pub(crate) fn begin_cycle(&mut self, now: u64, out: &mut Vec<Delivery>) {
+        let start = out.len();
         let mut i = 0;
         while i < self.scheduled.len() {
             if self.scheduled[i].at == now {
@@ -139,9 +141,10 @@ impl FetchSystem {
                 i += 1;
             }
         }
-        // Deterministic order for the machine's bookkeeping.
-        out.sort_by_key(|d| d.slot);
-        out
+        // Deterministic order for the machine's bookkeeping. At most
+        // one delivery lands per slot per cycle, so slot keys are
+        // unique and an unstable sort is exact.
+        out[start..].sort_unstable_by_key(|d| d.slot);
     }
 
     /// End-of-cycle: lets idle units begin their next service. A
@@ -214,7 +217,8 @@ mod tests {
 
     /// Runs the system forward one cycle, returning deliveries.
     fn cycle(fs: &mut FetchSystem, now: u64) -> Vec<Delivery> {
-        let d = fs.begin_cycle(now);
+        let mut d = Vec::new();
+        fs.begin_cycle(now, &mut d);
         fs.end_cycle(now);
         d
     }
@@ -241,7 +245,7 @@ mod tests {
         fs.request_redirect(0, 0);
         let mut starved = 0;
         for now in 0..100u64 {
-            let _ = fs.begin_cycle(now);
+            fs.begin_cycle(now, &mut Vec::new());
             if now >= 3 {
                 if fs.credits(0) == 0 {
                     starved += 1;

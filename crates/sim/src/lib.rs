@@ -52,6 +52,7 @@ mod error;
 mod exec;
 mod fetch;
 mod machine;
+pub mod predecode;
 mod priority;
 mod queue;
 mod regfile;
@@ -59,10 +60,11 @@ mod stats;
 pub mod trace;
 pub mod trace_driven;
 
-pub use config::{Config, ConfigError, PipelineKind};
+pub use config::{Config, ConfigError, PipelineKind, MAX_STANDBY_DEPTH};
 pub use emu::{EmuOutcome, Emulator};
 pub use error::MachineError;
 pub use machine::{IssueEvent, Machine, SlotView};
+pub use predecode::{DecodedInst, PredecodedProgram};
 pub use stats::{
     RunStats, StallBreakdown, StallReason, StallWindow, STALL_REASON_COUNT, STALL_WINDOW_CYCLES,
 };

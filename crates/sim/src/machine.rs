@@ -3,14 +3,16 @@
 //! the queue-register ring — the processor of Figure 2.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use hirata_isa::{FuClass, GReg, Inst, Program, Reg, FU_CLASS_COUNT};
 use hirata_mem::{Access, DataMemModel, IdealCache, MemStats, Memory};
 
-use crate::config::Config;
+use crate::config::{Config, MAX_STANDBY_DEPTH};
 use crate::error::MachineError;
-use crate::exec::{branch_taken, fu_action, resolve_operands, FuAction};
-use crate::fetch::FetchSystem;
+use crate::exec::{branch_taken, debug_assert_fresh_decode, fu_action, resolve_operands, FuAction};
+use crate::fetch::{Delivery, FetchSystem};
+use crate::predecode::{DecodedInst, PredecodedProgram};
 use crate::priority::Priorities;
 use crate::queue::QueueRing;
 use crate::regfile::RegBank;
@@ -25,7 +27,7 @@ struct InFlight {
     slot: usize,
     ctx: usize,
     pc: u32,
-    inst: Inst,
+    di: DecodedInst,
     vals: [u64; 2],
     /// Re-execution from the access requirement buffer: the remote
     /// request already completed, so the memory model is bypassed.
@@ -33,6 +35,116 @@ struct InFlight {
     /// Cycle the instruction issued (distinguishes fresh standby
     /// arrivals from holdovers in the trace).
     issued_at: u64,
+}
+
+impl InFlight {
+    /// Placeholder filling unused standby-station capacity; never
+    /// observable (stations expose only their first `len` entries).
+    fn vacant() -> Self {
+        InFlight {
+            slot: 0,
+            ctx: 0,
+            pc: 0,
+            di: DecodedInst::of(Inst::Nop),
+            vals: [0; 2],
+            replayed: false,
+            issued_at: 0,
+        }
+    }
+}
+
+/// One standby station: a fixed-capacity inline FIFO of issued
+/// instructions waiting for their functional unit (§2.1.1 — the
+/// paper's depth is one; deeper stations are an ablation, bounded by
+/// [`MAX_STANDBY_DEPTH`]). Inline storage keeps the arbitration loop
+/// free of heap traffic and pointer chasing.
+#[derive(Debug, Clone, Copy)]
+struct StandbyStation {
+    buf: [InFlight; MAX_STANDBY_DEPTH],
+    len: u8,
+}
+
+impl StandbyStation {
+    fn new() -> Self {
+        StandbyStation { buf: [InFlight::vacant(); MAX_STANDBY_DEPTH], len: 0 }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn front(&self) -> Option<&InFlight> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(&self.buf[0])
+        }
+    }
+
+    #[inline]
+    fn push_back(&mut self, f: InFlight) {
+        assert!(self.len() < MAX_STANDBY_DEPTH, "standby station overflow");
+        self.buf[self.len()] = f;
+        self.len += 1;
+    }
+
+    #[inline]
+    fn pop_front(&mut self) -> InFlight {
+        debug_assert!(self.len > 0);
+        let f = self.buf[0];
+        let len = self.len as usize;
+        self.buf.copy_within(1..len, 0);
+        self.len -= 1;
+        f
+    }
+
+    #[inline]
+    fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    #[inline]
+    fn iter(&self) -> std::slice::Iter<'_, InFlight> {
+        self.buf[..self.len()].iter()
+    }
+}
+
+/// Per-machine scratch buffers reused across cycles so the steady
+/// state of [`Machine::step`] performs no heap allocation. Taken out
+/// with `mem::take` for the duration of a phase (to sidestep borrow
+/// conflicts with `&mut self` calls) and restored afterwards with
+/// their capacity intact.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Snapshot of the priority order for the cycle (stable between
+    /// the issue phase and arbitration: explicit rotations are
+    /// deferred to cycle end, and forced/implicit ones happen before
+    /// issue).
+    order: Vec<usize>,
+    /// Schedule-unit candidates issued this cycle.
+    cands: Vec<InFlight>,
+    /// Fetch deliveries surfacing this cycle.
+    deliveries: Vec<Delivery>,
+}
+
+/// A memoized head stall (see the cycle loop): the slot provably
+/// re-stalls with the same reason and blocking PC every cycle strictly
+/// before `wake`, unless an invalidating event (register writeback to
+/// the bound context, a standby-station pop/clear for the slot, or any
+/// rebind/redirect/kill of the slot) clears it first. `wake` is
+/// `u64::MAX` for stalls that only an event can lift.
+#[derive(Debug, Clone, Copy)]
+struct StallMemo {
+    reason: StallReason,
+    pc: u32,
+    wake: u64,
 }
 
 /// One entry of a slot's decode window.
@@ -51,11 +163,15 @@ struct Slot {
     fetch_pc: u32,
     window: VecDeque<WinEntry>,
     earliest_issue: u64,
+    /// Cached head-stall outcome; `None` whenever no proof of
+    /// stability is held. Purely an optimization: hitting the memo
+    /// records exactly the stall a fresh evaluation would.
+    memo: Option<StallMemo>,
 }
 
 impl Slot {
     fn new() -> Self {
-        Slot { ctx: None, fetch_pc: 0, window: VecDeque::new(), earliest_issue: 0 }
+        Slot { ctx: None, fetch_pc: 0, window: VecDeque::new(), earliest_issue: 0, memo: None }
     }
 }
 
@@ -105,9 +221,13 @@ impl Context {
     }
 }
 
-/// Why an instruction could not issue this cycle.
+/// Why an instruction could not issue this cycle. Stalls carry the
+/// first cycle at which the failed condition could pass by the advance
+/// of time alone (`u64::MAX` when only an event can lift it), or
+/// `None` when the condition is not provably stable — only stalls with
+/// a hint are eligible for the head-stall memo.
 enum IssueBlock {
-    Stall(StallReason),
+    Stall(StallReason, Option<u64>),
     Fault(MachineError),
 }
 
@@ -132,23 +252,37 @@ enum IssueBlock {
 #[derive(Debug)]
 pub struct Machine {
     config: Config,
-    program: Program,
+    program: Arc<PredecodedProgram>,
     memory: Memory,
     mem_model: Box<dyn DataMemModelDebug>,
     slots: Vec<Slot>,
     contexts: Vec<Context>,
-    standby: Vec<Vec<VecDeque<InFlight>>>,
+    /// Standby stations, flattened: the station of slot `s` and FU
+    /// class index `ci` lives at `s * FU_CLASS_COUNT + ci`.
+    standby: Vec<StandbyStation>,
     /// Per FU class, the slots whose standby station for that class is
     /// non-empty — kept in sync with `standby` at every mutation so
     /// the tracing path reads competitor sets without rescanning the
     /// stations each cycle.
     standby_mask: [SlotSet; FU_CLASS_COUNT],
+    /// Occupied standby entries per slot (all classes), for the O(1)
+    /// "does this slot have anything standing by" queries in the
+    /// decode-blocking, `drain`, rebind, and trap paths.
+    standby_slot_count: Vec<u16>,
+    /// Occupied standby entries machine-wide, so `is_done` need not
+    /// rescan the stations every cycle.
+    standby_total: usize,
+    /// Contexts that are not `Done`/`Free` — kept in sync at every
+    /// state transition so [`Machine::is_done`] is O(1) in the cycle
+    /// loop instead of rescanning every frame twice per step.
+    live_contexts: usize,
     fu_next: [Vec<u64>; FU_CLASS_COUNT],
     queues: QueueRing,
     fetch: FetchSystem,
     prio: Priorities,
     stats: RunStats,
     cycle: u64,
+    scratch: Scratch,
     trace: Option<Vec<IssueEvent>>,
     sink: Option<Box<dyn TraceSink>>,
 }
@@ -213,12 +347,39 @@ impl Machine {
         mem_model: Box<dyn DataMemModel>,
     ) -> Result<Self, MachineError> {
         config.validate()?;
-        program.validate()?;
-        if program.is_empty() {
-            return Err(MachineError::EmptyProgram);
-        }
+        let program = PredecodedProgram::shared(program)?;
+        Self::with_mem_model_predecoded(config, program, mem_model)
+    }
+
+    /// Builds a machine from an already-lowered program, sharing the
+    /// instruction store instead of cloning it — the cheap way to run
+    /// the same program on many configurations (see
+    /// [`PredecodedProgram::shared`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::new`].
+    pub fn from_predecoded(
+        config: Config,
+        program: Arc<PredecodedProgram>,
+    ) -> Result<Self, MachineError> {
+        Self::with_mem_model_predecoded(config, program, Box::new(IdealCache::default()))
+    }
+
+    /// [`Machine::from_predecoded`] with a custom data-memory timing
+    /// model.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::new`].
+    pub fn with_mem_model_predecoded(
+        config: Config,
+        program: Arc<PredecodedProgram>,
+        mem_model: Box<dyn DataMemModel>,
+    ) -> Result<Self, MachineError> {
+        config.validate()?;
         let mut memory = Memory::new(config.mem_words);
-        for seg in &program.data {
+        for seg in program.data() {
             memory.load_block(seg.base, &seg.words).map_err(|source| MachineError::Mem {
                 slot: 0,
                 pc: 0,
@@ -229,7 +390,7 @@ impl Machine {
         let mut contexts: Vec<Context> =
             (0..config.context_frames).map(|_| Context::free()).collect();
         contexts[0].state = CtxState::Ready;
-        contexts[0].resume_pc = program.entry;
+        contexts[0].resume_pc = program.entry();
         let fu_next = std::array::from_fn(|i| vec![0u64; config.fu.count(FuClass::ALL[i])]);
         let mut stats = RunStats { per_slot_issued: vec![0; s], ..RunStats::default() };
         for class in FuClass::ALL {
@@ -260,19 +421,95 @@ impl Machine {
             prio: Priorities::new(s, config.rotation),
             queues: QueueRing::new(s, config.queue_capacity),
             slots: (0..s).map(|_| Slot::new()).collect(),
-            standby: vec![vec![VecDeque::new(); FU_CLASS_COUNT]; s],
+            standby: vec![StandbyStation::new(); s * FU_CLASS_COUNT],
             standby_mask: [SlotSet::EMPTY; FU_CLASS_COUNT],
+            standby_slot_count: vec![0; s],
+            standby_total: 0,
+            live_contexts: 1,
             contexts,
             fu_next,
             memory,
             mem_model: Box::new(Wrap(mem_model)),
-            program: program.clone(),
+            program,
             config,
             stats,
             cycle: 0,
+            scratch: Scratch {
+                order: Vec::with_capacity(s),
+                cands: Vec::with_capacity(s * 2),
+                deliveries: Vec::with_capacity(s),
+            },
             trace: None,
             sink: None,
         })
+    }
+
+    // ------------------------------------------------------------------
+    // Standby-station bookkeeping (occupancy masks and counts are kept
+    // in lockstep with the stations; `arbitrate` rescans them in debug
+    // builds)
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn station(&self, s: usize, ci: usize) -> &StandbyStation {
+        &self.standby[s * FU_CLASS_COUNT + ci]
+    }
+
+    #[inline]
+    fn standby_push(&mut self, s: usize, ci: usize, f: InFlight) {
+        self.standby[s * FU_CLASS_COUNT + ci].push_back(f);
+        self.standby_mask[ci].insert(s);
+        self.standby_slot_count[s] += 1;
+        self.standby_total += 1;
+    }
+
+    #[inline]
+    fn standby_pop(&mut self, s: usize, ci: usize) -> InFlight {
+        let st = &mut self.standby[s * FU_CLASS_COUNT + ci];
+        let f = st.pop_front();
+        if st.is_empty() {
+            self.standby_mask[ci].remove(s);
+        }
+        self.standby_slot_count[s] -= 1;
+        self.standby_total -= 1;
+        self.slots[s].memo = None; // a station drained: FuConflict may lift
+        f
+    }
+
+    /// Empties one station, fixing up the occupancy bookkeeping;
+    /// returns how many entries were dropped.
+    fn standby_clear(&mut self, s: usize, ci: usize) -> usize {
+        let st = &mut self.standby[s * FU_CLASS_COUNT + ci];
+        let n = st.len();
+        st.clear();
+        self.standby_mask[ci].remove(s);
+        self.standby_slot_count[s] -= n as u16;
+        self.standby_total -= n;
+        self.slots[s].memo = None;
+        n
+    }
+
+    /// True if any of `s`'s standby stations holds an instruction.
+    #[inline]
+    fn slot_has_standby(&self, s: usize) -> bool {
+        self.standby_slot_count[s] > 0
+    }
+
+    /// Disjoint `(&contexts[a], &mut contexts[b])` borrows for
+    /// parent-to-child copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == b`.
+    fn pair_mut(contexts: &mut [Context], a: usize, b: usize) -> (&Context, &mut Context) {
+        assert_ne!(a, b);
+        if a < b {
+            let (lo, hi) = contexts.split_at_mut(b);
+            (&lo[a], &mut hi[0])
+        } else {
+            let (lo, hi) = contexts.split_at_mut(a);
+            (&hi[0], &mut lo[b])
+        }
     }
 
     /// Registers an additional thread starting at `pc`, occupying a
@@ -289,6 +526,7 @@ impl Machine {
             .position(|c| c.state == CtxState::Free)
             .ok_or(MachineError::NoFreeContext { pc: u32::MAX })?;
         let lpid = idx as i64;
+        self.live_contexts += 1;
         let ctx = &mut self.contexts[idx];
         ctx.state = CtxState::Ready;
         ctx.resume_pc = pc;
@@ -296,15 +534,17 @@ impl Machine {
         Ok(())
     }
 
-    /// Runs to completion (all threads halted or killed).
+    /// Runs to completion (all threads halted or killed) and returns
+    /// the accumulated statistics (also available afterwards through
+    /// [`Machine::stats`]).
     ///
     /// # Errors
     ///
     /// Propagates any [`MachineError`] raised during simulation,
     /// including the watchdog if `max_cycles` is exceeded.
-    pub fn run(&mut self) -> Result<RunStats, MachineError> {
+    pub fn run(&mut self) -> Result<&RunStats, MachineError> {
         while !self.step()? {}
-        Ok(self.stats.clone())
+        Ok(&self.stats)
     }
 
     /// Advances one cycle. Returns true once the machine is finished.
@@ -333,18 +573,36 @@ impl Machine {
         }
         self.skip_empty_priority_slots(now);
         let depth = self.config.pipeline.decode_depth();
-        for d in self.fetch.begin_cycle(now) {
+        let mut deliveries = std::mem::take(&mut self.scratch.deliveries);
+        deliveries.clear();
+        self.fetch.begin_cycle(now, &mut deliveries);
+        for d in &deliveries {
             if d.redirect {
                 let slot = &mut self.slots[d.slot];
                 slot.earliest_issue = slot.earliest_issue.max(now + depth);
+                slot.memo = None;
             }
             if let Some(sink) = self.sink.as_deref_mut() {
                 sink.event(&TraceEvent::Fetch { cycle: now, slot: d.slot, redirect: d.redirect });
             }
         }
+        self.scratch.deliveries = deliveries;
         self.wake_and_bind(now);
-        let cands = self.issue_phase(now)?;
-        self.arbitrate(cands, now)?;
+        // One priority-order snapshot serves both the issue phase and
+        // arbitration: nothing reorders the levels in between (chgpri
+        // is deferred to cycle end, implicit/forced rotations happened
+        // above).
+        let mut order = std::mem::take(&mut self.scratch.order);
+        order.clear();
+        order.extend_from_slice(self.prio.order());
+        let mut cands = std::mem::take(&mut self.scratch.cands);
+        cands.clear();
+        let phases = self
+            .issue_phase(&order, now, &mut cands)
+            .and_then(|()| self.arbitrate(&order, &mut cands, now));
+        self.scratch.order = order;
+        self.scratch.cands = cands;
+        phases?;
         if self.prio.apply_pending(now) {
             self.stats.rotations += 1;
             let highest = self.prio.highest();
@@ -365,8 +623,15 @@ impl Machine {
     /// True when every context has finished and all standby stations
     /// have drained.
     pub fn is_done(&self) -> bool {
-        self.contexts.iter().all(|c| matches!(c.state, CtxState::Done | CtxState::Free))
-            && self.standby.iter().all(|per| per.iter().all(VecDeque::is_empty))
+        debug_assert_eq!(
+            self.live_contexts,
+            self.contexts
+                .iter()
+                .filter(|c| !matches!(c.state, CtxState::Done | CtxState::Free))
+                .count(),
+            "live-context counter out of sync"
+        );
+        self.standby_total == 0 && self.live_contexts == 0
     }
 
     /// Statistics accumulated so far.
@@ -459,7 +724,7 @@ impl Machine {
                 .or(Some(s.fetch_pc))
                 .filter(|_| s.ctx.is_some()),
             window_len: s.window.len(),
-            standby_occupancy: self.standby[slot].iter().map(VecDeque::len).sum(),
+            standby_occupancy: self.standby_slot_count[slot] as usize,
         }
     }
 
@@ -526,13 +791,14 @@ impl Machine {
     /// their standby stations.
     fn skip_empty_priority_slots(&mut self, now: u64) {
         for _ in 0..self.slots.len() {
-            if !self.slots.iter().any(|s| s.ctx.is_some()) {
+            let h = self.prio.highest();
+            let skippable = self.slots[h].ctx.is_none() && !self.slot_has_standby(h);
+            if !skippable {
                 break;
             }
-            let h = self.prio.highest();
-            let skippable =
-                self.slots[h].ctx.is_none() && self.standby[h].iter().all(VecDeque::is_empty);
-            if !skippable {
+            // With no bound slot anywhere the token has nowhere useful
+            // to land; leave it parked rather than spinning forever.
+            if !self.slots.iter().any(|s| s.ctx.is_some()) {
                 break;
             }
             self.prio.force_rotate(now);
@@ -558,7 +824,7 @@ impl Machine {
             }
         }
         for s in 0..self.slots.len() {
-            if self.slots[s].ctx.is_some() || self.standby[s].iter().any(|q| !q.is_empty()) {
+            if self.slots[s].ctx.is_some() || self.slot_has_standby(s) {
                 continue;
             }
             let Some(c) = self.contexts.iter().position(|c| c.state == CtxState::Ready) else {
@@ -573,6 +839,7 @@ impl Machine {
             slot.ctx = Some(c);
             slot.fetch_pc = ctx.resume_pc;
             slot.window.clear();
+            slot.memo = None;
             for (inst, vals) in ctx.replay.drain(..) {
                 slot.window.push_back(WinEntry::Replay(inst, vals));
             }
@@ -588,14 +855,18 @@ impl Machine {
 
     /// Lets every slot (in priority order) issue up to `D`
     /// instructions; decode-unit instructions execute immediately,
-    /// functional-unit instructions become schedule-unit candidates.
-    fn issue_phase(&mut self, now: u64) -> Result<Vec<InFlight>, MachineError> {
-        let order: Vec<usize> = self.prio.order().to_vec();
-        let mut cands = Vec::new();
-        for s in order {
-            self.issue_slot(s, now, &mut cands)?;
+    /// functional-unit instructions become schedule-unit candidates
+    /// (appended to `cands`).
+    fn issue_phase(
+        &mut self,
+        order: &[usize],
+        now: u64,
+        cands: &mut Vec<InFlight>,
+    ) -> Result<(), MachineError> {
+        for &s in order {
+            self.issue_slot(s, now, cands)?;
         }
-        Ok(cands)
+        Ok(())
     }
 
     fn issue_slot(
@@ -608,6 +879,28 @@ impl Machine {
             self.record_stall(now, s, StallReason::NoThread, None);
             return Ok(());
         };
+        // A memoized head stall short-circuits the whole issue path:
+        // until `wake` (or an invalidating event, which clears the
+        // memo), a fresh evaluation would reach the identical
+        // first-failing check. Valid only because `issue_width == 1`
+        // at creation: the window holds exactly the stalled head, so
+        // the fill loop would add nothing and no younger instruction
+        // could issue around it.
+        if let Some(m) = self.slots[s].memo {
+            if now < m.wake {
+                #[cfg(debug_assertions)]
+                {
+                    assert!(now >= self.slots[s].earliest_issue, "memo across a redirect");
+                    assert!(
+                        self.memo_matches_fresh_eval(s, ctx_i, &m, now),
+                        "stall memo diverged from a fresh head evaluation"
+                    );
+                }
+                self.record_stall(now, s, m.reason, Some(m.pc));
+                return Ok(());
+            }
+            self.slots[s].memo = None;
+        }
         if now < self.slots[s].earliest_issue {
             // The redirect (or rebind) has been delivered but the
             // decode pipeline is still refilling: the branch-shadow
@@ -618,10 +911,11 @@ impl Machine {
         }
         // Fill the decode window ("the instruction window is filled
         // every cycle", §3.3).
+        let program_len = self.program.len();
         let width = self.config.issue_width;
         while self.slots[s].window.len() < width && self.fetch.credits(s) > 0 {
             let pc = self.slots[s].fetch_pc;
-            if (pc as usize) >= self.program.insts.len() {
+            if (pc as usize) >= program_len {
                 break; // fetch-ahead past the end; fault only if issued
             }
             self.slots[s].window.push_back(WinEntry::Fresh(pc));
@@ -629,9 +923,7 @@ impl Machine {
             self.fetch.consume(s);
         }
         if self.slots[s].window.is_empty() {
-            if self.fetch.credits(s) > 0
-                && (self.slots[s].fetch_pc as usize) >= self.program.insts.len()
-            {
+            if self.fetch.credits(s) > 0 && (self.slots[s].fetch_pc as usize) >= program_len {
                 return Err(MachineError::PcOutOfRange { slot: s, pc: self.slots[s].fetch_pc });
             }
             let pc = self.slots[s].fetch_pc;
@@ -640,8 +932,12 @@ impl Machine {
         }
         // Without standby stations, a previously issued instruction
         // that lost arbitration blocks the whole decode unit.
-        if !self.config.standby_stations && self.standby[s].iter().any(|q| !q.is_empty()) {
-            let pc = self.standby[s].iter().find_map(|q| q.front()).map(|f| f.pc);
+        if !self.config.standby_stations && self.slot_has_standby(s) {
+            let base = s * FU_CLASS_COUNT;
+            let pc = self.standby[base..base + FU_CLASS_COUNT]
+                .iter()
+                .find_map(StandbyStation::front)
+                .map(|f| f.pc);
             self.record_stall(now, s, StallReason::FuConflict, pc);
             return Ok(());
         }
@@ -654,21 +950,24 @@ impl Machine {
         let mut issued = 0usize;
         let mut head_reason = None;
         let mut head_pc = None;
+        let mut head_wake = None;
+        let mut head_memoizable = false;
         let mut i = 0usize;
         while i < self.slots[s].window.len() && issued < width {
             let entry = self.slots[s].window[i];
-            let (inst, preset) = match entry {
-                WinEntry::Fresh(pc) => (self.program.insts[pc as usize], None),
-                WinEntry::Replay(inst, vals) => (inst, Some(vals)),
-            };
-            let pc = match entry {
-                WinEntry::Fresh(pc) => pc,
-                WinEntry::Replay(..) => self.contexts[ctx_i].resume_pc,
+            // Fresh entries read the predecoded store; replays (rare —
+            // only after a data-absence trap) re-lower their saved
+            // instruction so the window entry stays small.
+            let (di, preset, pc) = match entry {
+                WinEntry::Fresh(pc) => (self.program.insts()[pc as usize], None, pc),
+                WinEntry::Replay(inst, vals) => {
+                    (DecodedInst::of(inst), Some(vals), self.contexts[ctx_i].resume_pc)
+                }
             };
             let check = self.check_issue(
                 s,
                 ctx_i,
-                &inst,
+                &di,
                 preset.is_some(),
                 now,
                 unissued_reads,
@@ -684,23 +983,25 @@ impl Machine {
                     }
                     return Err(e);
                 }
-                Err(IssueBlock::Stall(reason)) => {
+                Err(IssueBlock::Stall(reason, wake)) => {
                     if i == 0 {
                         head_reason = Some(reason);
                         head_pc = Some(pc);
+                        head_wake = wake;
+                        // Replays resume via `wake_and_bind` and
+                        // priority-gated ops can unblock on rotation;
+                        // neither stall is stable, so never memoize.
+                        head_memoizable =
+                            matches!(entry, WinEntry::Fresh(_)) && !di.needs_highest_priority();
                     }
-                    if inst.fu_class().is_none() {
+                    if di.is_decode_unit() {
                         break; // never bypass an unissued decode-unit op
                     }
-                    for r in inst.srcs().into_iter().flatten() {
-                        unissued_reads |= 1u64 << r.dense_index();
-                    }
-                    if let Some(d) = inst.dest() {
-                        unissued_writes |= 1u64 << d.dense_index();
-                    }
-                    if inst.is_mem() {
+                    unissued_reads |= di.src_mask;
+                    unissued_writes |= di.dest_mask;
+                    if di.is_mem() {
                         unissued_mem = true;
-                        if matches!(inst, Inst::Store { .. }) {
+                        if di.is_store() {
                             unissued_store = true;
                         }
                     }
@@ -717,12 +1018,12 @@ impl Machine {
                     if let Some(sink) = self.sink.as_deref_mut() {
                         sink.event(&TraceEvent::Issue { cycle: now, slot: s, ctx: ctx_i, pc });
                     }
-                    if let Some(class) = inst.fu_class() {
+                    if let Some(class) = di.fu {
                         class_taken[class.index()] = true;
-                        let fi = self.capture(s, ctx_i, pc, inst, preset, now);
+                        let fi = self.capture(s, ctx_i, pc, &di, preset, now);
                         cands.push(fi);
                     } else {
-                        let redirected = self.exec_decode(s, ctx_i, pc, inst, now)?;
+                        let redirected = self.exec_decode(s, ctx_i, pc, di.inst, now)?;
                         if redirected || self.slots[s].ctx.is_none() {
                             break;
                         }
@@ -732,8 +1033,38 @@ impl Machine {
         }
         if issued == 0 {
             self.record_stall(now, s, head_reason.unwrap_or(StallReason::Fetch), head_pc);
+            // Memoize the head stall when its outcome is provably
+            // stable: single-issue decode (the window is exactly this
+            // head, so re-evaluation is pure), a fresh non-gated entry,
+            // and a wake hint that buys at least one skipped cycle.
+            // Register writeback to this context, standby pops/clears
+            // for this slot, and any rebind/redirect clear the memo.
+            if self.config.issue_width == 1 && self.slots[s].window.len() == 1 && head_memoizable {
+                if let (Some(reason), Some(pc), Some(wake)) = (head_reason, head_pc, head_wake) {
+                    if wake > now + 1 {
+                        self.slots[s].memo = Some(StallMemo { reason, pc, wake });
+                    }
+                }
+            }
         }
         Ok(())
+    }
+
+    /// Debug-only check that a stall memo still matches what the full
+    /// issue path would conclude (`check_issue` is side-effect free).
+    #[cfg(debug_assertions)]
+    fn memo_matches_fresh_eval(&self, s: usize, ctx_i: usize, m: &StallMemo, now: u64) -> bool {
+        let Some(&WinEntry::Fresh(pc)) = self.slots[s].window.front() else {
+            return false;
+        };
+        if self.slots[s].window.len() != 1 || pc != m.pc {
+            return false;
+        }
+        let di = self.program.insts()[pc as usize];
+        matches!(
+            self.check_issue(s, ctx_i, &di, false, now, 0, 0, (false, false), &[false; FU_CLASS_COUNT], true),
+            Err(IssueBlock::Stall(r, _)) if r == m.reason
+        )
     }
 
     /// Address of the oldest fresh instruction the slot will issue
@@ -756,7 +1087,7 @@ impl Machine {
         &self,
         s: usize,
         ctx_i: usize,
-        inst: &Inst,
+        di: &DecodedInst,
         is_replay: bool,
         now: u64,
         unissued_reads: u64,
@@ -770,55 +1101,54 @@ impl Machine {
 
         // Decode-unit instructions execute in order: they issue only
         // once every older instruction has issued.
-        if inst.fu_class().is_none() && !is_head {
-            return Err(Stall(StallReason::Data));
+        if di.is_decode_unit() && !is_head {
+            return Err(Stall(StallReason::Data, None));
         }
         // Memory ordering within the issue window (D > 1): without
         // address disambiguation hardware, a load may not bypass an
         // unissued store and a store may not bypass any unissued
         // memory operation.
-        if inst.is_mem() {
-            let is_store = matches!(inst, Inst::Store { .. });
+        if di.is_mem() {
+            let is_store = di.is_store();
             if (is_store && unissued_mem) || (!is_store && unissued_store) {
-                return Err(Stall(StallReason::Data));
+                return Err(Stall(StallReason::Data, None));
             }
         }
-        if inst.needs_highest_priority() && self.prio.highest() != s {
-            return Err(Stall(StallReason::Priority));
+        if di.needs_highest_priority() && self.prio.highest() != s {
+            return Err(Stall(StallReason::Priority, None));
         }
         // `drain` is the §2.3.3 consistency fence: it issues only once
         // every previously issued instruction has been performed (the
         // slot's standby stations are empty; in this model selection
         // is completion, so empty stations mean all effects applied).
-        if matches!(inst, Inst::Drain) && self.standby[s].iter().any(|q| !q.is_empty()) {
-            return Err(Stall(StallReason::Data));
+        if matches!(di.inst, Inst::Drain) && self.slot_has_standby(s) {
+            return Err(Stall(StallReason::Data, None));
         }
         // `fastfork` copies the parent's register set into the
         // children's context frames; it waits until every outstanding
         // write has landed so the copy is quiescent (otherwise a load
         // still in flight would leave a child's scoreboard bit set
         // forever and its value stale).
-        if matches!(inst, Inst::FastFork) && !ctx.regs.all_ready(now) {
-            return Err(Stall(StallReason::Data));
+        if matches!(di.inst, Inst::FastFork) && !ctx.regs.all_ready(now) {
+            return Err(Stall(StallReason::Data, None));
         }
         // Rotating the priority away while this slot still has an
         // unperformed gated store would strand that store (it is only
         // performed at the highest priority), so `chgpri` waits for it.
-        if matches!(inst, Inst::ChgPri) {
+        if matches!(di.inst, Inst::ChgPri) {
             let ls = FuClass::LoadStore.index();
-            if self.standby[s][ls].iter().any(|f| matches!(f.inst, Inst::Store { gated: true, .. }))
-            {
-                return Err(Stall(StallReason::Priority));
+            if self.station(s, ls).iter().any(|f| f.di.is_gated_store()) {
+                return Err(Stall(StallReason::Priority, None));
             }
         }
         if !is_replay {
-            for r in inst.srcs().into_iter().flatten() {
+            for r in di.srcs.into_iter().flatten() {
                 if unissued_writes & (1u64 << r.dense_index()) != 0 {
-                    return Err(Stall(StallReason::Data));
+                    return Err(Stall(StallReason::Data, None));
                 }
                 if ctx.qread == Some(r) {
                     if !self.queues.can_read(self.queues.read_link(s), now) {
-                        return Err(Stall(StallReason::QueueEmpty));
+                        return Err(Stall(StallReason::QueueEmpty, None));
                     }
                 } else if ctx.qwrite == Some(r) {
                     return Err(Fault(MachineError::QueueMisuse {
@@ -827,17 +1157,17 @@ impl Machine {
                         detail: format!("read of write-mapped queue register {r}"),
                     }));
                 } else if !ctx.regs.is_ready(r, now) {
-                    return Err(Stall(StallReason::Data));
+                    return Err(Stall(StallReason::Data, Some(ctx.regs.ready_time(r))));
                 }
             }
         }
-        if let Some(d) = inst.dest() {
-            if (unissued_writes | unissued_reads) & (1u64 << d.dense_index()) != 0 {
-                return Err(Stall(StallReason::Data));
+        if let Some(d) = di.dest {
+            if (unissued_writes | unissued_reads) & di.dest_mask != 0 {
+                return Err(Stall(StallReason::Data, None));
             }
             if ctx.qwrite == Some(d) {
                 if !self.queues.can_write(self.queues.write_link(s)) {
-                    return Err(Stall(StallReason::QueueFull));
+                    return Err(Stall(StallReason::QueueFull, None));
                 }
             } else if ctx.qread == Some(d) {
                 return Err(Fault(MachineError::QueueMisuse {
@@ -846,14 +1176,15 @@ impl Machine {
                     detail: format!("write to read-mapped queue register {d}"),
                 }));
             } else if !is_replay && !ctx.regs.is_ready(d, now) {
-                return Err(Stall(StallReason::Data)); // WAW interlock
+                // WAW interlock
+                return Err(Stall(StallReason::Data, Some(ctx.regs.ready_time(d))));
             }
         }
-        if let Some(class) = inst.fu_class() {
-            if self.standby[s][class.index()].len() >= self.config.standby_depth
+        if let Some(class) = di.fu {
+            if self.station(s, class.index()).len() >= self.config.standby_depth
                 || class_taken[class.index()]
             {
-                return Err(Stall(StallReason::FuConflict));
+                return Err(Stall(StallReason::FuConflict, Some(u64::MAX)));
             }
         }
         Ok(())
@@ -866,7 +1197,7 @@ impl Machine {
         s: usize,
         ctx_i: usize,
         pc: u32,
-        inst: Inst,
+        di: &DecodedInst,
         preset: Option<[u64; 2]>,
         now: u64,
     ) -> InFlight {
@@ -878,7 +1209,7 @@ impl Machine {
                 let mut dequeued: Option<u64> = None;
                 let regs = &self.contexts[ctx_i].regs;
                 let queues = &mut self.queues;
-                let vals = resolve_operands(&inst, |r| {
+                let vals = resolve_operands(&di.inst, |r| {
                     if qread == Some(r) {
                         // One dequeue per instruction even if both
                         // operands name the mapped register.
@@ -896,12 +1227,20 @@ impl Machine {
                 vals
             }
         };
-        if let Some(d) = inst.dest() {
+        if let Some(d) = di.dest {
             if self.contexts[ctx_i].qwrite != Some(d) {
                 self.contexts[ctx_i].regs.mark_busy(d);
             }
         }
-        InFlight { slot: s, ctx: ctx_i, pc, inst, vals, replayed: preset.is_some(), issued_at: now }
+        InFlight {
+            slot: s,
+            ctx: ctx_i,
+            pc,
+            di: *di,
+            vals,
+            replayed: preset.is_some(),
+            issued_at: now,
+        }
     }
 
     /// Executes a decode-unit instruction at issue time. Returns true
@@ -947,6 +1286,7 @@ impl Machine {
             }
             Inst::Halt => {
                 self.contexts[ctx_i].state = CtxState::Done;
+                self.live_contexts -= 1;
                 self.detach(s);
                 Ok(true)
             }
@@ -1015,12 +1355,14 @@ impl Machine {
         let slot = &mut self.slots[s];
         slot.fetch_pc = next_pc;
         slot.window.clear();
+        slot.memo = None;
         self.fetch.request_redirect(s, now);
     }
 
     fn detach(&mut self, s: usize) {
         self.slots[s].ctx = None;
         self.slots[s].window.clear();
+        self.slots[s].memo = None;
         self.fetch.set_active(s, false);
     }
 
@@ -1038,10 +1380,15 @@ impl Machine {
                 .iter()
                 .position(|c| c.state == CtxState::Free)
                 .ok_or(MachineError::NoFreeContext { pc })?;
-            let parent_regs = self.contexts[ctx_i].regs.clone();
             let (qread, qwrite) = (self.contexts[ctx_i].qread, self.contexts[ctx_i].qwrite);
+            // `fastfork` issues only against a quiescent parent bank
+            // (see `check_issue`), so copying the architectural values
+            // and resetting the child's scoreboard is equivalent to a
+            // full clone — without the heap traffic of one.
+            let (parent, child) = Self::pair_mut(&mut self.contexts, ctx_i, free);
+            child.regs.copy_arch_from(&parent.regs);
+            self.live_contexts += 1;
             let child = &mut self.contexts[free];
-            child.regs = parent_regs;
             child.state = CtxState::Running;
             child.lpid = j as i64;
             child.resume_pc = pc + 1;
@@ -1052,6 +1399,7 @@ impl Machine {
             slot.ctx = Some(free);
             slot.fetch_pc = pc + 1;
             slot.window.clear();
+            slot.memo = None;
             slot.earliest_issue = 0;
             self.fetch.set_active(j, true);
             self.fetch.request_redirect(j, now);
@@ -1067,25 +1415,29 @@ impl Machine {
             }
             if let Some(c) = self.slots[j].ctx.take() {
                 self.contexts[c].state = CtxState::Done;
+                self.live_contexts -= 1;
                 self.stats.threads_killed += 1;
             }
             self.slots[j].window.clear();
-            for (ci, q) in self.standby[j].iter_mut().enumerate() {
-                q.clear();
-                self.standby_mask[ci].remove(j);
+            self.slots[j].memo = None;
+            for ci in 0..FU_CLASS_COUNT {
+                self.standby_clear(j, ci);
             }
             self.fetch.set_active(j, false);
         }
         // Unbound runnable/waiting contexts die too.
+        let mut killed = 0usize;
         for (i, ctx) in self.contexts.iter_mut().enumerate() {
             if Some(i) == my_ctx {
                 continue;
             }
             if matches!(ctx.state, CtxState::Ready | CtxState::Waiting { .. }) {
                 ctx.state = CtxState::Done;
+                killed += 1;
                 self.stats.threads_killed += 1;
             }
         }
+        self.live_contexts -= killed;
         self.queues.flush();
     }
 
@@ -1096,69 +1448,57 @@ impl Machine {
     /// Per-class dynamic scheduling with rotating priorities (§2.2):
     /// standby occupants and this cycle's issues compete; winners start
     /// execution, losers (or survivors) sit in standby stations.
-    fn arbitrate(&mut self, mut cands: Vec<InFlight>, now: u64) -> Result<(), MachineError> {
-        let order: Vec<usize> = self.prio.order().to_vec();
+    fn arbitrate(
+        &mut self,
+        order: &[usize],
+        cands: &mut Vec<InFlight>,
+        now: u64,
+    ) -> Result<(), MachineError> {
         let tracing = self.sink.is_some();
-        debug_assert!(
-            {
-                let mut rescan = [SlotSet::EMPTY; FU_CLASS_COUNT];
-                for (s, per_class) in self.standby.iter().enumerate() {
-                    for (ci, q) in per_class.iter().enumerate() {
-                        if !q.is_empty() {
-                            rescan[ci].insert(s);
-                        }
-                    }
-                }
-                rescan == self.standby_mask
-            },
-            "standby occupancy mask tracks the stations"
-        );
-        // Trace bookkeeping: per class, the slots competing for it this
-        // cycle (for win/loss attribution) — the standing occupancy
-        // mask plus this cycle's issues. Packed bitmasks, so the
-        // tracing path stays allocation-free and the idle classes cost
-        // nothing even with a sink attached.
-        let mut competing_by_class = [SlotSet::EMPTY; FU_CLASS_COUNT];
-        if tracing {
-            competing_by_class = self.standby_mask;
-            for f in &cands {
-                if let Some(class) = f.inst.fu_class() {
-                    competing_by_class[class.index()].insert(f.slot);
-                }
+        debug_assert!(self.standby_bookkeeping_consistent(), "standby bookkeeping is in sync");
+        // Per class, the slots with work this cycle: the standing
+        // occupancy mask plus this cycle's issues. Idle classes and
+        // slots are skipped outright; when tracing is on the same
+        // masks double as the competitor sets for win/loss
+        // attribution. Packed bitmasks, so this costs no allocation.
+        let mut competing_by_class = self.standby_mask;
+        for f in cands.iter() {
+            if let Some(class) = f.di.fu {
+                competing_by_class[class.index()].insert(f.slot);
             }
         }
         for class in FuClass::ALL {
             let ci = class.index();
             let competing = competing_by_class[ci];
+            if competing.is_empty() {
+                continue;
+            }
             let mut winner_slots = SlotSet::EMPTY;
-            for &s in &order {
+            for &s in order {
+                if !competing.contains(s) {
+                    continue;
+                }
                 // This cycle's issue joins the back of the slot's
                 // standby queue (it is the youngest); the queue then
                 // drains in order while units are free.
-                if let Some(i) =
-                    cands.iter().position(|f| f.slot == s && f.inst.fu_class() == Some(class))
-                {
+                if let Some(i) = cands.iter().position(|f| f.slot == s && f.di.fu == Some(class)) {
                     let f = cands.swap_remove(i);
-                    self.standby[s][ci].push_back(f);
-                    self.standby_mask[ci].insert(s);
+                    self.standby_push(s, ci, f);
                 }
-                while let Some(front) = self.standby[s][ci].front() {
+                while let Some(&front) = self.station(s, ci).front() {
                     // A priority-gated store is performed only by the
                     // highest-priority logical processor (§2.3.3); if
                     // the priority rotated away while it sat in
                     // standby, it keeps waiting there (and younger
                     // same-class work behind it stays ordered).
-                    if front.inst.needs_highest_priority() && self.prio.highest() != s {
+                    if front.di.needs_highest_priority() && self.prio.highest() != s {
                         break;
                     }
                     let Some(instance) = self.fu_next[ci].iter().position(|&t| t <= now) else {
                         break;
                     };
-                    let f = self.standby[s][ci].pop_front().expect("front exists");
-                    if self.standby[s][ci].is_empty() {
-                        self.standby_mask[ci].remove(s);
-                    }
-                    self.fu_next[ci][instance] = now + f.inst.issue_latency() as u64;
+                    let f = self.standby_pop(s, ci);
+                    self.fu_next[ci][instance] = now + f.di.issue_latency() as u64;
                     if tracing {
                         winner_slots.insert(s);
                         if let Some(sink) = self.sink.as_deref_mut() {
@@ -1168,7 +1508,7 @@ impl Machine {
                                 class,
                                 instance,
                                 pc: f.pc,
-                                busy: f.inst.issue_latency() as u64,
+                                busy: f.di.issue_latency() as u64,
                                 competitors: competing.without(s),
                             });
                         }
@@ -1184,15 +1524,15 @@ impl Machine {
                 let highest = self.prio.highest();
                 let standby = &self.standby;
                 if let Some(sink) = self.sink.as_deref_mut() {
-                    for &s in &order {
-                        for (i, f) in standby[s][ci].iter().enumerate() {
+                    for &s in order {
+                        for (i, f) in standby[s * FU_CLASS_COUNT + ci].iter().enumerate() {
                             if i == 0 {
                                 sink.event(&TraceEvent::FuLoss {
                                     cycle: now,
                                     slot: s,
                                     class,
                                     pc: f.pc,
-                                    gated: f.inst.needs_highest_priority() && highest != s,
+                                    gated: f.di.needs_highest_priority() && highest != s,
                                     winners: winner_slots,
                                 });
                             } else if f.issued_at == now {
@@ -1212,6 +1552,36 @@ impl Machine {
         Ok(())
     }
 
+    /// Debug-build rescan: the occupancy mask, per-slot counts, and
+    /// machine-wide total all agree with the stations themselves.
+    /// Allocation-free so the counting-allocator test can run with
+    /// debug assertions enabled.
+    #[cfg(debug_assertions)]
+    fn standby_bookkeeping_consistent(&self) -> bool {
+        let mut rescan = [SlotSet::EMPTY; FU_CLASS_COUNT];
+        let mut total = 0usize;
+        let mut counts_ok = true;
+        for s in 0..self.slots.len() {
+            let mut slot_count = 0u16;
+            for (ci, mask) in rescan.iter_mut().enumerate() {
+                let n = self.station(s, ci).len();
+                if n > 0 {
+                    mask.insert(s);
+                }
+                slot_count += n as u16;
+                total += n;
+            }
+            counts_ok &= slot_count == self.standby_slot_count[s];
+        }
+        counts_ok && rescan == self.standby_mask && total == self.standby_total
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[allow(dead_code)]
+    fn standby_bookkeeping_consistent(&self) -> bool {
+        true
+    }
+
     fn execute_selected(
         &mut self,
         f: InFlight,
@@ -1219,14 +1589,15 @@ impl Machine {
         instance: usize,
         now: u64,
     ) -> Result<(), MachineError> {
+        debug_assert_fresh_decode(&f.di);
         let ci = class.index();
-        let lat = f.inst.latency();
+        let lat = f.di.latency;
         self.stats.fu_invocations[ci] += 1;
         self.stats.fu_busy[ci] += lat.issue as u64;
         let nlp = self.slots.len() as i64;
         let action =
-            fu_action(&f.inst, f.vals, self.contexts[f.ctx].lpid, nlp).ok_or_else(|| {
-                MachineError::DecodeAtFu { slot: f.slot, pc: f.pc, inst: f.inst.to_string() }
+            fu_action(&f.di.inst, f.vals, self.contexts[f.ctx].lpid, nlp).ok_or_else(|| {
+                MachineError::DecodeAtFu { slot: f.slot, pc: f.pc, inst: f.di.inst.to_string() }
             })?;
         match action {
             FuAction::Write(bits) => {
@@ -1281,7 +1652,7 @@ impl Machine {
     /// Writes a result to its destination: the outgoing queue register
     /// if mapped, the context's register bank otherwise.
     fn write_dest(&mut self, f: &InFlight, bits: u64, now: u64, result_latency: u32) {
-        let Some(d) = f.inst.dest() else { return };
+        let Some(d) = f.di.dest else { return };
         if self.contexts[f.ctx].qwrite == Some(d) {
             let link = self.queues.write_link(f.slot);
             let avail = now + result_latency as u64 + 1;
@@ -1292,6 +1663,14 @@ impl Machine {
             }
         } else {
             self.contexts[f.ctx].regs.write(d, bits, now, result_latency);
+            // A register just left the busy state: any memoized Data
+            // stall of the slot this context is bound to (which can
+            // differ from `f.slot` after a trap migration) may lift.
+            for sl in &mut self.slots {
+                if sl.ctx == Some(f.ctx) {
+                    sl.memo = None;
+                }
+            }
             if let Some(sink) = self.sink.as_deref_mut() {
                 sink.event(&TraceEvent::Writeback {
                     cycle: now,
@@ -1310,18 +1689,21 @@ impl Machine {
     /// remote access completes.
     fn data_absence_trap(&mut self, f: InFlight, ready_at: u64) {
         let s = f.slot;
+        let ls = FuClass::LoadStore.index();
         // Younger memory operations already waiting in the load/store
         // standby queue are flushed into the access requirement buffer
         // too (§2.1.3: outstanding memory requests are saved as part
         // of the context); non-memory standby entries drain normally.
-        let flushed: Vec<(Inst, [u64; 2])> = self.standby[s][FuClass::LoadStore.index()]
-            .drain(..)
-            .map(|g| (g.inst, g.vals))
-            .collect();
-        self.standby_mask[FuClass::LoadStore.index()].remove(s);
+        // The station and the context are disjoint fields, so the
+        // flush moves directly without a temporary buffer.
+        {
+            let station = &self.standby[s * FU_CLASS_COUNT + ls];
+            let ctx = &mut self.contexts[f.ctx];
+            ctx.replay.push((f.di.inst, f.vals));
+            ctx.replay.extend(station.iter().map(|g| (g.di.inst, g.vals)));
+        }
+        self.standby_clear(s, ls);
         let ctx = &mut self.contexts[f.ctx];
-        ctx.replay.push((f.inst, f.vals));
-        ctx.replay.extend(flushed);
         ctx.state = CtxState::Waiting { until: ready_at };
         // Save the restart point: the oldest unissued instruction.
         let resume = self.slots[s]

@@ -1,0 +1,270 @@
+//! One-time lowering of a [`Program`] into a dense predecoded
+//! instruction store.
+//!
+//! The cycle loop interrogates every window entry several times per
+//! cycle — functional-unit class, source and destination registers,
+//! memory/priority classification, latencies. Recomputing those from
+//! the [`Inst`] enum on every query keeps the simulator correct but
+//! slow; [`PredecodedProgram`] computes them once at load time into a
+//! flat [`DecodedInst`] array indexed by instruction address, and
+//! machines share the store through an [`std::sync::Arc`] instead of
+//! cloning the whole program (labels included) per machine.
+//!
+//! The lowering is pure derivation: every field of a [`DecodedInst`]
+//! is a function of its [`Inst`]. Debug builds re-check that
+//! invariant on the execution path (see
+//! [`crate::exec`]'s `debug_assert_fresh_decode`), and the
+//! `predecode` integration test sweeps every instruction form.
+
+use std::sync::Arc;
+
+use hirata_isa::{DataSegment, FuClass, Inst, Latency, Program, Reg};
+
+use crate::error::MachineError;
+
+/// Classification flags precomputed from an instruction (bit set in
+/// [`DecodedInst::flags`]).
+pub mod flags {
+    /// Memory operation (load or store).
+    pub const IS_MEM: u8 = 1 << 0;
+    /// Store (subset of `IS_MEM`).
+    pub const IS_STORE: u8 = 1 << 1;
+    /// Interlocks until the issuing slot holds the highest priority
+    /// (`chgpri`, `killothers`, gated stores).
+    pub const NEEDS_HIGHEST: u8 = 1 << 2;
+    /// Redirects control flow (branches and jumps).
+    pub const IS_CONTROL: u8 = 1 << 3;
+    /// Executed entirely inside the decode unit (no functional-unit
+    /// class).
+    pub const DECODE_UNIT: u8 = 1 << 4;
+}
+
+/// One instruction with every hot-loop-relevant property resolved at
+/// load time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodedInst {
+    /// The architectural instruction (still needed for execution
+    /// semantics and tracing).
+    pub inst: Inst,
+    /// Functional-unit class, or `None` for decode-unit instructions.
+    pub fu: Option<FuClass>,
+    /// Source registers read (at most two).
+    pub srcs: [Option<Reg>; 2],
+    /// Destination register written, if any.
+    pub dest: Option<Reg>,
+    /// Dense-index bitmask of `srcs` (see [`Reg::dense_index`]).
+    pub src_mask: u64,
+    /// Dense-index bitmask of `dest`.
+    pub dest_mask: u64,
+    /// Issue/result latency per Table 1.
+    pub latency: Latency,
+    /// Classification bits from [`flags`].
+    pub flags: u8,
+}
+
+impl DecodedInst {
+    /// Lowers one instruction. The result is a pure function of
+    /// `inst`; see the module docs.
+    pub fn of(inst: Inst) -> Self {
+        let srcs = inst.srcs();
+        let dest = inst.dest();
+        let mut src_mask = 0u64;
+        for r in srcs.into_iter().flatten() {
+            src_mask |= 1u64 << r.dense_index();
+        }
+        let dest_mask = dest.map_or(0, |d| 1u64 << d.dense_index());
+        let fu = inst.fu_class();
+        let mut fl = 0u8;
+        if inst.is_mem() {
+            fl |= flags::IS_MEM;
+        }
+        if matches!(inst, Inst::Store { .. }) {
+            fl |= flags::IS_STORE;
+        }
+        if inst.needs_highest_priority() {
+            fl |= flags::NEEDS_HIGHEST;
+        }
+        if inst.is_control() {
+            fl |= flags::IS_CONTROL;
+        }
+        if fu.is_none() {
+            fl |= flags::DECODE_UNIT;
+        }
+        DecodedInst {
+            inst,
+            fu,
+            srcs,
+            dest,
+            src_mask,
+            dest_mask,
+            latency: inst.latency(),
+            flags: fl,
+        }
+    }
+
+    /// Memory operation?
+    #[inline]
+    pub fn is_mem(&self) -> bool {
+        self.flags & flags::IS_MEM != 0
+    }
+
+    /// Store?
+    #[inline]
+    pub fn is_store(&self) -> bool {
+        self.flags & flags::IS_STORE != 0
+    }
+
+    /// Priority-gated store (`swp`/`sfp`)?
+    #[inline]
+    pub fn is_gated_store(&self) -> bool {
+        const GATED: u8 = flags::IS_STORE | flags::NEEDS_HIGHEST;
+        self.flags & GATED == GATED
+    }
+
+    /// Interlocks until the issuing slot holds the highest priority?
+    #[inline]
+    pub fn needs_highest_priority(&self) -> bool {
+        self.flags & flags::NEEDS_HIGHEST != 0
+    }
+
+    /// Executed inside the decode unit (no functional-unit class)?
+    #[inline]
+    pub fn is_decode_unit(&self) -> bool {
+        self.flags & flags::DECODE_UNIT != 0
+    }
+
+    /// Issue latency (cycles the functional unit is held).
+    #[inline]
+    pub fn issue_latency(&self) -> u32 {
+        self.latency.issue
+    }
+}
+
+/// A program lowered once into dense [`DecodedInst`] entries, shared
+/// between machines by `Arc` (see [`crate::Machine::from_predecoded`]).
+///
+/// Label metadata is dropped at this point — the machine resolves
+/// nothing at run time — which is also why sharing the predecoded form
+/// beats cloning the [`Program`] per machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredecodedProgram {
+    insts: Box<[DecodedInst]>,
+    data: Vec<DataSegment>,
+    entry: u32,
+}
+
+impl PredecodedProgram {
+    /// Validates and lowers `program`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError`] if the program fails
+    /// [`Program::validate`] or has no instructions.
+    pub fn new(program: &Program) -> Result<Self, MachineError> {
+        program.validate()?;
+        if program.is_empty() {
+            return Err(MachineError::EmptyProgram);
+        }
+        Ok(PredecodedProgram {
+            insts: program.insts.iter().map(|&i| DecodedInst::of(i)).collect(),
+            data: program.data.clone(),
+            entry: program.entry,
+        })
+    }
+
+    /// Convenience: lower and wrap in an [`Arc`] for sharing across
+    /// machines.
+    ///
+    /// # Errors
+    ///
+    /// As for [`PredecodedProgram::new`].
+    pub fn shared(program: &Program) -> Result<Arc<Self>, MachineError> {
+        Self::new(program).map(Arc::new)
+    }
+
+    /// The decoded instruction store, indexed by instruction address.
+    #[inline]
+    pub fn insts(&self) -> &[DecodedInst] {
+        &self.insts
+    }
+
+    /// Number of instructions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True if the program has no instructions (never the case for a
+    /// constructed `PredecodedProgram`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Initial data segments.
+    pub fn data(&self) -> &[DataSegment] {
+        &self.data
+    }
+
+    /// Entry address.
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hirata_asm::assemble;
+    use hirata_isa::{GReg, GSrc, IntOp};
+
+    #[test]
+    fn lowering_matches_accessors() {
+        let inst =
+            Inst::IntOp { op: IntOp::Mul, rd: GReg(1), rs: GReg(2), src2: GSrc::Reg(GReg(3)) };
+        let d = DecodedInst::of(inst);
+        assert_eq!(d.fu, inst.fu_class());
+        assert_eq!(d.srcs, inst.srcs());
+        assert_eq!(d.dest, inst.dest());
+        assert_eq!(d.latency, inst.latency());
+        assert_eq!(d.src_mask, (1 << 2) | (1 << 3));
+        assert_eq!(d.dest_mask, 1 << 1);
+        assert!(!d.is_mem() && !d.needs_highest_priority() && !d.is_decode_unit());
+    }
+
+    #[test]
+    fn gated_store_flags() {
+        let d = DecodedInst::of(Inst::Store {
+            src: Reg::G(GReg(1)),
+            base: GReg(2),
+            off: 0,
+            gated: true,
+        });
+        assert!(d.is_mem() && d.is_store() && d.is_gated_store() && d.needs_highest_priority());
+        let plain = DecodedInst::of(Inst::Store {
+            src: Reg::G(GReg(1)),
+            base: GReg(2),
+            off: 0,
+            gated: false,
+        });
+        assert!(plain.is_store() && !plain.is_gated_store());
+    }
+
+    #[test]
+    fn program_lowering_preserves_data_and_entry() {
+        let prog = assemble("li r1, #1\nsw r1, 0(r0)\nhalt").unwrap();
+        let pre = PredecodedProgram::new(&prog).unwrap();
+        assert_eq!(pre.len(), prog.insts.len());
+        assert_eq!(pre.entry(), prog.entry);
+        assert_eq!(pre.data(), prog.data.as_slice());
+        for (d, &i) in pre.insts().iter().zip(&prog.insts) {
+            assert_eq!(d.inst, i);
+        }
+    }
+
+    #[test]
+    fn empty_program_is_rejected() {
+        let prog = Program::default();
+        assert!(matches!(PredecodedProgram::new(&prog), Err(MachineError::EmptyProgram)));
+    }
+}

@@ -40,6 +40,15 @@ impl RegBank {
         self.ready[reg.dense_index()] <= now
     }
 
+    /// The first cycle at which `reg` can be read ([`u64::MAX`] while
+    /// the producer awaits selection). Used to bound stall memos.
+    pub(crate) fn ready_time(&self, reg: Reg) -> u64 {
+        if reg == Reg::G(GReg::ZERO) {
+            return 0;
+        }
+        self.ready[reg.dense_index()]
+    }
+
     /// Marks `reg` busy from issue until the producer is scheduled.
     pub(crate) fn mark_busy(&mut self, reg: Reg) {
         if reg == Reg::G(GReg::ZERO) {
@@ -99,6 +108,18 @@ impl RegBank {
     pub(crate) fn poke_f(&mut self, reg: FReg, value: f64) {
         self.fvals[reg.0 as usize] = value;
         self.ready[Reg::F(reg).dense_index()] = 0;
+    }
+
+    /// Copies the architectural state (values only) of `src` into this
+    /// bank and clears the scoreboard. Used by `fastfork`, which
+    /// interlocks until the parent bank is quiescent
+    /// ([`Self::all_ready`]), so dropping the parent's ready times
+    /// loses nothing — every register is readable immediately in the
+    /// child, exactly as a full clone of a quiescent bank would be.
+    pub(crate) fn copy_arch_from(&mut self, src: &RegBank) {
+        self.gvals = src.gvals;
+        self.fvals = src.fvals;
+        self.ready = [0; NUM_GREGS + NUM_FREGS];
     }
 
     /// The raw architectural image of the bank: the 32 integer

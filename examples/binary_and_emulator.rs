@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Cycle-level machine; memory images must agree exactly.
     let mut machine = Machine::new(Config::multithreaded(4), &reconstituted)?;
-    let stats = machine.run()?;
+    let stats = machine.run()?.clone();
     println!("machine:  {} cycles, IPC {:.2}", stats.cycles, stats.ipc());
     let total_emu: f64 = (0..4).map(|lp| emu.memory.read_f64(100 + lp).unwrap()).sum();
     let total_mach: f64 = (0..4).map(|lp| machine.memory().read_f64(100 + lp).unwrap()).sum();

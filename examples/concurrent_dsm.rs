@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for _ in 1..frames {
             machine.add_thread(0)?;
         }
-        let stats = machine.run()?;
+        let stats = machine.run()?.clone();
         // Every thread's checksum must be exact regardless of how the
         // context switching interleaved them.
         for lp in 0..frames {

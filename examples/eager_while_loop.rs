@@ -33,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for slots in [2usize, 3, 4, 6, 8] {
         let mut m = Machine::new(Config::multithreaded(slots), &program)?;
-        let stats = m.run()?;
+        let stats = m.run()?.clone();
         // The breaking thread's gated store must match the reference.
         assert_eq!(
             m.memory().read_f64(RESULT_ADDR)?,

@@ -42,12 +42,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for slots in [1usize, 2, 4, 8] {
             let program = kernel.program(n, &inputs, strategy);
             let mut machine = Machine::new(Config::multithreaded(slots), &program)?;
-            let stats = machine.run()?;
+            let cycles = machine.run()?.cycles;
             // Results must match the reference evaluator exactly.
             for (i, want) in reference.iter().enumerate() {
                 assert_eq!(machine.memory().read_f64(1000 + i as u64)?, *want);
             }
-            println!("{:>22} {slots:>7} {:>10}", format!("{strategy:?}"), stats.cycles);
+            println!("{:>22} {slots:>7} {cycles:>10}", format!("{strategy:?}"));
         }
     }
     println!("\nevery configuration computed the identical stencil, bit for bit");

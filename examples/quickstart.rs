@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let slots = config.thread_slots;
         let mut machine = Machine::new(config, &program)?;
-        let stats = machine.run()?;
+        let stats = machine.run()?.clone();
         let total: i64 = (0..slots)
             .map(|lp| machine.memory().read_i64(100 + lp as u64))
             .collect::<Result<Vec<_>, _>>()?

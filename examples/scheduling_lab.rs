@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         {
             let program = kernel1_program(n, strategy);
             let mut machine = Machine::new(Config::multithreaded(slots), &program)?;
-            let stats = machine.run()?;
+            let stats = machine.run()?.clone();
             // Whatever the schedule, the numerics must be identical.
             for (k, want) in reference.iter().enumerate() {
                 assert_eq!(machine.memory().read_f64(X_BASE as u64 + k as u64)?, *want);

@@ -40,9 +40,9 @@
 //!     halt
 //! ")?;
 //! let mut machine = Machine::new(Config::multithreaded(2), &program)?;
-//! let stats = machine.run()?;
+//! let cycles = machine.run()?.cycles;
 //! assert_eq!(machine.memory().read_i64(101)?, 1);
-//! assert!(stats.cycles > 0);
+//! assert!(cycles > 0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
