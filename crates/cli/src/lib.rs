@@ -11,6 +11,10 @@
 //!                                          architectural emulator (no timing)
 //! hirata lab    <file.s> [options]        sweep a config grid through the
 //!                                          parallel execution engine
+//! hirata serve  [options]                 simulation-as-a-service daemon
+//! hirata submit <file.s> [options]        run a sweep on a serve daemon
+//! hirata stats  [--addr A]                daemon and artifact-store counters
+//! hirata shutdown [--addr A]              stop a serve daemon
 //!
 //! run options:
 //!   --slots N         thread slots (default 1)
@@ -30,6 +34,23 @@
 //!   --jobs N          engine worker threads (default: one per CPU)
 //!   --no-cache        simulate every point even if cached
 //!   --timeout SECS    per-job wall-clock timeout
+//!
+//! serve options:
+//!   --addr A          bind address (default 127.0.0.1:8080; port 0 ephemeral)
+//!   --http-workers N  concurrent connections served (default 4)
+//!   --jobs N          simulation workers per submission (default: one per CPU)
+//!   --cache-dir D     artifact-store directory (default: the lab cache)
+//!   --cache-budget B  LRU byte budget for the artifact store
+//!   --no-cache        disable the artifact store
+//!   --trace-dir D     Chrome trace directory (default target/serve-traces)
+//!
+//! submit options:
+//!   --addr A          daemon address (default 127.0.0.1:8080)
+//!   --slots LIST      comma-separated slot counts (default 1,2,4,8)
+//!   --ls LIST         load/store units per point, from {1,2} (default 1)
+//!   --mode M          pool (default) or interleaved
+//!   --timeout SECS    per-job wall-clock timeout
+//!   --trace           record Chrome trace artifacts daemon-side (pool mode)
 //!
 //! trace options:
 //!   --slots N         thread slots (default 1)
@@ -53,6 +74,7 @@ mod debugger;
 pub use debugger::debug_session;
 
 use std::fmt::Write as _;
+use std::io::IsTerminal;
 
 use hirata_isa::FuConfig;
 use hirata_sim::{Config, Machine};
@@ -89,7 +111,13 @@ pub const USAGE: &str = "usage:
   hirata debug  <file.s> [--slots N]    (commands on stdin: s/c/b/r/f/m/i/q)
   hirata emu    <file.s> [--slots N] [--dump A..B]
   hirata lab    <file.s> [--slots LIST] [--ls LIST] [--jobs N]
-                         [--no-cache] [--timeout SECS]";
+                         [--no-cache] [--timeout SECS]
+  hirata serve  [--addr A] [--http-workers N] [--jobs N] [--cache-dir D]
+                         [--cache-budget B] [--no-cache] [--trace-dir D]
+  hirata submit <file.s> [--addr A] [--slots LIST] [--ls LIST]
+                         [--mode pool|interleaved] [--timeout SECS] [--trace]
+  hirata stats  [--addr A]
+  hirata shutdown [--addr A]";
 
 /// Executes the command line (without the program name); returns the
 /// stdout text.
@@ -127,6 +155,10 @@ pub fn execute(
         "run" => run(&args[1..], read),
         "trace" => trace_cmd(&args[1..], read),
         "lab" => lab(&args[1..], read),
+        "serve" => serve_cmd(&args[1..]),
+        "submit" => submit_cmd(&args[1..], read),
+        "stats" => stats_cmd(&args[1..]),
+        "shutdown" => shutdown_cmd(&args[1..]),
         "emu" => {
             let mut path: Option<&String> = None;
             let mut slots = 1usize;
@@ -480,47 +512,55 @@ fn lab(
         engine = engine.without_cache();
     }
 
-    let mut grid = Vec::new();
-    let mut batch_jobs = Vec::new();
-    for &ls in &ls_list {
-        for &slots in &slots_list {
-            let fu = if ls == 2 { FuConfig::paper_two_ls() } else { FuConfig::paper_one_ls() };
-            let config = Config::multithreaded(slots).with_fu(fu);
+    // The engine's own progress line is replaced by per-job `k/n`
+    // lines from the completion hook below.
+    engine = engine.quiet();
+
+    let grid = hirata_serve::sweep_grid(&slots_list, &ls_list);
+    let batch_jobs: Vec<hirata_lab::Job> = grid
+        .iter()
+        .map(|&(slots, ls)| {
             let mut job = hirata_lab::Job::new(
                 format!("{path} s{slots} {ls}LS"),
-                config,
+                hirata_serve::sweep_config(slots, ls),
                 std::sync::Arc::clone(&program),
             );
             if let Some(secs) = timeout {
                 job = job.with_timeout(std::time::Duration::from_secs(secs));
             }
-            grid.push((slots, ls));
-            batch_jobs.push(job);
-        }
-    }
+            job
+        })
+        .collect();
 
-    let batch = engine.run_batch(batch_jobs);
-    let mut out = String::new();
-    let _ = writeln!(out, "{path}: {} grid points, {} workers", grid.len(), engine.workers());
-    let _ =
-        writeln!(out, "{:>6} {:>4} {:>12} {:>7} {:>9}", "slots", "ls", "cycles", "ipc", "speedup");
-    let base_cycles = batch.results.iter().find_map(|r| r.as_ref().ok().map(|o| o.stats.cycles));
-    for ((slots, ls), result) in grid.iter().zip(&batch.results) {
-        match result {
-            Ok(out_job) => {
-                let cycles = out_job.stats.cycles;
-                let speedup = base_cycles.map(|b| b as f64 / cycles as f64).unwrap_or(1.0);
-                let _ = writeln!(
-                    out,
-                    "{slots:>6} {ls:>4} {cycles:>12} {:>7.3} {speedup:>9.2}",
-                    out_job.stats.ipc()
-                );
-            }
-            Err(err) => {
-                let _ = writeln!(out, "{slots:>6} {ls:>4} {:>12} ({err})", "failed");
-            }
+    let live = std::io::stderr().is_terminal();
+    let batch = engine.run_batch_observed(batch_jobs, &mut |summary| {
+        if live {
+            let provenance = match (summary.cached, summary.result.is_ok()) {
+                (true, _) => "cached",
+                (false, true) => "simulated",
+                (false, false) => "failed",
+            };
+            eprintln!(
+                "[lab] {}/{} {} ({provenance})",
+                summary.finished, summary.total, summary.name
+            );
         }
-    }
+    });
+    eprintln!("[lab] {}", batch.report);
+
+    let rows: Vec<hirata_serve::SweepRow> = grid
+        .iter()
+        .zip(&batch.results)
+        .map(|(&(slots, ls), result)| hirata_serve::SweepRow {
+            slots,
+            ls,
+            outcome: match result {
+                Ok(out_job) => Ok((out_job.stats.cycles, out_job.stats.instructions)),
+                Err(err) => Err(err.to_string()),
+            },
+        })
+        .collect();
+    let out = hirata_serve::render_sweep_table(path, engine.workers(), &rows);
     if batch.report.failed > 0 {
         return Err(CliError::Failure(format!(
             "{} of {} grid points failed\n{out}",
@@ -529,6 +569,159 @@ fn lab(
         )));
     }
     Ok(out)
+}
+
+/// Default daemon address shared by `serve`, `submit`, `stats`, and
+/// `shutdown`.
+const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:8080";
+
+/// `hirata serve`: boot the simulation-as-a-service daemon and block
+/// until a `POST /shutdown` arrives.
+fn serve_cmd(args: &[String]) -> Result<String, CliError> {
+    let mut config =
+        hirata_serve::server::ServeConfig { addr: DEFAULT_SERVE_ADDR.into(), ..Default::default() };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                config.addr = take_value("--addr", it.next())?;
+            }
+            "--http-workers" => config.http_workers = parse_num("--http-workers", it.next())?,
+            "--jobs" => config.sim_workers = Some(parse_num("--jobs", it.next())?),
+            "--cache-dir" => config.cache_dir = Some(take_value("--cache-dir", it.next())?.into()),
+            "--cache-budget" => {
+                config.cache_budget = Some(parse_num::<u64>("--cache-budget", it.next())?)
+            }
+            "--no-cache" => config.no_cache = true,
+            "--trace-dir" => config.trace_dir = take_value("--trace-dir", it.next())?.into(),
+            flag => return Err(CliError::Usage(format!("unknown flag `{flag}`\n{USAGE}"))),
+        }
+    }
+    let server = hirata_serve::server::Server::bind(config)
+        .map_err(|e| CliError::Failure(format!("cannot bind daemon: {e}")))?;
+    let addr = server.local_addr();
+    server.run().map_err(|e| CliError::Failure(format!("daemon failed: {e}")))?;
+    Ok(format!("serve: {addr} shut down\n"))
+}
+
+/// `hirata submit`: run a sweep on a remote daemon; the result table
+/// is byte-identical to `hirata lab` on the same grid.
+fn submit_cmd(
+    args: &[String],
+    read: impl Fn(&str) -> std::io::Result<String>,
+) -> Result<String, CliError> {
+    let mut path: Option<&String> = None;
+    let mut addr = DEFAULT_SERVE_ADDR.to_string();
+    let mut slots_list = vec![1usize, 2, 4, 8];
+    let mut ls_list = vec![1usize];
+    let mut mode = hirata_serve::client::Mode::Pool;
+    let mut timeout: Option<u64> = None;
+    let mut trace = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = take_value("--addr", it.next())?,
+            "--slots" => slots_list = parse_list("--slots", it.next())?,
+            "--ls" => ls_list = parse_list("--ls", it.next())?,
+            "--mode" => {
+                mode = match take_value("--mode", it.next())?.as_str() {
+                    "pool" => hirata_serve::client::Mode::Pool,
+                    "interleaved" => hirata_serve::client::Mode::Interleaved,
+                    other => {
+                        return Err(CliError::Usage(format!("unknown mode `{other}`\n{USAGE}")))
+                    }
+                }
+            }
+            "--timeout" => timeout = Some(parse_num::<u64>("--timeout", it.next())?),
+            "--trace" => trace = true,
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!("unknown flag `{flag}`\n{USAGE}")))
+            }
+            _ if path.is_none() => path = Some(arg),
+            _ => return Err(CliError::Usage(format!("unexpected argument `{arg}`\n{USAGE}"))),
+        }
+    }
+    let path = path.ok_or_else(|| CliError::Usage(USAGE.into()))?;
+    if slots_list.is_empty() || slots_list.contains(&0) {
+        return Err(CliError::Usage(format!("--slots needs positive counts\n{USAGE}")));
+    }
+    if ls_list.is_empty() || ls_list.iter().any(|&ls| ls != 1 && ls != 2) {
+        return Err(CliError::Usage(format!("--ls entries must be 1 or 2\n{USAGE}")));
+    }
+    let source = read(path).map_err(|e| CliError::Failure(format!("cannot read `{path}`: {e}")))?;
+
+    let request = hirata_serve::client::SubmitRequest {
+        name: path.clone(),
+        program: source,
+        slots: slots_list,
+        ls: ls_list,
+        mode,
+        timeout_secs: timeout,
+        trace,
+    };
+    let live = std::io::stderr().is_terminal();
+    let outcome = hirata_serve::client::submit(&addr, &request, &mut |finished, total| {
+        if live {
+            eprintln!("[submit] {finished}/{total} done");
+        }
+    })
+    .map_err(|e| CliError::Failure(format!("submit to {addr} failed: {e}")))?;
+
+    let rows: Vec<hirata_serve::SweepRow> = outcome
+        .rows
+        .iter()
+        .map(|row| hirata_serve::SweepRow {
+            slots: row.slots,
+            ls: row.ls,
+            outcome: row.outcome.clone(),
+        })
+        .collect();
+    let out = hirata_serve::render_sweep_table(path, outcome.workers, &rows);
+    if outcome.failed > 0 {
+        return Err(CliError::Failure(format!(
+            "{} of {} grid points failed\n{out}",
+            outcome.failed,
+            rows.len()
+        )));
+    }
+    Ok(out)
+}
+
+/// `hirata stats`: pretty-print a daemon's `/stats` document.
+fn stats_cmd(args: &[String]) -> Result<String, CliError> {
+    let addr = addr_only_args("stats", args)?;
+    let stats = hirata_serve::client::fetch_stats(&addr)
+        .map_err(|e| CliError::Failure(format!("stats from {addr} failed: {e}")))?;
+    Ok(format!("{}\n", stats.render_pretty()))
+}
+
+/// `hirata shutdown`: gracefully stop a daemon.
+fn shutdown_cmd(args: &[String]) -> Result<String, CliError> {
+    let addr = addr_only_args("shutdown", args)?;
+    hirata_serve::client::shutdown(&addr)
+        .map_err(|e| CliError::Failure(format!("shutdown of {addr} failed: {e}")))?;
+    Ok(format!("shutdown: {addr} asked to stop\n"))
+}
+
+/// Parses the `[--addr A]`-only argument form of `stats`/`shutdown`.
+fn addr_only_args(cmd: &str, args: &[String]) -> Result<String, CliError> {
+    let mut addr = DEFAULT_SERVE_ADDR.to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = take_value("--addr", it.next())?,
+            flag => {
+                return Err(CliError::Usage(format!("{cmd}: unknown argument `{flag}`\n{USAGE}")))
+            }
+        }
+    }
+    Ok(addr)
+}
+
+/// Requires a flag's value argument.
+fn take_value(flag: &str, value: Option<&String>) -> Result<String, CliError> {
+    value.cloned().ok_or_else(|| CliError::Usage(format!("{flag} needs a value\n{USAGE}")))
 }
 
 /// Parses a comma-separated list of numbers (`1,2,4`).
@@ -709,6 +902,56 @@ mod tests {
         // One table row per grid point, every point completed.
         assert_eq!(out.matches("\n     1").count() + out.matches("\n     2").count(), 4, "{out}");
         assert!(!out.contains("failed"), "{out}");
+    }
+
+    /// `hirata submit` against a live daemon prints the exact bytes
+    /// `hirata lab` prints for the same grid — the contract that lets
+    /// CI diff the two paths.
+    #[test]
+    fn submit_table_matches_lab_table() {
+        let cache = std::env::temp_dir().join(format!("hirata-cli-submit-{}", std::process::id()));
+        let config = hirata_serve::server::ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            http_workers: 2,
+            sim_workers: Some(2),
+            cache_dir: Some(cache.clone()),
+            quiet: true,
+            ..Default::default()
+        };
+        let (addr, handle) = hirata_serve::server::Server::spawn(config).expect("daemon boots");
+
+        let local =
+            execute(&args("lab prog.s --slots 1,2 --ls 1 --jobs 2 --no-cache"), fake_fs(PROG))
+                .unwrap();
+        let remote = execute(
+            &args(&format!("submit prog.s --slots 1,2 --ls 1 --addr {addr}")),
+            fake_fs(PROG),
+        )
+        .unwrap();
+        assert_eq!(remote, local, "remote and local tables differ");
+
+        // Resubmission is served from the artifact store, bytes
+        // unchanged; interleaved mode reports its single-lane header.
+        let cached = execute(
+            &args(&format!("submit prog.s --slots 1,2 --ls 1 --addr {addr}")),
+            fake_fs(PROG),
+        )
+        .unwrap();
+        assert_eq!(cached, local);
+        let interleaved = execute(
+            &args(&format!("submit prog.s --slots 1,2 --ls 1 --mode interleaved --addr {addr}")),
+            fake_fs(PROG),
+        )
+        .unwrap();
+        assert!(interleaved.contains("2 grid points, 1 workers"), "{interleaved}");
+
+        let stats = execute(&args(&format!("stats --addr {addr}")), fake_fs(PROG)).unwrap();
+        assert!(stats.contains("\"submissions\": 3"), "{stats}");
+
+        let bye = execute(&args(&format!("shutdown --addr {addr}")), fake_fs(PROG)).unwrap();
+        assert!(bye.contains("asked to stop"));
+        handle.join().expect("daemon thread").expect("clean exit");
+        let _ = std::fs::remove_dir_all(cache);
     }
 
     #[test]

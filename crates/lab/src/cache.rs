@@ -1,4 +1,4 @@
-//! Content-addressed on-disk result cache.
+//! Content-addressed on-disk result cache / shared artifact store.
 //!
 //! Each successfully simulated job is stored as a small text file
 //! named by the job's content hash. The first line of every entry is
@@ -6,10 +6,32 @@
 //! older serialization, or results from before a simulator-semantics
 //! change) fail the header check and read as misses, so stale entries
 //! self-invalidate without any explicit migration.
+//!
+//! A [`DiskCache`] handle is a cheap [`Arc`]-shared reference to one
+//! store, safe to clone across threads: the `hirata serve` daemon
+//! shares a single store between its HTTP workers, the batch engine,
+//! and the artifact endpoints. Concurrency safety comes from two
+//! layers:
+//!
+//! - **writes are atomic** — every store goes to a process+sequence
+//!   unique temp file and is renamed into place, so a concurrent
+//!   reader (same process or another one) never observes a torn entry;
+//! - **the in-process index is lock-guarded** — eviction decisions,
+//!   byte accounting, and the hit/miss/eviction counters live behind
+//!   one mutex.
+//!
+//! With a byte budget set ([`DiskCache::with_byte_budget`]) the store
+//! evicts least-recently-used entries after each write until it fits.
+//! Counters are per-process and surfaced by [`DiskCache::stats`] (the
+//! daemon's `/stats` endpoint).
 
+use std::collections::HashMap;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::SystemTime;
 
 use hirata_mem::MemStats;
 use hirata_sim::{RunStats, StallBreakdown, StallWindow};
@@ -34,11 +56,91 @@ pub fn default_cache_dir() -> PathBuf {
     }
 }
 
-/// A directory of cached job outputs keyed by content hash.
-#[derive(Debug, Clone)]
-pub struct DiskCache {
+/// Per-process observability counters of a [`DiskCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the store.
+    pub hits: u64,
+    /// Lookups that found no (valid) entry.
+    pub misses: u64,
+    /// Entries written.
+    pub stores: u64,
+    /// Entries removed to satisfy the byte budget.
+    pub evictions: u64,
+    /// Bytes currently indexed.
+    pub bytes: u64,
+    /// Entries currently indexed.
+    pub entries: u64,
+}
+
+/// One indexed entry: its size and its last-use stamp (monotonic
+/// per-process sequence; seeded from file modification times when an
+/// existing directory is opened).
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    size: u64,
+    last_use: u64,
+}
+
+#[derive(Debug, Default)]
+struct Index {
+    entries: HashMap<String, Entry>,
+    budget: Option<u64>,
+    bytes: u64,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    stores: u64,
+    evictions: u64,
+}
+
+impl Index {
+    fn touch(&mut self, key: &str, size: u64) {
+        self.clock += 1;
+        let clock = self.clock;
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                self.bytes = self.bytes - entry.size + size;
+                entry.size = size;
+                entry.last_use = clock;
+            }
+            None => {
+                self.entries.insert(key.to_owned(), Entry { size, last_use: clock });
+                self.bytes += size;
+            }
+        }
+    }
+
+    fn forget(&mut self, key: &str) {
+        if let Some(entry) = self.entries.remove(key) {
+            self.bytes -= entry.size;
+        }
+    }
+
+    /// The least-recently-used key, excluding `keep`.
+    fn lru_victim(&self, keep: &str) -> Option<String> {
+        self.entries
+            .iter()
+            .filter(|(key, _)| key.as_str() != keep)
+            .min_by_key(|(key, entry)| (entry.last_use, key.as_str().to_owned()))
+            .map(|(key, _)| key.clone())
+    }
+}
+
+#[derive(Debug)]
+struct Shared {
     dir: PathBuf,
     tag: String,
+    index: Mutex<Index>,
+    tmp_seq: AtomicU64,
+}
+
+/// A directory of cached job outputs keyed by content hash; a handle
+/// is an `Arc`-shared reference to one store (clones share the index,
+/// budget, and counters).
+#[derive(Debug, Clone)]
+pub struct DiskCache {
+    shared: Arc<Shared>,
 }
 
 impl DiskCache {
@@ -53,36 +155,175 @@ impl DiskCache {
     pub fn open_with_tag(dir: impl Into<PathBuf>, tag: &str) -> io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
-        Ok(DiskCache { dir, tag: tag.to_owned() })
+        let mut index = Index::default();
+        seed_index(&dir, &mut index);
+        Ok(DiskCache {
+            shared: Arc::new(Shared {
+                dir,
+                tag: tag.to_owned(),
+                index: Mutex::new(index),
+                tmp_seq: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// Caps the store at `bytes` of entries: after every write the
+    /// least-recently-used entries are deleted until the total fits.
+    /// The entry just written is evicted only if it alone exceeds the
+    /// budget. Existing over-budget contents shrink on the next store.
+    #[must_use]
+    pub fn with_byte_budget(self, bytes: u64) -> Self {
+        self.shared.index.lock().expect("cache index").budget = Some(bytes);
+        self
     }
 
     /// The cache directory.
     pub fn dir(&self) -> &Path {
-        &self.dir
+        &self.shared.dir
+    }
+
+    /// The configured byte budget, if any.
+    pub fn byte_budget(&self) -> Option<u64> {
+        self.shared.index.lock().expect("cache index").budget
+    }
+
+    /// A snapshot of the per-process counters.
+    pub fn stats(&self) -> CacheStats {
+        let index = self.shared.index.lock().expect("cache index");
+        CacheStats {
+            hits: index.hits,
+            misses: index.misses,
+            stores: index.stores,
+            evictions: index.evictions,
+            bytes: index.bytes,
+            entries: index.entries.len() as u64,
+        }
     }
 
     /// Looks up a job output by content hash. Any missing file,
     /// header mismatch, or parse failure reads as a miss.
     pub fn load(&self, key: &str) -> Option<JobOutput> {
+        let out = self.load_uncounted(key);
+        let mut index = self.shared.index.lock().expect("cache index");
+        match &out {
+            // The filesystem is the source of truth (another process
+            // may have written the entry); mirror it into the index.
+            Some(_) => {
+                index.hits += 1;
+                let size = fs::metadata(self.entry_path(key)).map(|m| m.len()).unwrap_or(0);
+                index.touch(key, size);
+            }
+            None => {
+                index.misses += 1;
+                if !self.entry_path(key).exists() {
+                    index.forget(key);
+                }
+            }
+        }
+        out
+    }
+
+    /// [`DiskCache::load`] without touching the LRU order or counters
+    /// (used by artifact endpoints that must not perturb eviction
+    /// accounting, and internally).
+    pub fn peek(&self, key: &str) -> Option<JobOutput> {
+        self.load_uncounted(key)
+    }
+
+    fn load_uncounted(&self, key: &str) -> Option<JobOutput> {
+        if !valid_key(key) {
+            return None;
+        }
         let text = fs::read_to_string(self.entry_path(key)).ok()?;
         let mut lines = text.lines();
-        if lines.next()? != self.tag {
+        if lines.next()? != self.shared.tag {
             return None;
         }
         parse_entry(lines)
     }
 
     /// Stores a job output under its content hash. The write is
-    /// atomic (temp file + rename) so concurrent readers never see a
-    /// torn entry.
+    /// atomic (unique temp file + rename) so concurrent readers and
+    /// writers — in this process or another sharing the directory —
+    /// never see a torn entry. With a byte budget set,
+    /// least-recently-used entries are evicted afterwards until the
+    /// store fits.
     pub fn store(&self, key: &str, out: &JobOutput) -> io::Result<()> {
-        let tmp = self.dir.join(format!(".tmp-{key}-{}", std::process::id()));
-        fs::write(&tmp, render_entry(&self.tag, out))?;
-        fs::rename(&tmp, self.entry_path(key))
+        if !valid_key(key) {
+            return Err(io::Error::new(io::ErrorKind::InvalidInput, format!("bad key `{key}`")));
+        }
+        let body = render_entry(&self.shared.tag, out);
+        // The sequence number makes the temp name unique even for two
+        // threads of one process storing the same key concurrently.
+        let seq = self.shared.tmp_seq.fetch_add(1, Ordering::Relaxed);
+        let tmp = self.shared.dir.join(format!(".tmp-{key}-{}-{seq}", std::process::id()));
+        fs::write(&tmp, &body)?;
+        fs::rename(&tmp, self.entry_path(key))?;
+
+        let mut index = self.shared.index.lock().expect("cache index");
+        index.stores += 1;
+        index.touch(key, body.len() as u64);
+        if let Some(budget) = index.budget {
+            while index.bytes > budget {
+                // Evict others first; the just-written entry goes only
+                // if it alone is over budget.
+                let Some(victim) = index.lru_victim(key) else { break };
+                let _ = fs::remove_file(self.entry_path(&victim));
+                index.forget(&victim);
+                index.evictions += 1;
+            }
+            if index.bytes > budget {
+                let _ = fs::remove_file(self.entry_path(key));
+                index.forget(key);
+                index.evictions += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// True if a valid entry for `key` is on disk (does not count as a
+    /// hit or miss and does not touch the LRU order).
+    pub fn contains(&self, key: &str) -> bool {
+        self.load_uncounted(key).is_some()
     }
 
     fn entry_path(&self, key: &str) -> PathBuf {
-        self.dir.join(key)
+        self.shared.dir.join(key)
+    }
+}
+
+/// Keys are content hashes: lowercase hex only. Rejecting anything
+/// else keeps entry paths inside the cache directory even when the key
+/// arrives over the network (`/result/<key>`).
+pub fn valid_key(key: &str) -> bool {
+    !key.is_empty()
+        && key.len() <= 64
+        && key.bytes().all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+}
+
+/// Seeds the index from an existing directory: entry sizes plus an
+/// LRU order derived from file modification times.
+fn seed_index(dir: &Path, index: &mut Index) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    let mut found: Vec<(String, u64, SystemTime)> = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if !valid_key(name) {
+            // Leftover temp files from a crashed process are garbage;
+            // reclaim them on open.
+            if name.starts_with(".tmp-") {
+                let _ = fs::remove_file(entry.path());
+            }
+            continue;
+        }
+        let Ok(meta) = entry.metadata() else { continue };
+        let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+        found.push((name.to_owned(), meta.len(), mtime));
+    }
+    found.sort_by(|a, b| (a.2, a.0.as_str()).cmp(&(b.2, b.0.as_str())));
+    for (key, size, _) in found {
+        index.touch(&key, size);
     }
 }
 
@@ -213,35 +454,74 @@ mod tests {
     fn roundtrip_is_identity() {
         let cache = DiskCache::open(tmp_dir("roundtrip")).expect("open");
         let out = sample();
-        cache.store("k1", &out).expect("store");
-        assert_eq!(cache.load("k1"), Some(out));
+        cache.store("1a", &out).expect("store");
+        assert_eq!(cache.load("1a"), Some(out));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.stores), (1, 0, 1));
+        assert_eq!(stats.entries, 1);
+        assert!(stats.bytes > 0);
     }
 
     #[test]
     fn missing_key_is_a_miss() {
         let cache = DiskCache::open(tmp_dir("missing")).expect("open");
-        assert_eq!(cache.load("absent"), None);
+        assert_eq!(cache.load("ab5e7"), None);
+        assert_eq!(cache.stats().misses, 1);
     }
 
     #[test]
     fn tag_mismatch_is_a_miss() {
         let dir = tmp_dir("tags");
         let old = DiskCache::open_with_tag(&dir, "hirata-lab-cache-v0").expect("open");
-        old.store("k", &sample()).expect("store");
+        old.store("ab", &sample()).expect("store");
         let new = DiskCache::open(&dir).expect("open");
-        assert_eq!(new.load("k"), None);
+        assert_eq!(new.load("ab"), None);
         // Re-storing under the current tag makes it visible again.
-        new.store("k", &sample()).expect("store");
-        assert_eq!(new.load("k"), Some(sample()));
+        new.store("ab", &sample()).expect("store");
+        assert_eq!(new.load("ab"), Some(sample()));
     }
 
     #[test]
     fn corrupt_entries_are_misses() {
         let cache = DiskCache::open(tmp_dir("corrupt")).expect("open");
-        let path = cache.dir().join("bad");
+        let path = cache.dir().join("bad1");
         fs::write(&path, format!("{CACHE_SCHEMA_TAG}\ncycles=notanumber\n")).expect("write");
-        assert_eq!(cache.load("bad"), None);
+        assert_eq!(cache.load("bad1"), None);
         fs::write(&path, format!("{CACHE_SCHEMA_TAG}\nunknown_field=1\n")).expect("write");
-        assert_eq!(cache.load("bad"), None);
+        assert_eq!(cache.load("bad1"), None);
+    }
+
+    #[test]
+    fn traversal_keys_are_rejected() {
+        let cache = DiskCache::open(tmp_dir("traversal")).expect("open");
+        for bad in ["../etc/passwd", "a/b", "", "UPPER", ".tmp-x", &"f".repeat(65)] {
+            assert_eq!(cache.load(bad), None, "{bad:?}");
+            assert!(cache.store(bad, &sample()).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn clones_share_index_and_counters() {
+        let cache = DiskCache::open(tmp_dir("clones")).expect("open");
+        let other = cache.clone();
+        other.store("cafe", &sample()).expect("store");
+        assert_eq!(cache.load("cafe"), Some(sample()));
+        let stats = cache.stats();
+        assert_eq!((stats.stores, stats.hits), (1, 1));
+        assert_eq!(other.stats(), stats);
+    }
+
+    #[test]
+    fn reopen_seeds_index_from_disk() {
+        let dir = tmp_dir("reopen");
+        let cache = DiskCache::open(&dir).expect("open");
+        cache.store("aa", &sample()).expect("store");
+        cache.store("bb", &sample()).expect("store");
+        drop(cache);
+        let cache = DiskCache::open(&dir).expect("reopen");
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert!(stats.bytes > 0);
+        assert_eq!(cache.load("aa"), Some(sample()));
     }
 }

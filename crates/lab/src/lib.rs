@@ -34,6 +34,6 @@ mod cache;
 mod job;
 mod pool;
 
-pub use cache::{default_cache_dir, DiskCache, CACHE_SCHEMA_TAG};
-pub use job::{execute, Job, JobError, JobOutput, JobResult, MemModelSpec};
-pub use pool::{Batch, BatchReport, Lab};
+pub use cache::{default_cache_dir, valid_key, CacheStats, DiskCache, CACHE_SCHEMA_TAG};
+pub use job::{execute, Job, JobError, JobOutput, JobResult, MemModelSpec, DEFAULT_TIMEOUT};
+pub use pool::{Batch, BatchReport, JobSummary, Lab};

@@ -76,6 +76,19 @@ impl Lab {
         self
     }
 
+    /// Uses an existing cache handle. This is how the `hirata serve`
+    /// daemon shares one artifact store between the engine and its
+    /// result endpoints ([`DiskCache`] handles are `Arc`-shared).
+    pub fn with_cache(mut self, cache: DiskCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The engine's cache handle, if caching is enabled.
+    pub fn cache(&self) -> Option<&DiskCache> {
+        self.cache.as_ref()
+    }
+
     /// Emits a Chrome trace artifact per executed job under `dir`,
     /// keyed by content hash. With tracing on, a cached result only
     /// counts as a hit when its trace artifact already exists —
@@ -104,7 +117,7 @@ impl Lab {
     /// Runs a batch of jobs and returns per-job results in submission
     /// order plus a batch report. See [`Lab::run_batch_with`].
     pub fn run_batch(&self, jobs: Vec<Job>) -> Batch {
-        self.run_batch_with(jobs, execute)
+        self.run_batch_inner(jobs, Arc::new(execute), None)
     }
 
     /// Runs a batch with an explicit runner function in place of
@@ -117,6 +130,28 @@ impl Lab {
     where
         F: Fn(&Job) -> Result<JobOutput, MachineError> + Send + Sync + 'static,
     {
+        self.run_batch_inner(jobs, Arc::new(runner), None)
+    }
+
+    /// Runs a batch, invoking `on_job_done` on the calling thread as
+    /// each job finishes — cache hits first (in submission order),
+    /// then executed jobs in completion order. This is the live
+    /// progress feed: `hirata lab` prints `k/n` lines from it and the
+    /// `hirata serve` daemon streams it to clients as chunked events.
+    pub fn run_batch_observed(
+        &self,
+        jobs: Vec<Job>,
+        on_job_done: &mut dyn FnMut(&JobSummary),
+    ) -> Batch {
+        self.run_batch_inner(jobs, Arc::new(execute), Some(on_job_done))
+    }
+
+    fn run_batch_inner(
+        &self,
+        jobs: Vec<Job>,
+        runner: Arc<Runner>,
+        mut on_job_done: Option<&mut dyn FnMut(&JobSummary)>,
+    ) -> Batch {
         let start = Instant::now();
         let total = jobs.len();
         let mut results: Vec<Option<JobResult>> = Vec::with_capacity(total);
@@ -126,6 +161,7 @@ impl Lab {
         // The content hash is computed once here and travels with the
         // job so the collector can store fresh results under it.
         let mut pending: Vec<(usize, String, Job)> = Vec::new();
+        let mut finished = 0usize;
         for (index, mut job) in jobs.into_iter().enumerate() {
             if let Some(dir) = &self.trace_dir {
                 job.trace_dir = Some(dir.clone());
@@ -141,7 +177,20 @@ impl Lab {
             match self.cache.as_ref().and_then(|c| c.load(&key)).filter(|_| trace_present) {
                 Some(out) => {
                     report.cache_hits += 1;
-                    results.push(Some(Ok(out)));
+                    finished += 1;
+                    let result = Ok(out);
+                    if let Some(hook) = on_job_done.as_deref_mut() {
+                        hook(&JobSummary {
+                            index,
+                            name: &job.name,
+                            key: &key,
+                            cached: true,
+                            result: &result,
+                            finished,
+                            total,
+                        });
+                    }
+                    results.push(Some(result));
                 }
                 None => {
                     results.push(None);
@@ -151,7 +200,15 @@ impl Lab {
         }
 
         if !pending.is_empty() {
-            self.run_pending(pending, &mut results, &mut report, Arc::new(runner), start);
+            self.run_pending(
+                pending,
+                &mut results,
+                &mut report,
+                runner,
+                start,
+                finished,
+                &mut on_job_done,
+            );
         }
 
         report.wall = start.elapsed();
@@ -161,6 +218,7 @@ impl Lab {
         Batch { results, report }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_pending(
         &self,
         pending: Vec<(usize, String, Job)>,
@@ -168,9 +226,12 @@ impl Lab {
         report: &mut BatchReport,
         runner: Arc<Runner>,
         start: Instant,
+        already_finished: usize,
+        on_job_done: &mut Option<&mut dyn FnMut(&JobSummary)>,
     ) {
         let workers = self.workers.min(pending.len());
         let count = pending.len();
+        let total = already_finished + count;
 
         // Striped round-robin assignment over per-worker deques.
         let mut queues: Vec<VecDeque<QueuedJob>> = (0..workers).map(|_| VecDeque::new()).collect();
@@ -214,8 +275,19 @@ impl Lab {
                 }
             }
             report.executed += 1;
-            results[index] = Some(result);
             finished += 1;
+            if let Some(hook) = on_job_done.as_deref_mut() {
+                hook(&JobSummary {
+                    index,
+                    name: &name,
+                    key: &key,
+                    cached: false,
+                    result: &result,
+                    finished: already_finished + finished,
+                    total,
+                });
+            }
+            results[index] = Some(result);
             self.print_progress(report, finished, count, start);
         }
 
@@ -308,6 +380,26 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     } else {
         "non-string panic payload".to_owned()
     }
+}
+
+/// A finished job as seen by the [`Lab::run_batch_observed`] progress
+/// hook: identity, provenance, outcome, and batch position.
+#[derive(Debug)]
+pub struct JobSummary<'a> {
+    /// Submission index of the job within the batch.
+    pub index: usize,
+    /// The job's display name.
+    pub name: &'a str,
+    /// The job's content hash (its cache / artifact key).
+    pub key: &'a str,
+    /// True when the result came from the cache instead of simulating.
+    pub cached: bool,
+    /// The job's outcome.
+    pub result: &'a JobResult,
+    /// Jobs finished so far, including this one.
+    pub finished: usize,
+    /// Total jobs in the batch.
+    pub total: usize,
 }
 
 /// A completed batch: per-job results in submission order plus the

@@ -1,0 +1,186 @@
+//! Artifact-store contract tests: LRU eviction under a byte budget,
+//! hit/miss/store/eviction counters, and concurrent writers sharing
+//! one store without torn entries.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+
+use hirata_lab::{DiskCache, JobOutput};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new() -> Scratch {
+        let dir = std::env::temp_dir().join(format!(
+            "hirata-cache-test-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn output(cycles: u64) -> JobOutput {
+    JobOutput {
+        stats: hirata_sim::RunStats { cycles, instructions: cycles / 2, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+/// Entries of a given shape are all the same size; measure one.
+fn entry_size() -> u64 {
+    let scratch = Scratch::new();
+    let cache = DiskCache::open(&scratch.0).expect("opens");
+    cache.store("aa", &output(1)).expect("stores");
+    cache.stats().bytes
+}
+
+#[test]
+fn byte_budget_evicts_least_recently_used() {
+    let size = entry_size();
+    let scratch = Scratch::new();
+    let cache = DiskCache::open(&scratch.0).expect("opens").with_byte_budget(size * 2 + size / 2);
+
+    cache.store("aa", &output(1)).expect("stores");
+    cache.store("bb", &output(2)).expect("stores");
+    assert!(cache.contains("aa") && cache.contains("bb"), "both fit the budget");
+
+    // Touch `aa` so `bb` becomes the least recently used entry...
+    assert_eq!(cache.load("aa").expect("hit").stats.cycles, 1);
+    // ...and the third store must evict `bb`, not `aa`.
+    cache.store("cc", &output(3)).expect("stores");
+    assert!(cache.contains("aa"), "recently used entry was evicted");
+    assert!(!cache.contains("bb"), "LRU entry survived over budget");
+    assert!(cache.contains("cc"), "fresh store evicted itself");
+
+    let stats = cache.stats();
+    assert_eq!(stats.evictions, 1);
+    assert_eq!(stats.entries, 2);
+    assert_eq!(stats.bytes, size * 2);
+    assert!(stats.bytes <= cache.byte_budget().expect("budget set"));
+}
+
+#[test]
+fn an_entry_larger_than_the_budget_evicts_everything_including_itself() {
+    let size = entry_size();
+    let scratch = Scratch::new();
+    let cache = DiskCache::open(&scratch.0).expect("opens").with_byte_budget(size / 2);
+    cache.store("aa", &output(1)).expect("store succeeds; entry just cannot stay");
+    assert!(!cache.contains("aa"));
+    let stats = cache.stats();
+    assert_eq!((stats.entries, stats.bytes, stats.evictions), (0, 0, 1));
+}
+
+#[test]
+fn counters_track_hits_misses_and_stores() {
+    let scratch = Scratch::new();
+    let cache = DiskCache::open(&scratch.0).expect("opens");
+
+    assert!(cache.load("aa").is_none());
+    assert!(cache.load("bb").is_none());
+    cache.store("aa", &output(7)).expect("stores");
+    assert!(cache.load("aa").is_some());
+    assert!(cache.load("aa").is_some());
+    // `peek` and `contains` are deliberately uncounted.
+    assert!(cache.peek("aa").is_some());
+    assert!(cache.contains("aa"));
+
+    let stats = cache.stats();
+    assert_eq!(stats.hits, 2);
+    assert_eq!(stats.misses, 2);
+    assert_eq!(stats.stores, 1);
+    assert_eq!(stats.evictions, 0);
+    assert_eq!(stats.entries, 1);
+}
+
+#[test]
+fn reopening_seeds_the_index_from_disk() {
+    let scratch = Scratch::new();
+    {
+        let cache = DiskCache::open(&scratch.0).expect("opens");
+        cache.store("aa", &output(1)).expect("stores");
+        cache.store("bb", &output(2)).expect("stores");
+    }
+    let cache = DiskCache::open(&scratch.0).expect("reopens");
+    let stats = cache.stats();
+    assert_eq!(stats.entries, 2);
+    assert!(stats.bytes > 0);
+    assert_eq!(cache.load("aa").expect("survives reopen").stats.cycles, 1);
+    assert_eq!(cache.load("bb").expect("survives reopen").stats.cycles, 2);
+}
+
+#[test]
+fn concurrent_writers_share_one_store_without_torn_entries() {
+    const WRITERS: usize = 8;
+    const KEYS_PER_WRITER: usize = 16;
+
+    let scratch = Scratch::new();
+    let cache = DiskCache::open(&scratch.0).expect("opens");
+
+    thread::scope(|scope| {
+        for writer in 0..WRITERS {
+            let cache = cache.clone(); // clones share the same store
+            scope.spawn(move || {
+                for k in 0..KEYS_PER_WRITER {
+                    // Even-numbered keys are contended by every
+                    // writer (same content per key, so any winner is
+                    // correct); odd ones are private.
+                    let key =
+                        if k % 2 == 0 { format!("{k:02x}") } else { format!("{writer:x}{k:02x}") };
+                    let cycles = u64::from_str_radix(&key, 16).expect("hex key");
+                    cache.store(&key, &output(cycles)).expect("store");
+                    let loaded = cache.load(&key).expect("readable right after store");
+                    assert_eq!(loaded.stats.cycles, cycles, "torn or mixed entry");
+                }
+            });
+        }
+    });
+
+    let stats = cache.stats();
+    assert_eq!(stats.stores, (WRITERS * KEYS_PER_WRITER) as u64);
+    // 8 shared keys + 8 private keys per writer.
+    assert_eq!(stats.entries, 8 + (WRITERS * KEYS_PER_WRITER / 2) as u64);
+    assert_eq!(stats.hits, (WRITERS * KEYS_PER_WRITER) as u64);
+    assert_eq!(stats.misses, 0);
+
+    // Every entry parses cleanly after the dust settles.
+    for k in (0..KEYS_PER_WRITER).step_by(2) {
+        let key = format!("{k:02x}");
+        let cycles = u64::from_str_radix(&key, 16).expect("hex key");
+        assert_eq!(cache.load(&key).expect("present").stats.cycles, cycles);
+    }
+}
+
+#[test]
+fn eviction_under_concurrent_load_converges_to_budget() {
+    let size = entry_size();
+    let scratch = Scratch::new();
+    let budget = size * 4;
+    let cache = DiskCache::open(&scratch.0).expect("opens").with_byte_budget(budget);
+
+    thread::scope(|scope| {
+        for writer in 0..4 {
+            let cache = cache.clone();
+            scope.spawn(move || {
+                for k in 0..32 {
+                    let key = format!("{writer:x}{k:02x}");
+                    cache.store(&key, &output(k)).expect("store");
+                }
+            });
+        }
+    });
+
+    let stats = cache.stats();
+    assert!(stats.bytes <= budget, "store left the cache over budget: {stats:?}");
+    assert!(stats.entries <= 4);
+    assert!(stats.evictions >= 124, "expected most stores evicted: {stats:?}");
+}

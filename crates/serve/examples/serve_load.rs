@@ -1,0 +1,109 @@
+//! Measures the serving daemon: `/stats` request throughput under
+//! concurrent clients, and cold-versus-warm `/submit` latency for the
+//! Figure 6 sweep. Prints the table that EXPERIMENTS.md quotes.
+//!
+//! Run with `cargo run --release -p hirata-serve --example serve_load`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use hirata_serve::client::{fetch_stats, shutdown, submit, Mode, SubmitRequest};
+use hirata_serve::server::{ServeConfig, Server};
+
+/// Fallback when the example is run from outside the workspace root.
+const PROGRAM: &str = "
+    fastfork
+    lpid r1
+    mul  r2, r1, r1
+    add  r3, r1, r2
+    sw   r2, 100(r1)
+    sw   r3, 200(r1)
+    lw   r4, 100(r1)
+    add  r5, r4, r3
+    sw   r5, 300(r1)
+    halt
+";
+
+fn request() -> SubmitRequest {
+    let program =
+        std::fs::read_to_string("examples/asm/fig6_while.s").unwrap_or_else(|_| PROGRAM.into());
+    SubmitRequest {
+        name: "fig6_while.s".into(),
+        program,
+        slots: vec![1, 2, 4, 8],
+        ls: vec![1, 2],
+        mode: Mode::Pool,
+        timeout_secs: None,
+        trace: false,
+    }
+}
+
+fn median(samples: &mut [Duration]) -> Duration {
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let scratch = std::env::temp_dir().join(format!("hirata-serve-load-{}", std::process::id()));
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        http_workers: 4,
+        sim_workers: None,
+        cache_dir: Some(scratch.join("cache")),
+        no_cache: false,
+        cache_budget: None,
+        trace_dir: scratch.join("traces"),
+        quiet: true,
+    };
+    let (addr, handle) = Server::spawn(config).expect("daemon boots");
+    let addr = addr.to_string();
+
+    // --- /stats request throughput, 4 concurrent clients, 2s ---
+    let total = AtomicU64::new(0);
+    let window = Duration::from_secs(2);
+    thread::scope(|scope| {
+        for _ in 0..4 {
+            let addr = &addr;
+            let total = &total;
+            scope.spawn(move || {
+                let start = Instant::now();
+                let mut n = 0u64;
+                while start.elapsed() < window {
+                    fetch_stats(addr).expect("stats");
+                    n += 1;
+                }
+                total.fetch_add(n, Ordering::Relaxed);
+            });
+        }
+    });
+    let rps = total.load(Ordering::Relaxed) as f64 / window.as_secs_f64();
+
+    // --- /submit latency: cold (simulates) vs warm (artifact store) ---
+    let cold_start = Instant::now();
+    let outcome = submit(&addr, &request(), &mut |_, _| {}).expect("cold submit");
+    let cold = cold_start.elapsed();
+    assert_eq!(outcome.executed, 8, "expected a cold store");
+
+    let mut warm_samples = Vec::new();
+    for _ in 0..20 {
+        let start = Instant::now();
+        let outcome = submit(&addr, &request(), &mut |_, _| {}).expect("warm submit");
+        warm_samples.push(start.elapsed());
+        assert_eq!(outcome.cache_hits, 8, "expected a warm store");
+    }
+    let warm = median(&mut warm_samples);
+
+    println!("serve daemon ({} sim workers, 4 http workers)", outcome.workers);
+    println!("  /stats throughput, 4 clients:   {rps:8.0} requests/sec");
+    println!("  /submit cold (8 jobs simulate): {:8.1} ms", cold.as_secs_f64() * 1e3);
+    println!(
+        "  /submit warm (8 cache hits):    {:8.1} ms (median of 20)",
+        warm.as_secs_f64() * 1e3
+    );
+    println!("  warm/cold speedup:              {:8.1}x", cold.as_secs_f64() / warm.as_secs_f64());
+
+    shutdown(&addr).expect("shutdown");
+    handle.join().expect("daemon thread").expect("clean exit");
+    let _ = std::fs::remove_dir_all(&scratch);
+}

@@ -1,0 +1,120 @@
+//! Simulation-as-a-service for the Hirata 1992 reproduction.
+//!
+//! `hirata serve` boots a long-running daemon that accepts assembled
+//! programs plus configuration grids over a hand-rolled HTTP/1.1 +
+//! JSON wire protocol (the build environment has no crates.io access,
+//! so no tokio/hyper/serde — everything here is `std` only), fans the
+//! jobs through the [`hirata_lab`] execution engine, streams per-job
+//! progress over chunked responses, and serves results and Chrome
+//! traces out of the shared content-addressed artifact store.
+//!
+//! The sweep-grid construction and result-table rendering live here
+//! and are shared by `hirata lab` (direct execution) and
+//! `hirata submit` (remote execution), so the two paths produce
+//! byte-identical tables — CI diffs them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod server;
+
+use std::fmt::Write as _;
+
+use hirata_isa::FuConfig;
+use hirata_sim::Config;
+
+/// The `(slots, ls)` grid points of a sweep, in the canonical order
+/// both `hirata lab` and the daemon iterate: load/store count outer,
+/// slot count inner.
+pub fn sweep_grid(slots_list: &[usize], ls_list: &[usize]) -> Vec<(usize, usize)> {
+    let mut grid = Vec::with_capacity(slots_list.len() * ls_list.len());
+    for &ls in ls_list {
+        for &slots in slots_list {
+            grid.push((slots, ls));
+        }
+    }
+    grid
+}
+
+/// The simulator configuration for one sweep grid point: the paper's
+/// multithreaded machine with one or two load/store units.
+pub fn sweep_config(slots: usize, ls: usize) -> Config {
+    let fu = if ls == 2 { FuConfig::paper_two_ls() } else { FuConfig::paper_one_ls() };
+    Config::multithreaded(slots).with_fu(fu)
+}
+
+/// One row of a sweep result table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// Thread-slot count of this grid point.
+    pub slots: usize,
+    /// Load/store-unit count of this grid point.
+    pub ls: usize,
+    /// `Ok((cycles, instructions))` or the failure rendering.
+    pub outcome: Result<(u64, u64), String>,
+}
+
+/// Renders the sweep result table exactly as `hirata lab` prints it.
+///
+/// `title` is the program path, `workers` the executing engine's
+/// worker count. Speedup is relative to the first successful row;
+/// IPC is recomputed from the integer cycle and instruction counts so
+/// a remote client renders the same bytes as a local run.
+pub fn render_sweep_table(title: &str, workers: usize, rows: &[SweepRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}: {} grid points, {workers} workers", rows.len());
+    let _ =
+        writeln!(out, "{:>6} {:>4} {:>12} {:>7} {:>9}", "slots", "ls", "cycles", "ipc", "speedup");
+    let base_cycles = rows.iter().find_map(|r| r.outcome.as_ref().ok().map(|&(c, _)| c));
+    for row in rows {
+        let (slots, ls) = (row.slots, row.ls);
+        match &row.outcome {
+            Ok((cycles, instructions)) => {
+                let (cycles, instructions) = (*cycles, *instructions);
+                let ipc = if cycles == 0 { 0.0 } else { instructions as f64 / cycles as f64 };
+                let speedup = base_cycles.map(|b| b as f64 / cycles as f64).unwrap_or(1.0);
+                let _ = writeln!(out, "{slots:>6} {ls:>4} {cycles:>12} {ipc:>7.3} {speedup:>9.2}");
+            }
+            Err(err) => {
+                let _ = writeln!(out, "{slots:>6} {ls:>4} {:>12} ({err})", "failed");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_order_is_ls_outer_slots_inner() {
+        assert_eq!(sweep_grid(&[1, 2], &[1, 2]), vec![(1, 1), (2, 1), (1, 2), (2, 2)]);
+    }
+
+    #[test]
+    fn sweep_config_picks_the_ls_variant() {
+        assert_eq!(sweep_config(4, 1).fu, FuConfig::paper_one_ls());
+        assert_eq!(sweep_config(4, 2).fu, FuConfig::paper_two_ls());
+        assert_eq!(sweep_config(4, 2).thread_slots, 4);
+    }
+
+    #[test]
+    fn table_renders_fixed_columns_and_speedup() {
+        let rows = vec![
+            SweepRow { slots: 1, ls: 1, outcome: Ok((100, 80)) },
+            SweepRow { slots: 2, ls: 1, outcome: Ok((50, 80)) },
+            SweepRow { slots: 4, ls: 1, outcome: Err("boom".into()) },
+        ];
+        let table = render_sweep_table("p.s", 3, &rows);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines[0], "p.s: 3 grid points, 3 workers");
+        assert_eq!(lines[1], " slots   ls       cycles     ipc   speedup");
+        assert_eq!(lines[2], "     1    1          100   0.800      1.00");
+        assert_eq!(lines[3], "     2    1           50   1.600      2.00");
+        assert_eq!(lines[4], "     4    1       failed (boom)");
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for the hand-rolled JSON module: every document the
+//! encoder can produce parses back to the identical value — across
+//! escaping, nesting, and number edge cases — and re-encoding the
+//! parse is byte-identical (the encoder is deterministic, which the
+//! artifact-store keys and the CI output diffs rely on).
+
+use hirata_serve::json::Json;
+use proptest::prelude::*;
+
+/// Characters chosen to stress the string escaper: quotes,
+/// backslashes, the whole escape shorthand set, raw control
+/// characters, multi-byte UTF-8, and astral-plane characters that
+/// need surrogate pairs in `\u` form.
+const TRICKY_CHARS: &[char] = &[
+    'a', 'Z', '0', ' ', '"', '\\', '/', '\n', '\r', '\t', '\u{8}', '\u{c}', '\u{1}', '\u{1f}', 'é',
+    '€', '中', '\u{ffff}', '😀', '𝄞',
+];
+
+fn arb_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(proptest::sample::select(TRICKY_CHARS.to_vec()), 0..12)
+        .prop_map(|chars| chars.into_iter().collect())
+}
+
+/// Finite floats, weighted toward the edge cases that break naive
+/// encoders: negative zero, subnormals, extreme magnitudes, and
+/// values that need all 17 digits to round-trip.
+fn arb_f64() -> BoxedStrategy<f64> {
+    prop_oneof![
+        proptest::sample::select(vec![
+            0.0f64,
+            -0.0,
+            1.0,
+            -1.5,
+            0.1,
+            1e-308,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            f64::MIN,
+            1.7976931348623155e308,
+            5e-324,
+            std::f64::consts::PI,
+        ]),
+        // Uniform random bit patterns: every finite float shape,
+        // including subnormals; the rare non-finite patterns fall
+        // back to a small rational.
+        (0u64..u64::MAX).prop_map(|bits| {
+            let f = f64::from_bits(bits);
+            if f.is_finite() {
+                f
+            } else {
+                (bits % 4096) as f64 / 8.0
+            }
+        }),
+    ]
+    .boxed()
+}
+
+/// Integers covering the i64 extremes, u64-range values (which the
+/// module promotes to floats), and small counters.
+fn arb_int() -> BoxedStrategy<Json> {
+    prop_oneof![
+        proptest::sample::select(vec![
+            Json::Int(0),
+            Json::Int(-1),
+            Json::Int(i64::MAX),
+            Json::Int(i64::MIN),
+            Json::u64(u64::MAX),
+            Json::u64(i64::MAX as u64 + 1),
+        ]),
+        (-1_000_000i64..1_000_000).prop_map(Json::Int),
+    ]
+    .boxed()
+}
+
+fn arb_json() -> BoxedStrategy<Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        (0u8..2).prop_map(|b| Json::Bool(b == 1)),
+        arb_int(),
+        arb_f64().prop_map(Json::Num),
+        arb_string().prop_map(Json::Str),
+    ]
+    .boxed();
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Json::Arr),
+            (proptest::collection::vec(arb_string(), 0..4), proptest::collection::vec(inner, 0..4))
+                .prop_map(|(keys, values)| { Json::Obj(keys.into_iter().zip(values).collect()) }),
+        ]
+        .boxed()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → parse is the identity on every value the encoder can
+    /// produce. (`Num` comparison is exact: the encoder writes enough
+    /// digits that parsing returns the same bits.)
+    #[test]
+    fn encode_parse_round_trips(doc in arb_json()) {
+        let text = doc.render();
+        let back = Json::parse(&text).unwrap_or_else(|e| panic!("`{text}` failed: {e}"));
+        prop_assert_eq!(&back, &doc, "compact round trip of `{}`", text);
+
+        let pretty = doc.render_pretty();
+        let back = Json::parse(&pretty).unwrap_or_else(|e| panic!("pretty `{pretty}`: {e}"));
+        prop_assert_eq!(&back, &doc, "pretty round trip of `{}`", pretty);
+    }
+
+    /// parse → encode → parse is stable: the encoder is a canonical
+    /// form, so one round trip reaches a fixed point.
+    #[test]
+    fn encoding_is_a_fixed_point(doc in arb_json()) {
+        let once = Json::parse(&doc.render()).expect("first parse").render();
+        let twice = Json::parse(&once).expect("second parse").render();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Strings survive independently of context: as bare documents,
+    /// as object keys, and nested in arrays.
+    #[test]
+    fn strings_round_trip_everywhere(s in arb_string()) {
+        let bare = Json::Str(s.clone());
+        prop_assert_eq!(Json::parse(&bare.render()).expect("bare"), bare);
+
+        let keyed = Json::Obj(vec![(s.clone(), Json::Arr(vec![Json::Str(s.clone())]))]);
+        let back = Json::parse(&keyed.render()).expect("keyed");
+        prop_assert_eq!(back.get(&s).and_then(Json::as_arr).and_then(|a| a[0].as_str()), Some(s.as_str()));
+    }
+
+    /// Integer round trips are exact for the full i64 range — the
+    /// simulator's u64 cycle counters must not lose precision on the
+    /// wire below 2^63.
+    #[test]
+    fn integers_are_exact(n in (i64::MIN..i64::MAX)) {
+        for n in [n, i64::MIN, i64::MAX, 0, -1] {
+            let doc = Json::Int(n);
+            prop_assert_eq!(Json::parse(&doc.render()).expect("parses").as_i64(), Some(n));
+        }
+    }
+}

@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 mod config;
 pub mod emu;
 mod error;
@@ -60,6 +61,7 @@ mod stats;
 pub mod trace;
 pub mod trace_driven;
 
+pub use batch::{LaneError, LaneResult, MachineBatch, DEFAULT_STRIDE};
 pub use config::{Config, ConfigError, PipelineKind, MAX_STANDBY_DEPTH};
 pub use emu::{EmuOutcome, Emulator};
 pub use error::MachineError;
