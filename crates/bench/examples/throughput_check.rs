@@ -16,6 +16,10 @@
 //! * `throughput_check --record` — measure and rewrite the baseline.
 //! * `throughput_check --report <path>` — also write the report to
 //!   `<path>` (uploaded as a CI artifact).
+//! * `throughput_check --no-fast-forward` — disable the event-wheel
+//!   fast-forward on every grid point and gate against the separate
+//!   `BENCH_throughput_noff.json` baseline, so the plain cycle loop
+//!   stays performance-gated alongside the wheel.
 //!
 //! Improvements beyond the baseline never fail the gate; run with
 //! `--record` after a deliberate performance change.
@@ -47,14 +51,15 @@ struct GridPoint {
     program: Program,
 }
 
-fn grid() -> Vec<GridPoint> {
+fn grid(fast_forward: bool) -> Vec<GridPoint> {
     let ray = raytrace_program(&RayTraceParams::default());
     let k1_n = 64;
     let fig6 = ListShape { nodes: 60, break_at: Some(59) };
 
     let mut points = Vec::new();
-    for slots in [1usize, 4, 8] {
+    for slots in [1usize, 2, 4, 8] {
         let config = if slots == 1 { Config::base_risc() } else { Config::multithreaded(slots) };
+        let config = config.with_fast_forward(fast_forward);
         points.push(GridPoint {
             key: format!("raytrace/s{slots}"),
             config: config.clone(),
@@ -143,17 +148,19 @@ fn parse_baseline(text: &str) -> Result<BTreeMap<String, f64>, String> {
     Ok(values)
 }
 
-fn baseline_path() -> std::path::PathBuf {
+fn baseline_path(fast_forward: bool) -> std::path::PathBuf {
     if let Ok(p) = std::env::var("BENCH_THROUGHPUT_BASELINE") {
         return p.into();
     }
     // crates/bench -> repo root.
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_throughput.json")
+    let name = if fast_forward { "BENCH_throughput.json" } else { "BENCH_throughput_noff.json" };
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(name)
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let record = args.iter().any(|a| a == "--record");
+    let fast_forward = !args.iter().any(|a| a == "--no-fast-forward");
     let report_path = args
         .iter()
         .position(|a| a == "--report")
@@ -166,7 +173,7 @@ fn main() {
         "workload/slots", "cycles", "cycles/sec", "MIPS", "vs baseline"
     ));
 
-    let baseline = match std::fs::read_to_string(baseline_path()) {
+    let baseline = match std::fs::read_to_string(baseline_path(fast_forward)) {
         Ok(text) => parse_baseline(&text).unwrap_or_else(|e| {
             eprintln!("warning: unreadable baseline: {e}");
             BTreeMap::new()
@@ -176,7 +183,7 @@ fn main() {
 
     let mut measured = BTreeMap::new();
     let mut failures = Vec::new();
-    for point in grid() {
+    for point in grid(fast_forward) {
         let m = measure(&point);
         let cps = m.cycles as f64 / m.secs;
         let mips = m.instructions as f64 / m.secs / 1e6;
@@ -210,14 +217,17 @@ fn main() {
     }
 
     if record {
-        let path = baseline_path();
+        let path = baseline_path(fast_forward);
         std::fs::write(&path, render_baseline(&measured)).expect("write baseline");
         eprintln!("baseline recorded to {}", path.display());
         return;
     }
 
     if baseline.is_empty() {
-        eprintln!("no baseline found at {}; run with --record first", baseline_path().display());
+        eprintln!(
+            "no baseline found at {}; run with --record first",
+            baseline_path(fast_forward).display()
+        );
         return;
     }
     if !failures.is_empty() {

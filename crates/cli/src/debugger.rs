@@ -30,8 +30,11 @@ use crate::CliError;
 /// Machine checks surface as [`CliError::Failure`]; malformed commands
 /// are reported inline and do not abort the session.
 pub fn debug_session(config: Config, program: &Program, input: &str) -> Result<String, CliError> {
-    let mut machine =
-        Machine::new(config, program).map_err(|e| CliError::Failure(e.to_string()))?;
+    // Single-stepping must be cycle-exact: `s 1` means one cycle, not
+    // "one step call that may fast-forward over a stalled span" — so
+    // the debugger always runs the plain loop.
+    let mut machine = Machine::new(config.with_fast_forward(false), program)
+        .map_err(|e| CliError::Failure(e.to_string()))?;
     machine.set_trace(true);
     let mut out = String::new();
     let mut breakpoints: Vec<u32> = Vec::new();

@@ -3,10 +3,18 @@
 //! whatever the worker count, and a warm-cache rerun — which only
 //! re-simulates jobs whose artifact is missing — reproduces the same
 //! bytes for every artifact it regenerates.
+//!
+//! The same contract holds one level down for the event-wheel
+//! fast-forward: every trace sink (Chrome, Text, Ring) must render
+//! byte-identical output with the wheel on and off — including the
+//! stall events the wheel *synthesizes* for the cycles it never
+//! actually steps.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::process::Command;
+
+use hirata_sim::{format_event, ChromeSink, Config, Machine, RingSink, TextSink};
 
 fn temp_dir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("repro-trace-{name}-{}", std::process::id()));
@@ -86,6 +94,80 @@ fn trace_artifacts_are_byte_identical_across_worker_counts_and_cache_states() {
 
     for dir in [&cache, &traces_serial, &traces_parallel, &traces_warm] {
         let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+/// Renders one run of `program` through every sink at once and
+/// returns the three artifacts (Chrome JSON, text log, formatted ring
+/// tail). One machine per sink — sinks are exclusive — all sharing
+/// the same config.
+fn render_all_sinks(
+    program: &hirata_isa::Program,
+    slots: usize,
+    fast_forward: bool,
+) -> (String, String, String) {
+    let config = Config::multithreaded(slots).with_fast_forward(fast_forward);
+    let fu = config.fu.clone();
+
+    let chrome = ChromeSink::new();
+    let mut m = Machine::new(config.clone(), program).expect("machine builds");
+    m.attach_trace_sink(Box::new(chrome.clone()));
+    m.run().expect("program runs");
+    let chrome_json = chrome.render(slots, &fu);
+
+    let text = TextSink::new();
+    let mut m = Machine::new(config.clone(), program).expect("machine builds");
+    m.attach_trace_sink(Box::new(text.clone()));
+    m.run().expect("program runs");
+
+    let ring = RingSink::new(256);
+    let mut m = Machine::new(config, program).expect("machine builds");
+    m.attach_trace_sink(Box::new(ring.clone()));
+    m.run().expect("program runs");
+    let tail: Vec<String> = ring.events().iter().map(format_event).collect();
+
+    (chrome_json, text.text(), tail.join("\n"))
+}
+
+#[test]
+fn every_sink_is_byte_identical_with_the_wheel_on_and_off() {
+    // Stall-heavy programs so the wheel actually jumps and most stall
+    // events in the stream are synthesized rather than stepped: a
+    // float-divide chain with a counted loop (Data + BranchShadow
+    // wakes at one slot), and the fig6 eager list loop (queue-ring,
+    // chgpri, kills) at two and four slots.
+    let div_loop = "
+        lif f1, #5.0
+        lif f2, #3.0
+        fdiv f1, f1, f2
+        fdiv f1, f1, f2
+        li r4, #6
+    loop:
+        sub r4, r4, #1
+        bne r4, #0, loop
+        sf f1, 300(r0)
+        halt
+    ";
+    let fig6 =
+        hirata_workloads::linked_list::eager_program(hirata_workloads::linked_list::ListShape {
+            nodes: 20,
+            break_at: Some(13),
+        });
+    let div_prog = hirata_asm::assemble(div_loop).expect("div loop assembles");
+
+    let cases: Vec<(&str, &hirata_isa::Program, usize)> =
+        vec![("div-loop", &div_prog, 1), ("fig6", &fig6, 2), ("fig6", &fig6, 4)];
+    for (name, program, slots) in cases {
+        let on = render_all_sinks(program, slots, true);
+        let off = render_all_sinks(program, slots, false);
+        assert!(
+            on.1.contains("stall"),
+            "{name}/s{slots}: expected stall events in the text log:\n{}",
+            on.1
+        );
+        assert_eq!(on.0, off.0, "{name}/s{slots}: Chrome JSON differs with the wheel on");
+        assert_eq!(on.1, off.1, "{name}/s{slots}: text log differs with the wheel on");
+        assert_eq!(on.2, off.2, "{name}/s{slots}: ring tail differs with the wheel on");
     }
 }
 

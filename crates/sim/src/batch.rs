@@ -167,8 +167,15 @@ impl MachineBatch {
 }
 
 /// Steps one machine up to `stride` cycles; `Ok(true)` means done.
+///
+/// The stride is measured in simulated cycles, not `step` calls: an
+/// event-wheel jump can advance many cycles in one call, and counting
+/// calls would let a stalled-but-jumping lane race arbitrarily far
+/// ahead of its siblings within a round. Every `step` advances at
+/// least one cycle, so the loop is bounded.
 fn step_lane(machine: &mut Machine, stride: u64) -> Result<bool, MachineError> {
-    for _ in 0..stride.max(1) {
+    let end = machine.cycles().saturating_add(stride.max(1));
+    while machine.cycles() < end {
         if machine.step()? {
             return Ok(true);
         }

@@ -8,6 +8,8 @@ use std::sync::Arc;
 use hirata_isa::{FuClass, GReg, Inst, Program, Reg, FU_CLASS_COUNT};
 use hirata_mem::{Access, DataMemModel, IdealCache, MemStats, Memory};
 
+mod wheel;
+
 use crate::config::{Config, MAX_STANDBY_DEPTH};
 use crate::error::MachineError;
 use crate::exec::{branch_taken, debug_assert_fresh_decode, fu_action, resolve_operands, FuAction};
@@ -132,6 +134,13 @@ struct Scratch {
     cands: Vec<InFlight>,
     /// Fetch deliveries surfacing this cycle.
     deliveries: Vec<Delivery>,
+    /// Per-slot stall descriptors for an event-wheel jump (indexed by
+    /// slot): the reason and blocking PC every skipped cycle records.
+    wheel_stalls: Vec<(StallReason, Option<u32>)>,
+    /// Per-slot start cycle of the current stall piece within a jump
+    /// span (descriptors can change mid-span when the wheel absorbs a
+    /// redirect delivery).
+    wheel_piece: Vec<u64>,
 }
 
 /// A memoized head stall (see the cycle loop): the slot provably
@@ -282,6 +291,23 @@ pub struct Machine {
     prio: Priorities,
     stats: RunStats,
     cycle: u64,
+    /// A head-issue proof from the event wheel: `(cycle, pc)` means the
+    /// wheel's end-of-step probe ran `check_issue` on the head the step
+    /// at `cycle` will evaluate and it passed. Single-slot machines
+    /// only (nothing between the probe and that evaluation mutates
+    /// state `check_issue` reads), and purely an optimization — the
+    /// issue path skips its own head check instead of repeating it.
+    head_pass: Option<(u64, u32)>,
+    /// Earliest cycle at which a multi-slot machine may next attempt a
+    /// fast-forward, and the current backoff stride. Probing every
+    /// slot on every no-issue cycle is wasted work in phases where
+    /// some slot always issues again within a cycle or two; failed
+    /// attempts double the stride (capped), a successful jump resets
+    /// it. Deterministic, and only delays *attempts* — the cycles a
+    /// skipped attempt would have jumped are stepped plainly instead,
+    /// producing identical statistics and traces by construction.
+    ff_next: u64,
+    ff_stride: u32,
     scratch: Scratch,
     trace: Option<Vec<IssueEvent>>,
     sink: Option<Box<dyn TraceSink>>,
@@ -434,10 +460,15 @@ impl Machine {
             config,
             stats,
             cycle: 0,
+            head_pass: None,
+            ff_next: 0,
+            ff_stride: 1,
             scratch: Scratch {
                 order: Vec::with_capacity(s),
                 cands: Vec::with_capacity(s * 2),
                 deliveries: Vec::with_capacity(s),
+                wheel_stalls: Vec::with_capacity(s),
+                wheel_piece: Vec::with_capacity(s),
             },
             trace: None,
             sink: None,
@@ -597,6 +628,7 @@ impl Machine {
         order.extend_from_slice(self.prio.order());
         let mut cands = std::mem::take(&mut self.scratch.cands);
         cands.clear();
+        let issued_before = self.stats.instructions;
         let phases = self
             .issue_phase(&order, now, &mut cands)
             .and_then(|()| self.arbitrate(&order, &mut cands, now));
@@ -617,7 +649,29 @@ impl Machine {
         self.fetch.end_cycle(now);
         self.cycle += 1;
         self.stats.cycles = self.cycle;
-        Ok(self.is_done())
+        if self.is_done() {
+            return Ok(true);
+        }
+        // Event-wheel fast-forward (see `machine/wheel.rs`): if every
+        // slot is provably stalled past the next cycle — by a memoized
+        // stall, a probed window head, a branch shadow, or fetch
+        // starvation — jump straight to the earliest wake,
+        // synthesizing the skipped cycles' stall accounting. On a
+        // single-slot machine it runs after issuing cycles too:
+        // single-issue decode drains the window every cycle, so the
+        // next head can be probed (and the probe's verdict reused by
+        // the next step) without waiting for a step to discover the
+        // stall. Multi-slot machines attempt it only after a cycle
+        // that issued nothing — with several slots the per-slot probes
+        // rarely pay for themselves while any slot is making progress
+        // — and back off exponentially while attempts keep failing.
+        if self.config.fast_forward
+            && (self.slots.len() == 1
+                || (self.stats.instructions == issued_before && self.cycle >= self.ff_next))
+        {
+            self.fast_forward();
+        }
+        Ok(false)
     }
 
     /// True when every context has finished and all standby stations
@@ -964,18 +1018,49 @@ impl Machine {
                     (DecodedInst::of(inst), Some(vals), self.contexts[ctx_i].resume_pc)
                 }
             };
-            let check = self.check_issue(
-                s,
-                ctx_i,
-                &di,
-                preset.is_some(),
-                now,
-                unissued_reads,
-                unissued_writes,
-                (unissued_mem, unissued_store),
-                &class_taken,
-                i == 0,
-            );
+            // The event wheel's end-of-step probe may have already run
+            // this exact evaluation (same cycle, same fresh head, same
+            // all-clear accumulators) and proven it passes; reuse the
+            // proof instead of repeating it. Debug builds repeat it
+            // anyway and check agreement.
+            let probe_passed = i == 0
+                && issued == 0
+                && preset.is_none()
+                && self.head_pass == Some((now, pc))
+                && self.slots.len() == 1;
+            let check = if probe_passed {
+                #[cfg(debug_assertions)]
+                assert!(
+                    self.check_issue(
+                        s,
+                        ctx_i,
+                        &di,
+                        false,
+                        now,
+                        0,
+                        0,
+                        (false, false),
+                        &[false; FU_CLASS_COUNT],
+                        true,
+                    )
+                    .is_ok(),
+                    "head-issue proof diverged from a fresh evaluation"
+                );
+                Ok(())
+            } else {
+                self.check_issue(
+                    s,
+                    ctx_i,
+                    &di,
+                    preset.is_some(),
+                    now,
+                    unissued_reads,
+                    unissued_writes,
+                    (unissued_mem, unissued_store),
+                    &class_taken,
+                    i == 0,
+                )
+            };
             match check {
                 Err(IssueBlock::Fault(mut e)) => {
                     if let MachineError::QueueMisuse { pc: epc, .. } = &mut e {
@@ -1147,8 +1232,15 @@ impl Machine {
                     return Err(Stall(StallReason::Data, None));
                 }
                 if ctx.qread == Some(r) {
-                    if !self.queues.can_read(self.queues.read_link(s), now) {
-                        return Err(Stall(StallReason::QueueEmpty, None));
+                    let link = self.queues.read_link(s);
+                    if !self.queues.can_read(link, now) {
+                        // Wake when the front entry matures (`MAX` for
+                        // an empty link — only a push lifts that, and
+                        // pushes invalidate the memo).
+                        return Err(Stall(
+                            StallReason::QueueEmpty,
+                            Some(self.queues.readable_at(link)),
+                        ));
                     }
                 } else if ctx.qwrite == Some(r) {
                     return Err(Fault(MachineError::QueueMisuse {
@@ -1167,7 +1259,9 @@ impl Machine {
             }
             if ctx.qwrite == Some(d) {
                 if !self.queues.can_write(self.queues.write_link(s)) {
-                    return Err(Stall(StallReason::QueueFull, None));
+                    // Only the consumer's pop can free a full link, and
+                    // pops invalidate the memo.
+                    return Err(Stall(StallReason::QueueFull, Some(u64::MAX)));
                 }
             } else if ctx.qread == Some(d) {
                 return Err(Fault(MachineError::QueueMisuse {
@@ -1219,6 +1313,11 @@ impl Machine {
                     }
                 });
                 if dequeued.is_some() {
+                    // The pop frees a queue entry: the link's writer
+                    // (the predecessor slot) may hold a memoized
+                    // QueueFull stall that now lifts.
+                    let writer = (link + self.slots.len() - 1) % self.slots.len();
+                    self.slots[writer].memo = None;
                     let depth = self.queues.len(link);
                     if let Some(sink) = self.sink.as_deref_mut() {
                         sink.event(&TraceEvent::QueuePop { cycle: now, slot: s, link, depth });
@@ -1343,6 +1442,9 @@ impl Machine {
             }
         });
         if dequeued.is_some() {
+            // As in `capture`: the writer's QueueFull memo may lift.
+            let writer = (link + self.slots.len() - 1) % self.slots.len();
+            self.slots[writer].memo = None;
             let depth = self.queues.len(link);
             if let Some(sink) = self.sink.as_deref_mut() {
                 sink.event(&TraceEvent::QueuePop { cycle: now, slot: s, link, depth });
@@ -1657,6 +1759,11 @@ impl Machine {
             let link = self.queues.write_link(f.slot);
             let avail = now + result_latency as u64 + 1;
             self.queues.write(link, avail, bits);
+            // The link's reader (slot `link` by the Figure 5 topology)
+            // may hold a memoized QueueEmpty stall keyed to the old
+            // front entry; the push changes what a fresh evaluation
+            // would see.
+            self.slots[link].memo = None;
             let depth = self.queues.len(link);
             if let Some(sink) = self.sink.as_deref_mut() {
                 sink.event(&TraceEvent::QueuePush { cycle: now, slot: f.slot, link, avail, depth });

@@ -66,6 +66,41 @@ impl Priorities {
         false
     }
 
+    /// First cycle `>= from` at which [`Self::tick`] would rotate, or
+    /// `None` in explicit mode (only a `chgpri` can rotate then, and
+    /// `chgpri` requires an issue — which the event wheel has already
+    /// ruled out). Used by the event wheel to bound fast-forward jumps.
+    pub(crate) fn next_implicit_rotation(&self, from: u64) -> Option<u64> {
+        match self.mode {
+            RotationMode::Implicit { interval } => {
+                // tick(now) fires when now > 0 && now - last >= interval.
+                Some((self.last_rotation + interval as u64).max(from).max(1))
+            }
+            RotationMode::Explicit => None,
+        }
+    }
+
+    /// Applies every implicit rotation that [`Self::tick`] would have
+    /// performed over the half-open cycle span `[from, to)`, in one
+    /// arithmetic step. Returns the number of rotations applied.
+    /// Explicit mode never rotates on its own, so the span is a no-op
+    /// there. Used by the event wheel's no-trace fast path (with a
+    /// trace sink attached the wheel calls `tick` per skipped cycle
+    /// instead, to emit the rotation events at their exact cycles).
+    pub(crate) fn fast_forward_ticks(&mut self, from: u64, to: u64) -> u64 {
+        let RotationMode::Implicit { interval } = self.mode else { return 0 };
+        let interval = interval as u64;
+        let first = (self.last_rotation + interval).max(from).max(1);
+        if first >= to {
+            return 0;
+        }
+        let count = 1 + (to - 1 - first) / interval;
+        self.last_rotation = first + (count - 1) * interval;
+        let len = self.order.len() as u64;
+        self.order.rotate_left((count % len) as usize);
+        count
+    }
+
     /// Requests an explicit rotation (`chgpri`), applied at cycle end.
     pub(crate) fn request_explicit(&mut self) {
         self.pending_explicit = true;
@@ -235,6 +270,42 @@ mod properties {
             prop_assert!(p.apply_pending(now));
             prop_assert_eq!(p.highest(), 1 % slots);
             prop_assert!(!p.apply_pending(now + 1)); // one-shot
+        }
+
+        /// `fast_forward_ticks` over `[from, to)` is exactly a
+        /// per-cycle `tick` loop: same final state, same rotation
+        /// count, from any reachable starting point.
+        #[test]
+        fn fast_forward_ticks_equals_tick_loop(
+            slots in 1usize..9,
+            interval in 1u32..6,
+            warmup in 0u64..20,
+            from_delta in 0u64..4,
+            span in 0u64..40,
+        ) {
+            let mut p = Priorities::new(slots, RotationMode::Implicit { interval });
+            for now in 1..=warmup {
+                p.tick(now);
+            }
+            // `from` may sit past the warmup (cycles where tick was
+            // provably a no-op can be skipped without calling it).
+            let from = warmup + 1 + from_delta;
+            let to = from + span;
+
+            let mut looped = p.clone();
+            let mut loop_count = 0u64;
+            for now in from..to {
+                loop_count += u64::from(looped.tick(now));
+            }
+            let ff_count = p.fast_forward_ticks(from, to);
+            prop_assert_eq!(ff_count, loop_count);
+            prop_assert_eq!(p.order(), looped.order());
+            prop_assert_eq!(p.highest(), looped.highest());
+            // Subsequent ticks agree too: the timer state matches.
+            for now in to..to + 2 * interval as u64 {
+                prop_assert_eq!(p.tick(now), looped.tick(now));
+                prop_assert_eq!(p.order(), looped.order());
+            }
         }
     }
 }

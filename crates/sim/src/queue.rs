@@ -48,6 +48,16 @@ impl QueueRing {
         self.links[link].pop_front().expect("queue read without can_read check").1
     }
 
+    /// First cycle at which a read of `link` could succeed by the
+    /// advance of time alone: the front entry's avail time, or
+    /// `u64::MAX` when the link is empty (only a push can lift that).
+    /// Feeds the head-stall memo and the event wheel; only this link's
+    /// reader can pop the front, so the bound is stable until a push
+    /// or pop event (which invalidate the memo).
+    pub(crate) fn readable_at(&self, link: usize) -> u64 {
+        self.links[link].front().map_or(u64::MAX, |&(avail, _)| avail)
+    }
+
     /// True if a write can be accepted (full bit off). In-flight
     /// entries count against the capacity.
     pub(crate) fn can_write(&self, link: usize) -> bool {
@@ -116,6 +126,19 @@ mod tests {
         assert_eq!(ring.len(0), 2);
         ring.read(0);
         assert!(ring.can_write(0));
+    }
+
+    #[test]
+    fn readable_at_reports_front_avail_or_never() {
+        let mut ring = QueueRing::new(2, 4);
+        assert_eq!(ring.readable_at(1), u64::MAX);
+        ring.write(1, 10, 42);
+        ring.write(1, 3, 7); // younger entry readable earlier: front rules
+        assert_eq!(ring.readable_at(1), 10);
+        assert!(!ring.can_read(1, 9));
+        assert!(ring.can_read(1, ring.readable_at(1)));
+        ring.read(1);
+        assert_eq!(ring.readable_at(1), 3);
     }
 
     #[test]

@@ -100,6 +100,11 @@ impl StallBreakdown {
         self.counts[reason.index()] += 1;
     }
 
+    /// Records `n` stalled slot-cycles at once (event-wheel jumps).
+    pub(crate) fn record_n(&mut self, reason: StallReason, n: u64) {
+        self.counts[reason.index()] += n;
+    }
+
     /// Stalled slot-cycles attributed to `reason`.
     pub fn count(&self, reason: StallReason) -> u64 {
         self.counts[reason.index()]
@@ -198,10 +203,43 @@ impl RunStats {
     pub(crate) fn record_stall(&mut self, reason: StallReason, now: u64) {
         self.stalls.record(reason);
         let window = (now / STALL_WINDOW_CYCLES) as usize;
-        if self.stall_windows.len() <= window {
-            self.stall_windows.resize(window + 1, [0; STALL_REASON_COUNT]);
-        }
+        self.ensure_windows(window);
         self.stall_windows[window][reason.index()] += 1;
+    }
+
+    /// Grows the per-window table through `last`, reserving in
+    /// power-of-two window blocks (floor 64) so the growth points are
+    /// sparse: a fast-forward jump covering thousands of cycles stays
+    /// allocation-free in steady state instead of hitting the vector's
+    /// own amortized doubling mid-measurement.
+    fn ensure_windows(&mut self, last: usize) {
+        if self.stall_windows.len() <= last {
+            let cap = (last + 1).max(64).next_power_of_two();
+            self.stall_windows.reserve_exact(cap - self.stall_windows.len());
+            self.stall_windows.resize(last + 1, [0; STALL_REASON_COUNT]);
+        }
+    }
+
+    /// Records one stalled slot-cycle for every machine cycle in the
+    /// half-open span `[from, to)` — the batched form of
+    /// [`RunStats::record_stall`] used when the event wheel skips a
+    /// run of provably stalled cycles. Equivalent to calling
+    /// `record_stall(reason, t)` for each `t` in the span, including
+    /// the per-window attribution.
+    pub(crate) fn record_stall_span(&mut self, reason: StallReason, from: u64, to: u64) {
+        if from >= to {
+            return;
+        }
+        self.stalls.record_n(reason, to - from);
+        let last_window = ((to - 1) / STALL_WINDOW_CYCLES) as usize;
+        self.ensure_windows(last_window);
+        let mut t = from;
+        while t < to {
+            let w = t / STALL_WINDOW_CYCLES;
+            let end = ((w + 1) * STALL_WINDOW_CYCLES).min(to);
+            self.stall_windows[w as usize][reason.index()] += end - t;
+            t = end;
+        }
     }
 
     /// Formats a utilization table resembling the analyses in §3.2,
@@ -334,6 +372,23 @@ mod tests {
             }
         }
         assert_eq!(sum, stats.stalls.counts());
+    }
+
+    #[test]
+    fn record_stall_span_equals_repeated_record_stall() {
+        // Spans crossing zero, one, and several window boundaries.
+        let w = STALL_WINDOW_CYCLES;
+        for (from, to) in
+            [(0, 0), (3, 7), (0, w), (w - 1, w + 1), (w / 2, 3 * w + 17), (5 * w, 5 * w + 1)]
+        {
+            let mut spanned = RunStats::default();
+            spanned.record_stall_span(StallReason::QueueEmpty, from, to);
+            let mut looped = RunStats::default();
+            for t in from..to {
+                looped.record_stall(StallReason::QueueEmpty, t);
+            }
+            assert_eq!(spanned, looped, "span [{from}, {to})");
+        }
     }
 
     #[test]

@@ -61,10 +61,12 @@ fn step_is_allocation_free_in_steady_state() {
     let program = eager_program(shape);
     let mut machine = Machine::new(Config::multithreaded(8), &program).expect("machine builds");
 
-    // Warm-up: 5000 cycles puts every ring buffer at its high-water
+    // Warm-up: 5000 steps puts every ring buffer at its high-water
     // mark and leaves the stall-window vector (one entry per 1000
-    // cycles, doubling growth) with reserved capacity through cycle
-    // 8000 — the measured span cannot trigger its next doubling.
+    // cycles, reserved in power-of-two blocks with a 64-window floor)
+    // with capacity through at least cycle 64000 — far past anything
+    // the measured span can reach, even with fast-forward jumps
+    // covering many cycles per step.
     const WARMUP_CYCLES: u64 = 5000;
     const MEASURED_CYCLES: u64 = 1500;
     for _ in 0..WARMUP_CYCLES {

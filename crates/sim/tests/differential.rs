@@ -3,15 +3,27 @@
 //! latencies) and the cycle-level [`Machine`], and the two must agree
 //! on the final architectural state.
 //!
-//! Coverage comes from two directions: the checked-in `examples/asm/`
-//! programs (which exercise fork/kill/queue-ring/priority semantics)
-//! and generated straight-line programs (which sweep arithmetic,
-//! float, and memory operations without control flow). On divergence
-//! the test dumps the last 50 trace events of the offending slot so
-//! the failure is diagnosable from the report alone.
+//! Coverage comes from three directions: the checked-in
+//! `examples/asm/` programs (which exercise fork/kill/queue-ring/
+//! priority semantics), generated straight-line programs (which sweep
+//! arithmetic, float, and memory operations without control flow),
+//! and a seeded fuzz campaign of structured random programs —
+//! branches, counted loops, fig6-style eager queue-ring loops with
+//! `chgpri`, gated stores, and data-absence traps through the DSM
+//! memory model. Fuzzed programs run **three ways**: the emulator,
+//! the plain cycle-level machine, and the machine with the event-wheel
+//! fast-forward; the two machines must agree byte-for-byte on cycle
+//! counts, statistics, and the full trace event stream, and both must
+//! agree with the emulator on final architectural state. A fuzz
+//! failure is shrunk (greedy line removal preserving the failure
+//! category) and the minimal program saved under
+//! `target/diff-failures/` for replay. On divergence the lockstep
+//! tests dump the last 50 trace events of the offending slot so the
+//! failure is diagnosable from the report alone.
 
 use hirata_isa::{Inst, Program};
-use hirata_sim::{format_event, Config, Emulator, Machine, RingSink};
+use hirata_mem::DsmMemory;
+use hirata_sim::{format_event, Config, Emulator, Machine, RingSink, TextSink};
 
 /// Trace ring capacity: deep enough to hold the full tail of any slot.
 const RING: usize = 1 << 16;
@@ -103,6 +115,27 @@ fn examples_match_the_golden_model() {
     }
 }
 
+/// Every example also runs three-way (emulator, plain machine, wheel
+/// machine): the event wheel must be invisible on real control-flow-
+/// heavy programs, not just generated ones.
+#[test]
+fn examples_three_way_wheel_parity() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/asm");
+    for entry in std::fs::read_dir(dir).expect("examples/asm exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|x| x != "s") {
+            continue;
+        }
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let src = std::fs::read_to_string(&path).expect("example is readable");
+        for slots in [1, 2, 4] {
+            let case = FuzzCase { src: src.clone(), slots, remote_base: None };
+            three_way(&case, &src)
+                .unwrap_or_else(|e| panic!("{name} at {slots} slots diverges: {e}"));
+        }
+    }
+}
+
 // ------------------------------------------------- generated straight-line
 
 /// Deterministic 64-bit generator (SplitMix64) so the generated
@@ -173,4 +206,335 @@ fn generated_straight_line_programs_match_the_golden_model() {
             assert_lockstep(&format!("straight-line seed {seed}"), &program, slots);
         }
     }
+}
+
+// ---------------------------------------------------- three-way fuzz
+
+/// Seeds in the default campaign; `DIFF_FUZZ_SEEDS` overrides (CI runs
+/// a larger budgeted campaign, `DIFF_FUZZ_SEEDS=50` gives a quick
+/// smoke pass).
+const DEFAULT_FUZZ_SEEDS: u64 = 500;
+
+/// Cycle watchdog for fuzzed programs: generated programs finish in a
+/// few thousand cycles, so anything longer is a hang (e.g. a shrink
+/// attempt that unbalanced the queue ring) and should fail fast.
+const FUZZ_MAX_CYCLES: u64 = 50_000;
+
+/// One generated fuzz case: the program source plus the machine shape
+/// it runs under.
+struct FuzzCase {
+    src: String,
+    slots: usize,
+    /// `Some(base)`: run the machines on a DSM memory model where
+    /// accesses at or above `base` raise data-absence traps.
+    remote_base: Option<u64>,
+}
+
+fn run_traced(
+    program: &Program,
+    slots: usize,
+    fast_forward: bool,
+    remote_base: Option<u64>,
+) -> Result<(Machine, String), String> {
+    let mut config = Config::multithreaded(slots).with_fast_forward(fast_forward);
+    config.max_cycles = FUZZ_MAX_CYCLES;
+    let mut machine = match remote_base {
+        Some(base) => {
+            Machine::with_mem_model(config, program, Box::new(DsmMemory::new(base, 2, 40)))
+        }
+        None => Machine::new(config, program),
+    }
+    .map_err(|e| format!("[build] machine rejected program: {e}"))?;
+    let sink = TextSink::new();
+    machine.attach_trace_sink(Box::new(sink.clone()));
+    machine
+        .run()
+        .map_err(|e| format!("[machine-error] run (fast_forward={fast_forward}) failed: {e}"))?;
+    Ok((machine, sink.text()))
+}
+
+/// The fuzz oracle. Errors carry a stable `[category]` prefix so the
+/// shrinker can insist on preserving the original failure mode.
+fn three_way(case: &FuzzCase, src: &str) -> Result<(), String> {
+    let program =
+        hirata_asm::assemble(src).map_err(|e| format!("[assemble] program rejected: {e}"))?;
+    let slots = case.slots;
+    let golden = Emulator::execute(&program, slots, 1 << 20, 1_000_000)
+        .map_err(|e| format!("[emulator] failed: {e}"))?;
+    let (plain, plain_text) = run_traced(&program, slots, false, case.remote_base)?;
+    let (wheel, wheel_text) = run_traced(&program, slots, true, case.remote_base)?;
+
+    // Wheel vs plain: the event wheel must be invisible — identical
+    // cycle counts, statistics tables, and trace event streams.
+    if plain.cycles() != wheel.cycles() {
+        return Err(format!("[cycles] plain {} vs wheel {}", plain.cycles(), wheel.cycles()));
+    }
+    if plain.stats() != wheel.stats() {
+        return Err(format!(
+            "[stats] diverge:\nplain: {:?}\nwheel: {:?}",
+            plain.stats(),
+            wheel.stats()
+        ));
+    }
+    if plain_text != wheel_text {
+        let diff = plain_text
+            .lines()
+            .zip(wheel_text.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b)
+            .map(|(i, (a, b))| format!("line {i}:\nplain: {a}\nwheel: {b}"))
+            .unwrap_or_else(|| {
+                format!(
+                    "lengths differ: plain {} lines, wheel {} lines",
+                    plain_text.lines().count(),
+                    wheel_text.lines().count()
+                )
+            });
+        return Err(format!("[trace] event streams diverge at {diff}"));
+    }
+    for ctx in 0..slots {
+        if plain.register_image(ctx) != wheel.register_image(ctx) {
+            return Err(format!("[regs-wheel] context {ctx} register images diverge"));
+        }
+    }
+    if *plain.memory() != *wheel.memory() {
+        let at = first_memory_mismatch(plain.memory(), wheel.memory());
+        return Err(format!("[memory-wheel] plain and wheel memories diverge at word {at:?}"));
+    }
+
+    // Plain vs the golden model: final architectural state.
+    if golden.memory != *plain.memory() {
+        let at = first_memory_mismatch(&golden.memory, plain.memory());
+        return Err(format!("[memory] emulator and machine memories diverge at word {at:?}"));
+    }
+    if !program.insts.iter().any(|i| matches!(i, Inst::KillOthers)) {
+        for ctx in 0..slots {
+            let machine_image = plain.register_image(ctx);
+            if let Some(reg) = golden.regs[ctx].iter().zip(&machine_image).position(|(a, b)| a != b)
+            {
+                return Err(format!(
+                    "[regs] context {ctx} register {reg}: emulator {:#x}, machine {:#x}",
+                    golden.regs[ctx][reg], machine_image[reg]
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Generates one structured random program. Three families, all
+/// terminating by construction:
+///
+/// * **branchy straight-line** — SPMD over shared addresses (every
+///   slot computes identical values, so store order cannot matter),
+///   with forward if/else diamonds;
+/// * **counted loop** — per-LP private memory banks (`lpid * 64`),
+///   data-dependent early break, random arithmetic/memory body;
+/// * **eager ring loop** — the fig6 shape: explicit rotation, queue
+///   registers mapped over the ring, each trip writes the successor
+///   *before* reading the predecessor (so the ring never deadlocks),
+///   `chgpri` per trip, optional priority-gated stores to the private
+///   bank.
+///
+/// The straight-line and counted-loop families may additionally
+/// address the remote region (word 4096 up) to exercise data-absence
+/// traps when the case runs on the DSM model. The ring family never
+/// does: a trap unbinds the context and `wake_and_bind` may rebind it
+/// to a *different* slot, while the queue links form a ring between
+/// slots — so a migrated thread legitimately orphans in-flight ring
+/// data and deadlocks. The paper uses queue registers under parallel
+/// multithreading (§2.3) and data-absence switching under concurrent
+/// multithreading (§2.1.3), never both at once, so the combination is
+/// out of scope for the differential contract.
+fn fuzz_case(seed: u64) -> FuzzCase {
+    let mut rng = SplitMix(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1FF_CA5E);
+    let family = rng.below(3);
+    let slots = [1, 2, 4][rng.below(3) as usize];
+    // Traps in a third of the trap-safe cases; remote words live at
+    // 4096+.
+    let remote_base = (family != 2 && rng.below(3) == 0).then_some(4096);
+    let remote = remote_base.is_some();
+    let mut src = String::from(".text\n.entry main\nmain:\n");
+
+    // A deterministic register seeding shared by all families.
+    for r in 1..=6 {
+        src.push_str(&format!("    li r{r}, #{}\n", rng.below(512) as i64 - 256));
+    }
+    for f in 1..=3 {
+        src.push_str(&format!("    lif f{f}, #{}.{}\n", rng.below(20), rng.below(100)));
+    }
+
+    // One random body instruction. `bank`: base register holding the
+    // LP-private bank address (families B/C) or r0 with shared
+    // addresses (family A, SPMD-safe).
+    let body_op = |rng: &mut SplitMix, src: &mut String, bank: &str, gated_ok: bool| {
+        let (d, a, b) = (2 + rng.below(5), 2 + rng.below(5), 2 + rng.below(5));
+        let (fd, fa, fb) = (1 + rng.below(3), 1 + rng.below(3), 1 + rng.below(3));
+        let off = rng.below(48);
+        match rng.below(14) {
+            0 => src.push_str(&format!("    add r{d}, r{a}, r{b}\n")),
+            1 => src.push_str(&format!("    sub r{d}, r{a}, r{b}\n")),
+            2 => src.push_str(&format!("    mul r{d}, r{a}, r{b}\n")),
+            3 => src.push_str(&format!("    add r{d}, r{a}, #{}\n", rng.below(64))),
+            4 => src.push_str(&format!("    sw r{a}, {off}({bank})\n")),
+            5 => src.push_str(&format!("    lw r{d}, {off}({bank})\n")),
+            6 => src.push_str(&format!("    fadd f{fd}, f{fa}, f{fb}\n")),
+            7 => src.push_str(&format!("    fmul f{fd}, f{fa}, f{fb}\n")),
+            8 => src.push_str(&format!("    sf f{fa}, {}({bank})\n", 48 + rng.below(8))),
+            9 => src.push_str(&format!("    lf f{fd}, {}({bank})\n", 48 + rng.below(8))),
+            10 => src.push_str(&format!("    cvtif f{fd}, r{a}\n")),
+            11 => src.push_str(&format!("    fcmplt r{d}, f{fa}, f{fb}\n")),
+            12 if remote => {
+                // A remote access: a trap on the DSM model, an
+                // ordinary (identical-value or private) word otherwise.
+                if rng.below(2) == 0 {
+                    src.push_str(&format!("    lw r{d}, {}({bank})\n", 4096 + off));
+                } else {
+                    src.push_str(&format!("    sw r{a}, {}({bank})\n", 4096 + off));
+                }
+            }
+            13 if gated_ok => src.push_str(&format!("    swp r{a}, {off}({bank})\n")),
+            _ => src.push_str(&format!("    add r{d}, r{a}, #1\n")),
+        }
+    };
+
+    match family {
+        // Family A: branchy straight-line, SPMD over shared memory.
+        0 => {
+            let diamonds = 1 + rng.below(3);
+            for i in 0..diamonds {
+                for _ in 0..rng.below(4) {
+                    body_op(&mut rng, &mut src, "r0", false);
+                }
+                let (r, k) = (2 + rng.below(5), rng.below(8) as i64 - 4);
+                let cond = if rng.below(2) == 0 { "beq" } else { "bne" };
+                src.push_str(&format!("    {cond} r{r}, #{k}, else{i}\n"));
+                for _ in 0..1 + rng.below(3) {
+                    body_op(&mut rng, &mut src, "r0", false);
+                }
+                src.push_str(&format!("    j join{i}\nelse{i}:\n"));
+                for _ in 0..1 + rng.below(3) {
+                    body_op(&mut rng, &mut src, "r0", false);
+                }
+                src.push_str(&format!("join{i}:\n"));
+            }
+        }
+        // Family B: fastfork + per-LP counted loop over a private bank.
+        1 => {
+            src.push_str("    fastfork\n    lpid r1\n    mul r9, r1, #64\n");
+            src.push_str(&format!("    li r8, #{}\n", 2 + rng.below(4)));
+            src.push_str("loop:\n");
+            for _ in 0..2 + rng.below(6) {
+                body_op(&mut rng, &mut src, "r9", false);
+            }
+            if rng.below(2) == 0 {
+                let (r, k) = (2 + rng.below(5), rng.below(8) as i64 - 4);
+                src.push_str(&format!("    beq r{r}, #{k}, done\n"));
+            }
+            src.push_str("    sub r8, r8, #1\n    bne r8, #0, loop\ndone:\n");
+        }
+        // Family C: the fig6 eager shape over the queue ring.
+        _ => {
+            let rot = if rng.below(2) == 0 {
+                "    setrot explicit\n".to_string()
+            } else {
+                format!("    setrot implicit #{}\n", 1 << rng.below(4))
+            };
+            src.push_str(&rot);
+            src.push_str("    qmap r10, r11\n    fastfork\n    lpid r1\n    mul r9, r1, #64\n");
+            src.push_str(&format!("    li r8, #{}\n", 2 + rng.below(4)));
+            src.push_str("loop:\n");
+            // Write the successor first — the ring stays supplied
+            // however the trips interleave.
+            src.push_str(&format!("    add r11, r8, #{}\n", rng.below(16)));
+            for _ in 0..1 + rng.below(5) {
+                body_op(&mut rng, &mut src, "r9", true);
+            }
+            src.push_str("    chgpri\n");
+            src.push_str("    mv r4, r10\n    add r5, r5, r4\n");
+            src.push_str("    sub r8, r8, #1\n    bne r8, #0, loop\n");
+        }
+    }
+
+    // Epilogue: store every live register so divergences in any of
+    // them surface as memory divergences too. Private banks where LPs
+    // differ, shared (identical-value) words in family A.
+    let bank = if family == 0 { "r0" } else { "r9" };
+    for r in 2..=6 {
+        src.push_str(&format!("    sw r{r}, {}({bank})\n", 56 + r - 2));
+    }
+    src.push_str(&format!("    sf f1, {}({bank})\n", 61));
+    src.push_str(&format!("    sf f2, {}({bank})\n", 62));
+    src.push_str("    halt\n");
+    FuzzCase { src, slots, remote_base }
+}
+
+/// The `[category]` prefix of a fuzz-oracle error.
+fn failure_tag(err: &str) -> &str {
+    err.split(']').next().unwrap_or("[?")
+}
+
+/// Greedy line-removal shrinker: repeatedly drop any single
+/// non-structural line whose removal keeps the program failing with
+/// the same category, to a fixed point. Labels and `halt` stay (so
+/// the program always assembles and terminates the shrink quickly).
+fn shrink(case: &FuzzCase, tag: &str) -> String {
+    let removable = |line: &str| {
+        let t = line.trim();
+        !t.is_empty() && !t.ends_with(':') && t != "halt"
+    };
+    let mut lines: Vec<String> = case.src.lines().map(String::from).collect();
+    loop {
+        let mut removed = false;
+        let mut i = 0;
+        while i < lines.len() {
+            if removable(&lines[i]) {
+                let mut cand = lines.clone();
+                cand.remove(i);
+                let cand_src = cand.join("\n");
+                let still_fails =
+                    matches!(three_way(case, &cand_src), Err(e) if failure_tag(&e) == tag);
+                if still_fails {
+                    lines = cand;
+                    removed = true;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        if !removed {
+            return lines.join("\n");
+        }
+    }
+}
+
+#[test]
+fn fuzzed_programs_three_way_match() {
+    let seeds: u64 = std::env::var("DIFF_FUZZ_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_FUZZ_SEEDS);
+    let out_dir = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+        .join("target/diff-failures");
+    let mut failures = Vec::new();
+    for seed in 0..seeds {
+        let case = fuzz_case(seed);
+        if let Err(err) = three_way(&case, &case.src) {
+            let minimal = shrink(&case, failure_tag(&err));
+            std::fs::create_dir_all(&out_dir).expect("create target/diff-failures");
+            let path = out_dir.join(format!("seed-{seed}.s"));
+            let header = format!(
+                "; fuzz seed {seed}: {} slots, remote_base {:?}\n; {}\n",
+                case.slots,
+                case.remote_base,
+                err.replace('\n', "\n; ")
+            );
+            std::fs::write(&path, format!("{header}{minimal}\n")).expect("write minimal repro");
+            failures.push(format!("seed {seed}: {} (minimized to {})", err, path.display()));
+            if failures.len() >= 3 {
+                break; // enough divergences to diagnose — stop fuzzing
+            }
+        }
+    }
+    assert!(failures.is_empty(), "{} fuzz divergence(s):\n{}", failures.len(), failures.join("\n"));
 }
