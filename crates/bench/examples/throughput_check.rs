@@ -20,16 +20,27 @@
 //!   fast-forward on every grid point and gate against the separate
 //!   `BENCH_throughput_noff.json` baseline, so the plain cycle loop
 //!   stays performance-gated alongside the wheel.
+//! * `throughput_check --profile` — instead of gating, print the
+//!   per-phase wall-time shares (fetch / wake+bind / issue /
+//!   arbitrate / writeback / wheel) for every grid point, via
+//!   `Machine::step_profiled`. The breakdowns recorded in
+//!   EXPERIMENTS.md come from this mode.
 //!
 //! Improvements beyond the baseline never fail the gate; run with
 //! `--record` after a deliberate performance change.
+//!
+//! Besides the per-point absolute gate, the fast-forward run also
+//! gates *scaling*: the s8/s1 cycles-per-second ratio per workload
+//! must not worsen by more than 20% against the same baseline, so
+//! multi-slot per-cycle cost cannot silently creep back even while
+//! every absolute number stays inside its own 20% band.
 
 use std::collections::BTreeMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use hirata_isa::Program;
 use hirata_sched::Strategy;
-use hirata_sim::{Config, Machine};
+use hirata_sim::{Config, Machine, PhaseProfile};
 use hirata_workloads::linked_list::{eager_program, sequential_program, ListShape};
 use hirata_workloads::livermore::kernel1_program;
 use hirata_workloads::raytrace::{raytrace_program, RayTraceParams};
@@ -111,6 +122,44 @@ fn measure(point: &GridPoint) -> Measurement {
     Measurement { cycles, instructions, secs: best }
 }
 
+/// Profiled runs per grid point (shares converge fast; this is not a
+/// timing estimator).
+const PROFILE_RUNS: usize = 3;
+
+fn profile_report(fast_forward: bool) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<18} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>9}\n",
+        "workload/slots", "fetch", "wake", "issue", "arb", "wb", "wheel", "ns/cycle"
+    ));
+    for point in grid(fast_forward) {
+        // One unprofiled warm-up run, then accumulate shares.
+        let mut m = Machine::new(point.config.clone(), &point.program).expect("machine builds");
+        m.run().expect("program runs");
+        let mut prof = PhaseProfile::default();
+        let mut cycles = 0u64;
+        for _ in 0..PROFILE_RUNS {
+            let mut m = Machine::new(point.config.clone(), &point.program).expect("machine builds");
+            while !m.step_profiled(&mut prof).expect("program runs") {}
+            cycles += m.cycles();
+        }
+        let total = prof.total();
+        let pct = |d: Duration| 100.0 * d.as_secs_f64() / total.as_secs_f64().max(1e-12);
+        out.push_str(&format!(
+            "{:<18} {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% {:>9.1}\n",
+            point.key,
+            pct(prof.fetch),
+            pct(prof.wake_bind),
+            pct(prof.issue),
+            pct(prof.arbitrate),
+            pct(prof.writeback),
+            pct(prof.wheel),
+            total.as_nanos() as f64 / cycles.max(1) as f64,
+        ));
+    }
+    out
+}
+
 /// Minimal flat-object JSON for the baseline file: string keys mapped
 /// to finite non-negative numbers. Purpose-built so the gate needs no
 /// external serializer.
@@ -161,11 +210,22 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let record = args.iter().any(|a| a == "--record");
     let fast_forward = !args.iter().any(|a| a == "--no-fast-forward");
+    let profile = args.iter().any(|a| a == "--profile");
     let report_path = args
         .iter()
         .position(|a| a == "--report")
         .and_then(|i| args.get(i + 1))
         .map(std::path::PathBuf::from);
+
+    if profile {
+        let report = profile_report(fast_forward);
+        print!("{report}");
+        if let Some(path) = report_path {
+            std::fs::write(&path, &report).expect("write report");
+            eprintln!("profile written to {}", path.display());
+        }
+        return;
+    }
 
     let mut report = String::new();
     report.push_str(&format!(
@@ -208,6 +268,33 @@ fn main() {
             }
         }
         measured.insert(point.key, cps);
+    }
+
+    // Scaling gate: the s8/s1 cycles-per-second ratio per workload may
+    // not worsen by more than the regression fraction. Catches
+    // multi-slot cost creeping back even when every absolute number
+    // stays inside its own band.
+    for workload in ["raytrace", "livermore-k1", "fig6-list"] {
+        let ratio_of = |values: &BTreeMap<String, f64>| -> Option<f64> {
+            let s1 = values.get(&format!("{workload}/s1"))?;
+            let s8 = values.get(&format!("{workload}/s8"))?;
+            (*s1 > 0.0).then(|| s8 / s1)
+        };
+        if let (Some(measured), Some(base)) = (ratio_of(&measured), ratio_of(&baseline)) {
+            report.push_str(&format!(
+                "{:<18} s8/s1 scaling {:.3} (baseline {:.3}, {:+.1}%)\n",
+                workload,
+                measured,
+                base,
+                (measured / base - 1.0) * 100.0
+            ));
+            if measured < REGRESSION_FRACTION * base {
+                failures.push(format!(
+                    "{workload}: s8/s1 scaling ratio {measured:.3} is {:.1}% below baseline {base:.3}",
+                    (1.0 - measured / base) * 100.0
+                ));
+            }
+        }
     }
 
     print!("{report}");

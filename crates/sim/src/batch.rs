@@ -173,11 +173,21 @@ impl MachineBatch {
 /// calls would let a stalled-but-jumping lane race arbitrarily far
 /// ahead of its siblings within a round. Every `step` advances at
 /// least one cycle, so the loop is bounded.
+///
+/// A lane whose ready frontier empties mid-round yields the rest of
+/// its stride: every slot is provably stalled, the event wheel has
+/// already jumped whatever span it could prove past, and the steps
+/// that remain are pure stall replay — better spent on siblings with
+/// live work. Pure scheduling, not semantics: each machine's cycles
+/// and statistics are independent of where its rounds end.
 fn step_lane(machine: &mut Machine, stride: u64) -> Result<bool, MachineError> {
     let end = machine.cycles().saturating_add(stride.max(1));
     while machine.cycles() < end {
         if machine.step()? {
             return Ok(true);
+        }
+        if machine.ready_slots().is_empty() {
+            break;
         }
     }
     Ok(false)

@@ -4,6 +4,7 @@
 
 use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use hirata_isa::{FuClass, GReg, Inst, Program, Reg, FU_CLASS_COUNT};
 use hirata_mem::{Access, DataMemModel, IdealCache, MemStats, Memory};
@@ -143,16 +144,33 @@ struct Scratch {
     wheel_piece: Vec<u64>,
 }
 
-/// A memoized head stall (see the cycle loop): the slot provably
-/// re-stalls with the same reason and blocking PC every cycle strictly
-/// before `wake`, unless an invalidating event (register writeback to
-/// the bound context, a standby-station pop/clear for the slot, or any
-/// rebind/redirect/kill of the slot) clears it first. `wake` is
-/// `u64::MAX` for stalls that only an event can lift.
+/// A proven slot block (the ready-frontier entry for one slot): the
+/// slot provably re-records exactly this stall every cycle strictly
+/// before `wake`, unless a clearing event lifts it first. `wake` is
+/// `u64::MAX` for blocks only an event can lift. The reason doubles as
+/// the block's kind:
+///
+/// * `NoThread` — no bound context; cleared by a bind
+///   (`wake_and_bind`, `fastfork`).
+/// * `BranchShadow` — `now < earliest_issue`; `wake` is the shadow
+///   expiry, and every event that moves `earliest_issue` (redirect
+///   delivery, rebind) clears or rewrites the block.
+/// * `Fetch` — empty window with no fetch credits; cleared by any
+///   fetch delivery to the slot.
+/// * head stalls (`Data`, `QueueEmpty`, `QueueFull`, `FuConflict`) —
+///   the memoized single-issue head stall inherited from the old
+///   `StallMemo`: created only when the window holds exactly one
+///   fresh non-gated head, cleared by register writeback to the bound
+///   context, standby pops/clears for the slot, queue pushes/pops on
+///   the slot's links, and any rebind/redirect/kill.
+///
+/// Rotations never flip a block: none of the blockable conditions
+/// reads the priority order (priority-gated stalls are deliberately
+/// not blockable). See DESIGN.md §8 for the full invariant table.
 #[derive(Debug, Clone, Copy)]
-struct StallMemo {
+struct SlotBlock {
     reason: StallReason,
-    pc: u32,
+    pc: Option<u32>,
     wake: u64,
 }
 
@@ -172,15 +190,16 @@ struct Slot {
     fetch_pc: u32,
     window: VecDeque<WinEntry>,
     earliest_issue: u64,
-    /// Cached head-stall outcome; `None` whenever no proof of
-    /// stability is held. Purely an optimization: hitting the memo
-    /// records exactly the stall a fresh evaluation would.
-    memo: Option<StallMemo>,
+    /// The slot's ready-frontier state: `None` whenever no proof of a
+    /// stable stall is held (mirrored by the machine's `ready` mask).
+    /// Purely an optimization: replaying the block records exactly the
+    /// stall a fresh evaluation would.
+    block: Option<SlotBlock>,
 }
 
 impl Slot {
     fn new() -> Self {
-        Slot { ctx: None, fetch_pc: 0, window: VecDeque::new(), earliest_issue: 0, memo: None }
+        Slot { ctx: None, fetch_pc: 0, window: VecDeque::new(), earliest_issue: 0, block: None }
     }
 }
 
@@ -234,7 +253,7 @@ impl Context {
 /// first cycle at which the failed condition could pass by the advance
 /// of time alone (`u64::MAX` when only an event can lift it), or
 /// `None` when the condition is not provably stable — only stalls with
-/// a hint are eligible for the head-stall memo.
+/// a hint are eligible for a head-stall block.
 enum IssueBlock {
     Stall(StallReason, Option<u64>),
     Fault(MachineError),
@@ -285,12 +304,26 @@ pub struct Machine {
     /// state transition so [`Machine::is_done`] is O(1) in the cycle
     /// loop instead of rescanning every frame twice per step.
     live_contexts: usize,
+    /// Contexts in `Ready` or `Waiting` state — the population
+    /// `wake_and_bind` serves. Kept in sync at the same transitions
+    /// as [`Self::live_contexts`] so the per-cycle wake-and-bind scan
+    /// exits O(1) when every context is running (the steady state of
+    /// fully-bound workloads); a debug assert in `wake_and_bind`
+    /// rescans the frames to prove the counter exact.
+    idle_contexts: usize,
     fu_next: [Vec<u64>; FU_CLASS_COUNT],
     queues: QueueRing,
     fetch: FetchSystem,
     prio: Priorities,
     stats: RunStats,
     cycle: u64,
+    /// The ready frontier: slot `s` is set iff `slots[s].block` is
+    /// `None` — kept in lockstep by `block_slot`/`unblock` and every
+    /// block-clearing event, so "is any slot worth evaluating" and
+    /// "are all slots provably stalled" are single mask tests. Debug
+    /// builds rescan the slots each issue phase to prove the mirror
+    /// exact.
+    ready: SlotSet,
     /// A head-issue proof from the event wheel: `(cycle, pc)` means the
     /// wheel's end-of-step probe ran `check_issue` on the head the step
     /// at `cycle` will evaluate and it passed. Single-slot machines
@@ -327,6 +360,60 @@ pub struct IssueEvent {
     pub ctx: usize,
     /// Instruction address.
     pub pc: u32,
+}
+
+/// Per-phase wall-time breakdown of the cycle loop, accumulated by
+/// [`Machine::step_profiled`]. Durations include the profiler's own
+/// clock reads (one per phase boundary), so shares are approximate —
+/// meaningful for "where does the time go", not for absolute ns.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PhaseProfile {
+    /// Cycle framing: rotation ticks, empty-slot skipping, fetch
+    /// begin/end and delivery application.
+    pub fetch: Duration,
+    /// Context wake-ups and slot binding.
+    pub wake_bind: Duration,
+    /// The per-slot issue phase (window fill, hazard checks,
+    /// decode-unit execution, stall recording).
+    pub issue: Duration,
+    /// Schedule-unit arbitration, minus the selected instructions'
+    /// execution time.
+    pub arbitrate: Duration,
+    /// Execution of arbitration winners, including result writeback.
+    pub writeback: Duration,
+    /// Event-wheel fast-forward attempts and jumps.
+    pub wheel: Duration,
+    /// Number of [`Machine::step_profiled`] calls accumulated (a wheel
+    /// jump can advance many cycles in one step).
+    pub steps: u64,
+}
+
+impl PhaseProfile {
+    /// Sum of all phase durations.
+    pub fn total(&self) -> Duration {
+        self.fetch + self.wake_bind + self.issue + self.arbitrate + self.writeback + self.wheel
+    }
+}
+
+/// Phase timer for `step_impl`: compiles to nothing unless `PROF`.
+struct Lap(Option<Instant>);
+
+impl Lap {
+    #[inline]
+    fn start<const PROF: bool>() -> Self {
+        Lap(if PROF { Some(Instant::now()) } else { None })
+    }
+
+    /// Adds the time since the previous mark to `acc` and re-marks.
+    #[inline]
+    fn lap<const PROF: bool>(&mut self, acc: &mut Duration) {
+        if PROF {
+            let now = Instant::now();
+            if let Some(t) = self.0.replace(now) {
+                *acc += now.duration_since(t);
+            }
+        }
+    }
 }
 
 /// A point-in-time view of one thread slot (see
@@ -452,6 +539,8 @@ impl Machine {
             standby_slot_count: vec![0; s],
             standby_total: 0,
             live_contexts: 1,
+            idle_contexts: 1, // contexts[0] starts Ready
+
             contexts,
             fu_next,
             memory,
@@ -460,6 +549,13 @@ impl Machine {
             config,
             stats,
             cycle: 0,
+            ready: {
+                let mut all = SlotSet::EMPTY;
+                for slot in 0..s {
+                    all.insert(slot);
+                }
+                all
+            },
             head_pass: None,
             ff_next: 0,
             ff_stride: 1,
@@ -473,6 +569,31 @@ impl Machine {
             trace: None,
             sink: None,
         })
+    }
+
+    // ------------------------------------------------------------------
+    // Ready-frontier bookkeeping (the `ready` mask mirrors the slots'
+    // block descriptors; the issue phase rescans it in debug builds)
+    // ------------------------------------------------------------------
+
+    /// Installs a proven block for `s` and drops it from the ready
+    /// frontier. Callers must guarantee the [`SlotBlock`] contract: the
+    /// slot re-records exactly this stall every cycle before `wake`,
+    /// and every event that could change that outcome runs through
+    /// [`Machine::unblock`].
+    #[inline]
+    fn block_slot(&mut self, s: usize, reason: StallReason, pc: Option<u32>, wake: u64) {
+        self.slots[s].block = Some(SlotBlock { reason, pc, wake });
+        self.ready.remove(s);
+    }
+
+    /// Clears `s`'s block (if any) and returns it to the ready
+    /// frontier — the universal "something about this slot changed"
+    /// notification.
+    #[inline]
+    fn unblock(&mut self, s: usize) {
+        self.slots[s].block = None;
+        self.ready.insert(s);
     }
 
     // ------------------------------------------------------------------
@@ -503,7 +624,7 @@ impl Machine {
         }
         self.standby_slot_count[s] -= 1;
         self.standby_total -= 1;
-        self.slots[s].memo = None; // a station drained: FuConflict may lift
+        self.unblock(s); // a station drained: FuConflict may lift
         f
     }
 
@@ -516,7 +637,7 @@ impl Machine {
         self.standby_mask[ci].remove(s);
         self.standby_slot_count[s] -= n as u16;
         self.standby_total -= n;
-        self.slots[s].memo = None;
+        self.unblock(s);
         n
     }
 
@@ -558,6 +679,7 @@ impl Machine {
             .ok_or(MachineError::NoFreeContext { pc: u32::MAX })?;
         let lpid = idx as i64;
         self.live_contexts += 1;
+        self.idle_contexts += 1;
         let ctx = &mut self.contexts[idx];
         ctx.state = CtxState::Ready;
         ctx.resume_pc = pc;
@@ -584,8 +706,30 @@ impl Machine {
     ///
     /// As for [`Machine::run`].
     pub fn step(&mut self) -> Result<bool, MachineError> {
+        self.step_impl::<false>(&mut PhaseProfile::default())
+    }
+
+    /// [`Machine::step`] with per-phase wall-time attribution
+    /// accumulated into `profile`. Identical simulation semantics; the
+    /// only difference is the clock reads at phase boundaries.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::run`].
+    pub fn step_profiled(&mut self, profile: &mut PhaseProfile) -> Result<bool, MachineError> {
+        self.step_impl::<true>(profile)
+    }
+
+    fn step_impl<const PROF: bool>(
+        &mut self,
+        prof: &mut PhaseProfile,
+    ) -> Result<bool, MachineError> {
         if self.is_done() {
             return Ok(true);
+        }
+        let mut lap = Lap::start::<PROF>();
+        if PROF {
+            prof.steps += 1;
         }
         let now = self.cycle;
         if now >= self.config.max_cycles {
@@ -611,14 +755,24 @@ impl Machine {
             if d.redirect {
                 let slot = &mut self.slots[d.slot];
                 slot.earliest_issue = slot.earliest_issue.max(now + depth);
-                slot.memo = None;
+                slot.block = None;
+                self.ready.insert(d.slot);
+            } else if matches!(self.slots[d.slot].block, Some(b) if b.reason == StallReason::Fetch)
+            {
+                // A refill ends fetch starvation; other blocks are
+                // unaffected by a plain delivery (their conditions
+                // don't read the credit count).
+                self.slots[d.slot].block = None;
+                self.ready.insert(d.slot);
             }
             if let Some(sink) = self.sink.as_deref_mut() {
                 sink.event(&TraceEvent::Fetch { cycle: now, slot: d.slot, redirect: d.redirect });
             }
         }
         self.scratch.deliveries = deliveries;
+        lap.lap::<PROF>(&mut prof.fetch);
         self.wake_and_bind(now);
+        lap.lap::<PROF>(&mut prof.wake_bind);
         // One priority-order snapshot serves both the issue phase and
         // arbitration: nothing reorders the levels in between (chgpri
         // is deferred to cycle end, implicit/forced rotations happened
@@ -629,12 +783,22 @@ impl Machine {
         let mut cands = std::mem::take(&mut self.scratch.cands);
         cands.clear();
         let issued_before = self.stats.instructions;
-        let phases = self
-            .issue_phase(&order, now, &mut cands)
-            .and_then(|()| self.arbitrate(&order, &mut cands, now));
+        let issue_res = self.issue_phase(&order, now, &mut cands);
+        lap.lap::<PROF>(&mut prof.issue);
+        let arb_res = match issue_res {
+            Ok(()) => self.arbitrate::<PROF>(&order, &mut cands, now),
+            Err(e) => Err(e),
+        };
+        lap.lap::<PROF>(&mut prof.arbitrate);
         self.scratch.order = order;
         self.scratch.cands = cands;
-        phases?;
+        let wb = arb_res?;
+        if PROF {
+            // The arbitration lap included the winners' execution,
+            // which `arbitrate` timed separately.
+            prof.writeback += wb;
+            prof.arbitrate = prof.arbitrate.saturating_sub(wb);
+        }
         if self.prio.apply_pending(now) {
             self.stats.rotations += 1;
             let highest = self.prio.highest();
@@ -649,12 +813,13 @@ impl Machine {
         self.fetch.end_cycle(now);
         self.cycle += 1;
         self.stats.cycles = self.cycle;
+        lap.lap::<PROF>(&mut prof.fetch);
         if self.is_done() {
             return Ok(true);
         }
         // Event-wheel fast-forward (see `machine/wheel.rs`): if every
-        // slot is provably stalled past the next cycle — by a memoized
-        // stall, a probed window head, a branch shadow, or fetch
+        // slot is provably stalled past the next cycle — by a live
+        // block, a probed window head, a branch shadow, or fetch
         // starvation — jump straight to the earliest wake,
         // synthesizing the skipped cycles' stall accounting. On a
         // single-slot machine it runs after issuing cycles too:
@@ -665,11 +830,15 @@ impl Machine {
         // that issued nothing — with several slots the per-slot probes
         // rarely pay for themselves while any slot is making progress
         // — and back off exponentially while attempts keep failing.
+        // An empty ready frontier bypasses the backoff: every slot
+        // holds a live block, so the probe is a handful of mask and
+        // descriptor reads with no `check_issue` calls.
         if self.config.fast_forward
             && (self.slots.len() == 1
                 || (self.stats.instructions == issued_before && self.cycle >= self.ff_next))
         {
             self.fast_forward();
+            lap.lap::<PROF>(&mut prof.wheel);
         }
         Ok(false)
     }
@@ -787,6 +956,15 @@ impl Machine {
         self.slots.len()
     }
 
+    /// The ready frontier: the slots *not* currently holding a proven
+    /// stall block. An empty set means every slot is provably stalled
+    /// until its block's wake cycle or a machine event — the condition
+    /// [`crate::MachineBatch`] uses to yield a lane's remaining round
+    /// to its siblings.
+    pub fn ready_slots(&self) -> SlotSet {
+        self.ready
+    }
+
     /// Current schedule-unit priority order (highest first).
     pub fn priority_order(&self) -> Vec<usize> {
         self.prio.order().to_vec()
@@ -870,6 +1048,19 @@ impl Machine {
     /// Wakes contexts whose remote access completed and binds ready
     /// contexts to free slots (concurrent multithreading, §2.1.3).
     fn wake_and_bind(&mut self, now: u64) {
+        debug_assert_eq!(
+            self.idle_contexts,
+            self.contexts
+                .iter()
+                .filter(|c| matches!(c.state, CtxState::Ready | CtxState::Waiting { .. }))
+                .count(),
+            "idle-context counter out of sync"
+        );
+        // With no context Ready or Waiting, both loops below are
+        // no-ops: nothing can wake and nothing can bind.
+        if self.idle_contexts == 0 {
+            return;
+        }
         for ctx in &mut self.contexts {
             if let CtxState::Waiting { until } = ctx.state {
                 if until <= now {
@@ -889,16 +1080,18 @@ impl Machine {
             let ctx = &mut self.contexts[c];
             ctx.state = CtxState::Running;
             ctx.started = true;
+            self.idle_contexts -= 1;
             let slot = &mut self.slots[s];
             slot.ctx = Some(c);
             slot.fetch_pc = ctx.resume_pc;
             slot.window.clear();
-            slot.memo = None;
+            slot.block = None;
             for (inst, vals) in ctx.replay.drain(..) {
                 slot.window.push_back(WinEntry::Replay(inst, vals));
             }
             slot.earliest_issue = now + penalty;
             let pc = slot.fetch_pc;
+            self.ready.insert(s);
             self.fetch.set_active(s, true);
             self.fetch.request_redirect(s, now);
             if let Some(sink) = self.sink.as_deref_mut() {
@@ -917,7 +1110,38 @@ impl Machine {
         now: u64,
         cands: &mut Vec<InFlight>,
     ) -> Result<(), MachineError> {
+        #[cfg(debug_assertions)]
+        for s in 0..self.slots.len() {
+            assert_eq!(
+                self.ready.contains(s),
+                self.slots[s].block.is_none(),
+                "ready mask out of sync with slot {s}'s block descriptor"
+            );
+        }
         for &s in order {
+            // A live block short-circuits the whole issue path for its
+            // slot: until `wake` (or a clearing event, which re-reads
+            // the descriptor as `None` here — mid-phase unblocks, e.g.
+            // a queue pop by an earlier slot, take effect in the same
+            // cycle, exactly like the full rescan), a fresh evaluation
+            // would reach the identical first-failing check.
+            if let Some(b) = self.slots[s].block {
+                if now < b.wake {
+                    #[cfg(debug_assertions)]
+                    self.assert_block_matches_fresh_eval(s, &b, now);
+                    self.record_stall(now, s, b.reason, b.pc);
+                    continue;
+                }
+                self.unblock(s);
+                // A timed block expiring usually means the event it
+                // waited out has arrived (e.g. a scoreboard clear):
+                // make the packed busy mask exact once, here, so the
+                // fresh evaluation's fast path sees it — amortized
+                // over stall episodes instead of per hazard check.
+                if let Some(c) = self.slots[s].ctx {
+                    self.contexts[c].regs.refresh(now);
+                }
+            }
             self.issue_slot(s, now, cands)?;
         }
         Ok(())
@@ -931,36 +1155,21 @@ impl Machine {
     ) -> Result<(), MachineError> {
         let Some(ctx_i) = self.slots[s].ctx else {
             self.record_stall(now, s, StallReason::NoThread, None);
+            // Only a bind gives the slot work, and binds unblock.
+            self.block_slot(s, StallReason::NoThread, None, u64::MAX);
             return Ok(());
         };
-        // A memoized head stall short-circuits the whole issue path:
-        // until `wake` (or an invalidating event, which clears the
-        // memo), a fresh evaluation would reach the identical
-        // first-failing check. Valid only because `issue_width == 1`
-        // at creation: the window holds exactly the stalled head, so
-        // the fill loop would add nothing and no younger instruction
-        // could issue around it.
-        if let Some(m) = self.slots[s].memo {
-            if now < m.wake {
-                #[cfg(debug_assertions)]
-                {
-                    assert!(now >= self.slots[s].earliest_issue, "memo across a redirect");
-                    assert!(
-                        self.memo_matches_fresh_eval(s, ctx_i, &m, now),
-                        "stall memo diverged from a fresh head evaluation"
-                    );
-                }
-                self.record_stall(now, s, m.reason, Some(m.pc));
-                return Ok(());
-            }
-            self.slots[s].memo = None;
-        }
         if now < self.slots[s].earliest_issue {
             // The redirect (or rebind) has been delivered but the
             // decode pipeline is still refilling: the branch-shadow
             // tail, distinct from waiting on the fetch unit itself.
+            // Stable until the shadow expires: the window and fetch PC
+            // only change through events that unblock (redirect
+            // deliveries, rebinds, kills), and the fill loop below is
+            // skipped throughout the shadow.
             let pc = self.next_window_pc(s);
             self.record_stall(now, s, StallReason::BranchShadow, Some(pc));
+            self.block_slot(s, StallReason::BranchShadow, Some(pc), self.slots[s].earliest_issue);
             return Ok(());
         }
         // Fill the decode window ("the instruction window is filled
@@ -980,8 +1189,15 @@ impl Machine {
             if self.fetch.credits(s) > 0 && (self.slots[s].fetch_pc as usize) >= program_len {
                 return Err(MachineError::PcOutOfRange { slot: s, pc: self.slots[s].fetch_pc });
             }
+            // An empty window after the fill implies no credits (with
+            // credits, either the fill pushed an entry or the fault
+            // above fired), so only a delivery — which unblocks —
+            // changes this. A delivered PC past the end faults on that
+            // re-evaluation, the same cycle the plain rescan would.
+            debug_assert_eq!(self.fetch.credits(s), 0, "starved slot still holds fetch credits");
             let pc = self.slots[s].fetch_pc;
             self.record_stall(now, s, StallReason::Fetch, Some(pc));
+            self.block_slot(s, StallReason::Fetch, Some(pc), u64::MAX);
             return Ok(());
         }
         // Without standby stations, a previously issued instruction
@@ -1005,7 +1221,7 @@ impl Machine {
         let mut head_reason = None;
         let mut head_pc = None;
         let mut head_wake = None;
-        let mut head_memoizable = false;
+        let mut head_blockable = false;
         let mut i = 0usize;
         while i < self.slots[s].window.len() && issued < width {
             let entry = self.slots[s].window[i];
@@ -1075,8 +1291,8 @@ impl Machine {
                         head_wake = wake;
                         // Replays resume via `wake_and_bind` and
                         // priority-gated ops can unblock on rotation;
-                        // neither stall is stable, so never memoize.
-                        head_memoizable =
+                        // neither stall is stable, so never block.
+                        head_blockable =
                             matches!(entry, WinEntry::Fresh(_)) && !di.needs_highest_priority();
                     }
                     if di.is_decode_unit() {
@@ -1118,16 +1334,18 @@ impl Machine {
         }
         if issued == 0 {
             self.record_stall(now, s, head_reason.unwrap_or(StallReason::Fetch), head_pc);
-            // Memoize the head stall when its outcome is provably
+            // Block on the head stall when its outcome is provably
             // stable: single-issue decode (the window is exactly this
-            // head, so re-evaluation is pure), a fresh non-gated entry,
-            // and a wake hint that buys at least one skipped cycle.
-            // Register writeback to this context, standby pops/clears
-            // for this slot, and any rebind/redirect clear the memo.
-            if self.config.issue_width == 1 && self.slots[s].window.len() == 1 && head_memoizable {
+            // head, so re-evaluation is pure and the fill loop stays a
+            // no-op), a fresh non-gated entry, and a wake hint that
+            // buys at least one skipped cycle. Register writeback to
+            // this context, standby pops/clears for this slot, queue
+            // pushes/pops on its links, and any rebind/redirect
+            // unblock.
+            if self.config.issue_width == 1 && self.slots[s].window.len() == 1 && head_blockable {
                 if let (Some(reason), Some(pc), Some(wake)) = (head_reason, head_pc, head_wake) {
                     if wake > now + 1 {
-                        self.slots[s].memo = Some(StallMemo { reason, pc, wake });
+                        self.block_slot(s, reason, Some(pc), wake);
                     }
                 }
             }
@@ -1135,21 +1353,62 @@ impl Machine {
         Ok(())
     }
 
-    /// Debug-only check that a stall memo still matches what the full
-    /// issue path would conclude (`check_issue` is side-effect free).
+    /// Debug-only proof that replaying a block records exactly the
+    /// stall a fresh evaluation would (`check_issue` is side-effect
+    /// free). Panics on any divergence.
     #[cfg(debug_assertions)]
-    fn memo_matches_fresh_eval(&self, s: usize, ctx_i: usize, m: &StallMemo, now: u64) -> bool {
-        let Some(&WinEntry::Fresh(pc)) = self.slots[s].window.front() else {
-            return false;
-        };
-        if self.slots[s].window.len() != 1 || pc != m.pc {
-            return false;
+    fn assert_block_matches_fresh_eval(&self, s: usize, b: &SlotBlock, now: u64) {
+        let slot = &self.slots[s];
+        match b.reason {
+            StallReason::NoThread => {
+                assert!(slot.ctx.is_none(), "NoThread block on a bound slot {s}");
+                assert_eq!(b.pc, None, "NoThread block carries a pc");
+            }
+            StallReason::BranchShadow => {
+                assert!(slot.ctx.is_some(), "BranchShadow block on an unbound slot {s}");
+                assert!(now < slot.earliest_issue, "BranchShadow block past the shadow expiry");
+                assert_eq!(
+                    b.wake, slot.earliest_issue,
+                    "BranchShadow wake drifted from the shadow"
+                );
+                assert_eq!(b.pc, Some(self.next_window_pc(s)), "BranchShadow pc drifted");
+            }
+            StallReason::Fetch => {
+                assert!(slot.ctx.is_some(), "Fetch block on an unbound slot {s}");
+                assert!(now >= slot.earliest_issue, "Fetch block inside a branch shadow");
+                assert!(slot.window.is_empty(), "Fetch block with a non-empty window");
+                assert_eq!(self.fetch.credits(s), 0, "Fetch block with credits available");
+                assert_eq!(b.pc, Some(slot.fetch_pc), "Fetch block pc drifted");
+            }
+            _ => {
+                // A blocked head stall: re-run the full head check.
+                let ctx_i = slot.ctx.expect("head block on an unbound slot");
+                assert!(now >= slot.earliest_issue, "head block across a redirect");
+                let Some(&WinEntry::Fresh(pc)) = slot.window.front() else {
+                    panic!("head block without a fresh window head on slot {s}");
+                };
+                assert!(slot.window.len() == 1 && Some(pc) == b.pc, "head block pc drifted");
+                let di = self.program.insts()[pc as usize];
+                assert!(
+                    matches!(
+                        self.check_issue(
+                            s,
+                            ctx_i,
+                            &di,
+                            false,
+                            now,
+                            0,
+                            0,
+                            (false, false),
+                            &[false; FU_CLASS_COUNT],
+                            true,
+                        ),
+                        Err(IssueBlock::Stall(r, _)) if r == b.reason
+                    ),
+                    "head block diverged from a fresh head evaluation on slot {s}"
+                );
+            }
         }
-        let di = self.program.insts()[pc as usize];
-        matches!(
-            self.check_issue(s, ctx_i, &di, false, now, 0, 0, (false, false), &[false; FU_CLASS_COUNT], true),
-            Err(IssueBlock::Stall(r, _)) if r == m.reason
-        )
     }
 
     /// Address of the oldest fresh instruction the slot will issue
@@ -1226,7 +1485,43 @@ impl Machine {
                 return Err(Stall(StallReason::Priority, None));
             }
         }
-        if !is_replay {
+        // Packed-scoreboard fast path: for a fresh instruction in a
+        // context with no queue registers mapped, every per-register
+        // hazard rule below reduces to ANDs of the predecoded operand
+        // masks against the context's packed busy mask and this
+        // cycle's unissued-operand masks. The busy mask may be stale —
+        // it is a conservative superset of the outstanding writes (see
+        // `RegBank::busy`) — so an all-clear here is a proof of "no
+        // register hazard", while anything else falls back to the
+        // exact per-register walk (which also produces the stall
+        // reasons, wake hints, and queue-misuse faults).
+        //
+        // No refresh runs here: stale bits are only dropped by pokes,
+        // bank copies, and the block-expiry refresh in `issue_phase` —
+        // all amortized over events rather than paid per hazard check
+        // (a per-evaluation refresh, and even a sweep on every
+        // writeback, measured as net losses on the bench trio).
+        let regs_fast = !is_replay
+            && ctx.qread.is_none()
+            && ctx.qwrite.is_none()
+            && (di.src_mask | di.dest_mask) & (ctx.regs.busy() | unissued_writes) == 0
+            && di.dest_mask & unissued_reads == 0;
+        #[cfg(debug_assertions)]
+        if regs_fast {
+            for r in di.srcs.into_iter().flatten() {
+                assert!(
+                    ctx.regs.is_ready(r, now),
+                    "busy-mask fast path missed a source hazard on {r}"
+                );
+            }
+            if let Some(d) = di.dest {
+                assert!(
+                    ctx.regs.is_ready(d, now),
+                    "busy-mask fast path missed a WAW hazard on {d}"
+                );
+            }
+        }
+        if !is_replay && !regs_fast {
             for r in di.srcs.into_iter().flatten() {
                 if unissued_writes & (1u64 << r.dense_index()) != 0 {
                     return Err(Stall(StallReason::Data, None));
@@ -1236,7 +1531,7 @@ impl Machine {
                     if !self.queues.can_read(link, now) {
                         // Wake when the front entry matures (`MAX` for
                         // an empty link — only a push lifts that, and
-                        // pushes invalidate the memo).
+                        // pushes clear the block).
                         return Err(Stall(
                             StallReason::QueueEmpty,
                             Some(self.queues.readable_at(link)),
@@ -1253,25 +1548,27 @@ impl Machine {
                 }
             }
         }
-        if let Some(d) = di.dest {
-            if (unissued_writes | unissued_reads) & di.dest_mask != 0 {
-                return Err(Stall(StallReason::Data, None));
-            }
-            if ctx.qwrite == Some(d) {
-                if !self.queues.can_write(self.queues.write_link(s)) {
-                    // Only the consumer's pop can free a full link, and
-                    // pops invalidate the memo.
-                    return Err(Stall(StallReason::QueueFull, Some(u64::MAX)));
+        if !regs_fast {
+            if let Some(d) = di.dest {
+                if (unissued_writes | unissued_reads) & di.dest_mask != 0 {
+                    return Err(Stall(StallReason::Data, None));
                 }
-            } else if ctx.qread == Some(d) {
-                return Err(Fault(MachineError::QueueMisuse {
-                    slot: s,
-                    pc: 0,
-                    detail: format!("write to read-mapped queue register {d}"),
-                }));
-            } else if !is_replay && !ctx.regs.is_ready(d, now) {
-                // WAW interlock
-                return Err(Stall(StallReason::Data, Some(ctx.regs.ready_time(d))));
+                if ctx.qwrite == Some(d) {
+                    if !self.queues.can_write(self.queues.write_link(s)) {
+                        // Only the consumer's pop can free a full link,
+                        // and pops clear the block.
+                        return Err(Stall(StallReason::QueueFull, Some(u64::MAX)));
+                    }
+                } else if ctx.qread == Some(d) {
+                    return Err(Fault(MachineError::QueueMisuse {
+                        slot: s,
+                        pc: 0,
+                        detail: format!("write to read-mapped queue register {d}"),
+                    }));
+                } else if !is_replay && !ctx.regs.is_ready(d, now) {
+                    // WAW interlock
+                    return Err(Stall(StallReason::Data, Some(ctx.regs.ready_time(d))));
+                }
             }
         }
         if let Some(class) = di.fu {
@@ -1314,10 +1611,11 @@ impl Machine {
                 });
                 if dequeued.is_some() {
                     // The pop frees a queue entry: the link's writer
-                    // (the predecessor slot) may hold a memoized
-                    // QueueFull stall that now lifts.
+                    // (the predecessor slot) may hold a QueueFull
+                    // block that now lifts.
                     let writer = (link + self.slots.len() - 1) % self.slots.len();
-                    self.slots[writer].memo = None;
+                    self.slots[writer].block = None;
+                    self.ready.insert(writer);
                     let depth = self.queues.len(link);
                     if let Some(sink) = self.sink.as_deref_mut() {
                         sink.event(&TraceEvent::QueuePop { cycle: now, slot: s, link, depth });
@@ -1442,9 +1740,10 @@ impl Machine {
             }
         });
         if dequeued.is_some() {
-            // As in `capture`: the writer's QueueFull memo may lift.
+            // As in `capture`: the writer's QueueFull block may lift.
             let writer = (link + self.slots.len() - 1) % self.slots.len();
-            self.slots[writer].memo = None;
+            self.slots[writer].block = None;
+            self.ready.insert(writer);
             let depth = self.queues.len(link);
             if let Some(sink) = self.sink.as_deref_mut() {
                 sink.event(&TraceEvent::QueuePop { cycle: now, slot: s, link, depth });
@@ -1457,14 +1756,15 @@ impl Machine {
         let slot = &mut self.slots[s];
         slot.fetch_pc = next_pc;
         slot.window.clear();
-        slot.memo = None;
+        slot.block = None;
+        self.ready.insert(s);
         self.fetch.request_redirect(s, now);
     }
 
     fn detach(&mut self, s: usize) {
         self.slots[s].ctx = None;
         self.slots[s].window.clear();
-        self.slots[s].memo = None;
+        self.unblock(s);
         self.fetch.set_active(s, false);
     }
 
@@ -1501,8 +1801,9 @@ impl Machine {
             slot.ctx = Some(free);
             slot.fetch_pc = pc + 1;
             slot.window.clear();
-            slot.memo = None;
+            slot.block = None;
             slot.earliest_issue = 0;
+            self.ready.insert(j);
             self.fetch.set_active(j, true);
             self.fetch.request_redirect(j, now);
         }
@@ -1521,7 +1822,7 @@ impl Machine {
                 self.stats.threads_killed += 1;
             }
             self.slots[j].window.clear();
-            self.slots[j].memo = None;
+            self.unblock(j);
             for ci in 0..FU_CLASS_COUNT {
                 self.standby_clear(j, ci);
             }
@@ -1540,6 +1841,7 @@ impl Machine {
             }
         }
         self.live_contexts -= killed;
+        self.idle_contexts -= killed;
         self.queues.flush();
     }
 
@@ -1550,25 +1852,37 @@ impl Machine {
     /// Per-class dynamic scheduling with rotating priorities (§2.2):
     /// standby occupants and this cycle's issues compete; winners start
     /// execution, losers (or survivors) sit in standby stations.
-    fn arbitrate(
+    /// Returns the wall time spent executing arbitration winners (zero
+    /// unless `PROF`), so the profiled step can split "arbitrate" from
+    /// "writeback" without threading a profile reference through the
+    /// unprofiled hot path.
+    fn arbitrate<const PROF: bool>(
         &mut self,
         order: &[usize],
         cands: &mut Vec<InFlight>,
         now: u64,
-    ) -> Result<(), MachineError> {
+    ) -> Result<Duration, MachineError> {
+        let mut wb = Duration::ZERO;
         let tracing = self.sink.is_some();
         debug_assert!(self.standby_bookkeeping_consistent(), "standby bookkeeping is in sync");
-        // Per class, the slots with work this cycle: the standing
-        // occupancy mask plus this cycle's issues. Idle classes and
-        // slots are skipped outright; when tracing is on the same
-        // masks double as the competitor sets for win/loss
-        // attribution. Packed bitmasks, so this costs no allocation.
-        let mut competing_by_class = self.standby_mask;
-        for f in cands.iter() {
-            if let Some(class) = f.di.fu {
-                competing_by_class[class.index()].insert(f.slot);
-            }
+        // Every issue joins the back of its slot's standby queue up
+        // front — it is the youngest there, and `class_taken` caps a
+        // slot at one issue per class per cycle, so cross-class push
+        // order is immaterial. Arbitration is then a pure drain of
+        // the per-class occupancy masks: no candidate scans, and the
+        // per-class loops visit exactly the slots with work
+        // (find-first-set in priority order) instead of walking every
+        // slot. The masks are snapshotted before any unit is granted:
+        // a mid-drain detach empties the detaching slot's LoadStore
+        // station, and the trace's competitor sets must describe the
+        // cycle's entrants, not the survivors.
+        for f in cands.drain(..) {
+            let class = f.di.fu.expect("arbitrated candidates target a functional unit");
+            self.standby_push(f.slot, class.index(), f);
         }
+        let competing_by_class = self.standby_mask;
+        let slots = self.slots.len();
+        let highest = self.prio.highest();
         for class in FuClass::ALL {
             let ci = class.index();
             let competing = competing_by_class[ci];
@@ -1576,17 +1890,7 @@ impl Machine {
                 continue;
             }
             let mut winner_slots = SlotSet::EMPTY;
-            for &s in order {
-                if !competing.contains(s) {
-                    continue;
-                }
-                // This cycle's issue joins the back of the slot's
-                // standby queue (it is the youngest); the queue then
-                // drains in order while units are free.
-                if let Some(i) = cands.iter().position(|f| f.slot == s && f.di.fu == Some(class)) {
-                    let f = cands.swap_remove(i);
-                    self.standby_push(s, ci, f);
-                }
+            for s in competing.iter_from(highest, slots) {
                 while let Some(&front) = self.station(s, ci).front() {
                     // A priority-gated store is performed only by the
                     // highest-priority logical processor (§2.3.3); if
@@ -1615,7 +1919,11 @@ impl Machine {
                             });
                         }
                     }
+                    let t = if PROF { Some(Instant::now()) } else { None };
                     self.execute_selected(f, class, instance, now)?;
+                    if let Some(t) = t {
+                        wb += t.elapsed();
+                    }
                 }
             }
             if tracing && !competing.is_empty() {
@@ -1651,7 +1959,7 @@ impl Machine {
             }
         }
         debug_assert!(cands.is_empty(), "every candidate must be selected or parked");
-        Ok(())
+        Ok(wb)
     }
 
     /// Debug-build rescan: the occupancy mask, per-slot counts, and
@@ -1760,24 +2068,28 @@ impl Machine {
             let avail = now + result_latency as u64 + 1;
             self.queues.write(link, avail, bits);
             // The link's reader (slot `link` by the Figure 5 topology)
-            // may hold a memoized QueueEmpty stall keyed to the old
-            // front entry; the push changes what a fresh evaluation
-            // would see.
-            self.slots[link].memo = None;
+            // may hold a QueueEmpty block keyed to the old front
+            // entry; the push changes what a fresh evaluation would
+            // see.
+            self.slots[link].block = None;
+            self.ready.insert(link);
             let depth = self.queues.len(link);
             if let Some(sink) = self.sink.as_deref_mut() {
                 sink.event(&TraceEvent::QueuePush { cycle: now, slot: f.slot, link, avail, depth });
             }
         } else {
             self.contexts[f.ctx].regs.write(d, bits, now, result_latency);
-            // A register just left the busy state: any memoized Data
-            // stall of the slot this context is bound to (which can
-            // differ from `f.slot` after a trap migration) may lift.
-            for sl in &mut self.slots {
+            // A register just left the busy state: any Data block of
+            // the slot this context is bound to (which can differ
+            // from `f.slot` after a trap migration) may lift.
+            let mut ready = self.ready;
+            for (i, sl) in self.slots.iter_mut().enumerate() {
                 if sl.ctx == Some(f.ctx) {
-                    sl.memo = None;
+                    sl.block = None;
+                    ready.insert(i);
                 }
             }
+            self.ready = ready;
             if let Some(sink) = self.sink.as_deref_mut() {
                 sink.event(&TraceEvent::Writeback {
                     cycle: now,
@@ -1810,6 +2122,7 @@ impl Machine {
             ctx.replay.extend(station.iter().map(|g| (g.di.inst, g.vals)));
         }
         self.standby_clear(s, ls);
+        self.idle_contexts += 1;
         let ctx = &mut self.contexts[f.ctx];
         ctx.state = CtxState::Waiting { until: ready_at };
         // Save the restart point: the oldest unissued instruction.

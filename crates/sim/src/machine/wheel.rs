@@ -36,20 +36,21 @@
 //!   cycle's start-of-cycle work (rotation tick and fetch events), and
 //!   the real step at that cycle issues normally.
 //!
-//! The per-slot wake reasons come from [`super::StallMemo`] (created by
-//! the issue path with a wake hint from the scoreboard, the queue ring,
-//! or the standby occupancy) plus three states the issue path handles
-//! before consulting the memo: no bound thread, an unexpired branch
-//! shadow, and an empty window with no fetch credits. Any slot in a
-//! state whose next change is not provably timed (e.g. a non-memoized
-//! head stall) vetoes the jump — correctness never depends on the
-//! wheel firing.
+//! The per-slot wake reasons come from [`super::SlotBlock`] — the
+//! ready-frontier descriptors the issue phase maintains for every
+//! provably stalled slot (no bound thread, an unexpired branch shadow,
+//! fetch starvation, and blocked head stalls with a wake hint from
+//! the scoreboard, the queue ring, or the standby occupancy). Slots
+//! still on the ready frontier re-derive the same facts from live
+//! state, including a head probe. Any slot in a state whose next
+//! change is not provably timed (e.g. a non-blockable head stall)
+//! vetoes the jump — correctness never depends on the wheel firing.
 //!
 //! Two throttles keep the wheel from costing more than it saves, and
 //! both are pure attempt-scheduling — the cycles a skipped or vetoed
 //! attempt would have jumped are stepped plainly, with identical
 //! results: one-cycle jumps are vetoed (the walk's bookkeeping exceeds
-//! a memo-hit step), and multi-slot machines back off exponentially
+//! a blocked-replay step), and multi-slot machines back off exponentially
 //! while attempts keep failing (probing every slot on every no-issue
 //! cycle is wasted work in phases where some slot soon issues again).
 
@@ -62,8 +63,8 @@ enum Horizon {
     /// walk). `fill` flags a probed head still in the fetch buffer —
     /// the span walk replays the window fill at the span's first
     /// cycle. `probed` marks descriptors derived from a fresh
-    /// `check_issue` probe (rather than an existing memo or a pure
-    /// state countdown), which the wheel turns into a stall memo.
+    /// `check_issue` probe (rather than an existing block or a pure
+    /// state countdown), which the wheel installs as a block.
     Stall { wake: u64, reason: StallReason, pc: Option<u32>, fill: bool, probed: bool },
     /// The probe proved the head passes `check_issue` at `next`: no
     /// jump, but the proof is reusable — the next step's issue path
@@ -107,13 +108,13 @@ impl Machine {
                     if fill {
                         fills |= 1 << s;
                     } else if probed {
-                        // The probe satisfied the memo's creation
+                        // The probe satisfied the head block's creation
                         // preconditions (single-issue, the window holds
                         // exactly this fresh non-gated head) — keep its
                         // result, so a landing step short of `wake`
                         // short-circuits instead of re-evaluating.
                         let pc = pc.expect("probed stalls carry the head pc");
-                        self.slots[s].memo = Some(StallMemo { reason, pc, wake });
+                        self.block_slot(s, reason, Some(pc), wake);
                     }
                 }
                 Horizon::Issues { pc } => {
@@ -132,6 +133,14 @@ impl Machine {
                     break;
                 }
             }
+        }
+        // The slot loop only ever lowers `target`, so a target already
+        // at or below `from + 1` is a veto no matter what the
+        // context/standby scans below would find — bail before paying
+        // for them (the common failure mode in stall-heavy phases:
+        // some slot's block wakes next cycle).
+        if jumpable && target <= from + 1 {
+            jumpable = false;
         }
         if jumpable {
             // An implicit rotation reorders the priorities whenever
@@ -186,7 +195,7 @@ impl Machine {
         }
         // A one-cycle jump is never worth the span-walk bookkeeping —
         // the next real step re-records the same stalls (cheaply, via
-        // the memos the probes just planted) at the same cost.
+        // the blocks the probes just installed) at the same cost.
         let jumped = jumpable && target > from + 1;
         if jumped {
             self.walk_span(from, target, &mut stalls, fills);
@@ -209,6 +218,24 @@ impl Machine {
     /// absorbed by the span walk) can change.
     fn slot_stall_horizon(&self, s: usize, next: u64) -> Horizon {
         let slot = &self.slots[s];
+        if let Some(b) = slot.block {
+            // A live block is its own horizon: the issue phase proved
+            // the descriptor re-records identically until `wake`, and
+            // every clearing event is either bounded below by the jump
+            // conditions or absorbed by the span walk.
+            if b.wake > next {
+                return Horizon::Stall {
+                    wake: b.wake,
+                    reason: b.reason,
+                    pc: b.pc,
+                    fill: false,
+                    probed: false,
+                };
+            }
+            // Expired at the probe cycle: fall through and re-derive
+            // from live state, exactly as the next real step would
+            // after unblocking.
+        }
         if slot.ctx.is_none() {
             // Nothing to issue until a bind (bounded by the context
             // wake-up scan) or a forced rotation (guarded at entry).
@@ -219,22 +246,6 @@ impl Machine {
                 fill: false,
                 probed: false,
             };
-        }
-        if let Some(m) = slot.memo {
-            // The memo's own contract: the head re-stalls identically
-            // every cycle strictly before `wake`, and every
-            // invalidating event clears it (which would have happened
-            // during the triggering step, before this runs).
-            if m.wake > next {
-                return Horizon::Stall {
-                    wake: m.wake,
-                    reason: m.reason,
-                    pc: Some(m.pc),
-                    fill: false,
-                    probed: false,
-                };
-            }
-            return Horizon::Unknown;
         }
         if slot.earliest_issue > next {
             // Branch shadow / rebind penalty: pure cycle countdown.
@@ -257,8 +268,8 @@ impl Machine {
                 probed: false,
             };
         }
-        // No memo yet: probe the head the next step would evaluate.
-        // Sound under exactly the memo's own preconditions — single-
+        // No block yet: probe the head the next step would evaluate.
+        // Sound under exactly the head block's own preconditions — single-
         // issue decode (the window is at most this head, so the
         // evaluation is pure and nothing issues around it), a fresh
         // non-gated instruction, and a wake hint from `check_issue`.
@@ -372,6 +383,11 @@ impl Machine {
                     if d.redirect {
                         target = target.min(self.absorb_redirect(d.slot, t, depth, stalls));
                     } else if stalls[d.slot].0 == StallReason::Fetch {
+                        // The refill re-arms issue: lift the slot's
+                        // Fetch block (the step path's delivery loop
+                        // would, but this delivery is consumed here)
+                        // and end the span at this cycle.
+                        self.unblock(d.slot);
                         woke = true;
                     }
                     if let Some(sink) = self.sink.as_deref_mut() {
@@ -474,6 +490,7 @@ impl Machine {
                         piece[d.slot] = from;
                         target = target.min(self.absorb_redirect(d.slot, from, depth, stalls));
                     } else if stalls[d.slot].0 == StallReason::Fetch {
+                        self.unblock(d.slot); // as in the traced path
                         woke = true;
                     }
                 }
@@ -509,6 +526,7 @@ impl Machine {
                         piece[d.slot] = tc;
                         target = target.min(self.absorb_redirect(d.slot, tc, depth, stalls));
                     } else if stalls[d.slot].0 == StallReason::Fetch {
+                        self.unblock(d.slot); // as in the traced path
                         woke = true;
                     }
                 }
@@ -569,11 +587,15 @@ impl Machine {
             "redirect delivered to slot stalled on {:?}",
             stalls[slot].0
         );
-        debug_assert!(self.slots[slot].memo.is_none(), "redirect delivered over a live memo");
         let s = &mut self.slots[slot];
         s.earliest_issue = s.earliest_issue.max(t + depth);
         let wake = s.earliest_issue;
-        stalls[slot] = (StallReason::BranchShadow, Some(self.next_window_pc(slot)));
+        let pc = self.next_window_pc(slot);
+        stalls[slot] = (StallReason::BranchShadow, Some(pc));
+        // The step path would unblock on the delivery, re-evaluate,
+        // and re-block on the extended shadow; the span fuses that
+        // into one block rewrite with identical synthesized stalls.
+        self.block_slot(slot, StallReason::BranchShadow, Some(pc), wake);
         wake
     }
 
@@ -714,7 +736,7 @@ mod properties {
     #[test]
     fn regression_single_div_single_trip() {
         // cc 6a1b0f: one fdiv, one loop trip, s=1 — the minimal span
-        // where a memoized Data stall and the branch shadow overlap.
+        // where a blocked Data stall and the branch shadow overlap.
         let program = stall_program(1, 0, 1);
         let (mut wheel, mut plain) = machines(&program, 1);
         wheel.run().unwrap();

@@ -51,9 +51,9 @@ impl QueueRing {
     /// First cycle at which a read of `link` could succeed by the
     /// advance of time alone: the front entry's avail time, or
     /// `u64::MAX` when the link is empty (only a push can lift that).
-    /// Feeds the head-stall memo and the event wheel; only this link's
+    /// Feeds the head-stall block and the event wheel; only this link's
     /// reader can pop the front, so the bound is stable until a push
-    /// or pop event (which invalidate the memo).
+    /// or pop event (which clear the block).
     pub(crate) fn readable_at(&self, link: usize) -> u64 {
         self.links[link].front().map_or(u64::MAX, |&(avail, _)| avail)
     }

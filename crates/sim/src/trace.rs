@@ -80,6 +80,31 @@ impl SlotSet {
     pub fn iter(self) -> impl Iterator<Item = usize> {
         (0..u64::BITS as usize).filter(move |&s| self.0 & (1 << s) != 0)
     }
+
+    /// Iterator over the member slots starting at `start` and wrapping
+    /// modulo `slots` — the rotating-priority visit order, since the
+    /// priority vector is always a left-rotation of `0..slots` (the
+    /// `any_rotation_interleaving_is_a_left_rotation` property). Every
+    /// member must lie below `slots`; cost is one rotate plus a
+    /// find-first-set per member, so sparse sets visit only their
+    /// members rather than scanning every slot.
+    pub fn iter_from(self, start: usize, slots: usize) -> impl Iterator<Item = usize> {
+        debug_assert!(slots <= 64 && (start < slots || self.0 == 0), "start within the slot range");
+        let mask = if slots >= 64 { u64::MAX } else { (1u64 << slots) - 1 };
+        debug_assert_eq!(self.0 & !mask, 0, "members within the slot range");
+        let bits = self.0 & mask;
+        let mut rot =
+            if start == 0 { bits } else { ((bits >> start) | (bits << (slots - start))) & mask };
+        std::iter::from_fn(move || {
+            if rot == 0 {
+                return None;
+            }
+            let i = rot.trailing_zeros() as usize;
+            rot &= rot - 1;
+            let s = i + start;
+            Some(if s >= slots { s - slots } else { s })
+        })
+    }
 }
 
 impl FromIterator<usize> for SlotSet {

@@ -51,15 +51,19 @@ fn allocations() -> u64 {
 }
 
 /// The Figure 6 eager loop is the ideal steady-state probe: it runs
-/// for tens of thousands of cycles on eight slots, exercises queue
-/// registers, forks, rotating priorities, and branch redirects every
-/// iteration — and performs no data-memory stores until the final
-/// break, so no lazily materialized memory chunk can appear mid-span.
-#[test]
-fn step_is_allocation_free_in_steady_state() {
+/// for tens of thousands of cycles, exercises queue registers, forks,
+/// rotating priorities, and branch redirects every iteration — and
+/// performs no data-memory stores until the final break, so no lazily
+/// materialized memory chunk can appear mid-span.
+///
+/// Probed at both 4 and 8 thread slots: the two configurations take
+/// different incremental-readiness paths (how often the ready frontier
+/// empties, how many block descriptors are live, how the per-class
+/// arbitration masks populate), and both must stay allocation-free.
+fn assert_steady_state_allocation_free(slots: usize) {
     let shape = ListShape { nodes: 600, break_at: Some(599) };
     let program = eager_program(shape);
-    let mut machine = Machine::new(Config::multithreaded(8), &program).expect("machine builds");
+    let mut machine = Machine::new(Config::multithreaded(slots), &program).expect("machine builds");
 
     // Warm-up: 5000 steps puts every ring buffer at its high-water
     // mark and leaves the stall-window vector (one entry per 1000
@@ -82,7 +86,8 @@ fn step_is_allocation_free_in_steady_state() {
     assert_eq!(
         after - before,
         0,
-        "Machine::step allocated in steady state ({} allocations over {} cycles)",
+        "Machine::step allocated in steady state at {} slots ({} allocations over {} cycles)",
+        slots,
         after - before,
         MEASURED_CYCLES
     );
@@ -90,4 +95,14 @@ fn step_is_allocation_free_in_steady_state() {
     // The machine still finishes correctly after the probe.
     let stats = machine.run().expect("machine completes");
     assert!(stats.cycles > WARMUP_CYCLES + MEASURED_CYCLES);
+}
+
+#[test]
+fn step_is_allocation_free_in_steady_state_s4() {
+    assert_steady_state_allocation_free(4);
+}
+
+#[test]
+fn step_is_allocation_free_in_steady_state_s8() {
+    assert_steady_state_allocation_free(8);
 }

@@ -346,10 +346,27 @@ fn three_way(case: &FuzzCase, src: &str) -> Result<(), String> {
 /// multithreading (§2.3) and data-absence switching under concurrent
 /// multithreading (§2.1.3), never both at once, so the combination is
 /// out of scope for the differential contract.
+/// Slot counts the fuzzer draws from. `DIFF_FUZZ_SLOTS` (comma-
+/// separated) overrides the default `1,2,4` — CI's quick tier pins
+/// `2,8` so every push exercises both the two-slot interleavings and
+/// the widest ready-frontier/arbitration-mask configuration without
+/// waiting for the big seeded campaign.
+fn slot_choices() -> &'static [usize] {
+    static CHOICES: std::sync::OnceLock<Vec<usize>> = std::sync::OnceLock::new();
+    CHOICES.get_or_init(|| match std::env::var("DIFF_FUZZ_SLOTS") {
+        Ok(v) => v
+            .split(',')
+            .map(|s| s.trim().parse().expect("DIFF_FUZZ_SLOTS holds slot counts"))
+            .collect(),
+        Err(_) => vec![1, 2, 4],
+    })
+}
+
 fn fuzz_case(seed: u64) -> FuzzCase {
     let mut rng = SplitMix(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1FF_CA5E);
     let family = rng.below(3);
-    let slots = [1, 2, 4][rng.below(3) as usize];
+    let choices = slot_choices();
+    let slots = choices[rng.below(choices.len() as u64) as usize];
     // Traps in a third of the trap-safe cases; remote words live at
     // 4096+.
     let remote_base = (family != 2 && rng.below(3) == 0).then_some(4096);
