@@ -25,6 +25,12 @@
 //!   arbitrate / writeback / wheel) for every grid point, via
 //!   `Machine::step_profiled`. The breakdowns recorded in
 //!   EXPERIMENTS.md come from this mode.
+//! * `throughput_check --probe [--points k1,k2,...]` — one quick
+//!   machine-readable measurement pass: `key<TAB>cycles/sec` per
+//!   selected grid point, no gating, no baseline. This is the unit of
+//!   work `scripts/ab_bench.sh` interleaves between two binaries; the
+//!   harness owns repetition and pairing, so the probe itself stays
+//!   short (a couple of minimum-of-runs rounds per point).
 //!
 //! Improvements beyond the baseline never fail the gate; run with
 //! `--record` after a deliberate performance change.
@@ -122,6 +128,27 @@ fn measure(point: &GridPoint) -> Measurement {
     Measurement { cycles, instructions, secs: best }
 }
 
+/// One probe measurement: smaller estimator than [`measure`] (the A/B
+/// harness repeats and pairs probes across binaries, so each probe
+/// only needs to be a stable minimum, not a full gate-quality one).
+fn probe_measure(point: &GridPoint) -> Measurement {
+    let run = || {
+        let mut m = Machine::new(point.config.clone(), &point.program).expect("machine builds");
+        m.run().expect("program runs");
+        (m.cycles(), m.stats().instructions)
+    };
+    let (cycles, instructions) = run();
+    let mut best = f64::MAX;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..2 {
+            run();
+        }
+        best = best.min(t.elapsed().as_secs_f64() / 2.0);
+    }
+    Measurement { cycles, instructions, secs: best }
+}
+
 /// Profiled runs per grid point (shares converge fast; this is not a
 /// timing estimator).
 const PROFILE_RUNS: usize = 3;
@@ -211,11 +238,30 @@ fn main() {
     let record = args.iter().any(|a| a == "--record");
     let fast_forward = !args.iter().any(|a| a == "--no-fast-forward");
     let profile = args.iter().any(|a| a == "--profile");
+    let probe = args.iter().any(|a| a == "--probe");
+    let points_filter: Option<Vec<String>> = args
+        .iter()
+        .position(|a| a == "--points")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.split(',').map(str::to_string).collect());
     let report_path = args
         .iter()
         .position(|a| a == "--report")
         .and_then(|i| args.get(i + 1))
         .map(std::path::PathBuf::from);
+
+    if probe {
+        for point in grid(fast_forward) {
+            if let Some(filter) = &points_filter {
+                if !filter.iter().any(|k| *k == point.key) {
+                    continue;
+                }
+            }
+            let m = probe_measure(&point);
+            println!("{}\t{:.1}", point.key, m.cycles as f64 / m.secs);
+        }
+        return;
+    }
 
     if profile {
         let report = profile_report(fast_forward);

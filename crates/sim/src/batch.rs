@@ -181,16 +181,10 @@ impl MachineBatch {
 /// live work. Pure scheduling, not semantics: each machine's cycles
 /// and statistics are independent of where its rounds end.
 fn step_lane(machine: &mut Machine, stride: u64) -> Result<bool, MachineError> {
-    let end = machine.cycles().saturating_add(stride.max(1));
-    while machine.cycles() < end {
-        if machine.step()? {
-            return Ok(true);
-        }
-        if machine.ready_slots().is_empty() {
-            break;
-        }
-    }
-    Ok(false)
+    // `run_span` hoists the trace-sink dispatch out of the loop, so an
+    // untraced lane steps the sink-free monomorphized kernel
+    // throughout its round.
+    machine.run_span(stride)
 }
 
 fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {

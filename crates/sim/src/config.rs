@@ -1,6 +1,6 @@
 //! Processor configuration.
 
-use hirata_isa::{FuConfig, RotationMode};
+use hirata_isa::{FuClass, FuConfig, RotationMode};
 
 /// Maximum standby-station depth the machine supports. The stations
 /// are fixed-capacity inline arrays (no per-entry heap allocation), so
@@ -256,6 +256,14 @@ impl Config {
         }
         if self.icache_cycles == 0 {
             return Err(ConfigError("icache_cycles must be at least 1".into()));
+        }
+        for class in FuClass::ALL {
+            if self.fu.count(class) > 64 {
+                return Err(ConfigError(format!(
+                    "{class:?} instance count ({}) exceeds the supported maximum (64)",
+                    self.fu.count(class)
+                )));
+            }
         }
         if let RotationMode::Implicit { interval: 0 } = self.rotation {
             return Err(ConfigError("rotation interval must be at least 1".into()));

@@ -50,7 +50,7 @@ pub mod batch;
 mod config;
 pub mod emu;
 mod error;
-mod exec;
+pub mod exec;
 mod fetch;
 mod machine;
 pub mod predecode;
@@ -66,7 +66,7 @@ pub use config::{Config, ConfigError, PipelineKind, MAX_STANDBY_DEPTH};
 pub use emu::{EmuOutcome, Emulator};
 pub use error::MachineError;
 pub use machine::{IssueEvent, Machine, PhaseProfile, SlotView};
-pub use predecode::{DecodedInst, PredecodedProgram};
+pub use predecode::{DecodedInst, ExecOp, PredecodedProgram, EXEC_OP_COUNT};
 pub use stats::{
     RunStats, StallBreakdown, StallReason, StallWindow, STALL_REASON_COUNT, STALL_WINDOW_CYCLES,
 };

@@ -9,13 +9,17 @@ use std::time::{Duration, Instant};
 use hirata_isa::{FuClass, GReg, Inst, Program, Reg, FU_CLASS_COUNT};
 use hirata_mem::{Access, DataMemModel, IdealCache, MemStats, Memory};
 
+mod fupool;
 mod wheel;
 
 use crate::config::{Config, MAX_STANDBY_DEPTH};
 use crate::error::MachineError;
-use crate::exec::{branch_taken, debug_assert_fresh_decode, fu_action, resolve_operands, FuAction};
+use crate::exec::{
+    branch_taken, debug_assert_fresh_decode, dispatch, fu_action, resolve_operands, FuAction,
+};
 use crate::fetch::{Delivery, FetchSystem};
-use crate::predecode::{DecodedInst, PredecodedProgram};
+use crate::machine::fupool::FuPool;
+use crate::predecode::{DecodedInst, PredecodedProgram, CAP_IMM, CAP_NONE};
 use crate::priority::Priorities;
 use crate::queue::QueueRing;
 use crate::regfile::RegBank;
@@ -184,22 +188,28 @@ enum WinEntry {
     Replay(Inst, [u64; 2]),
 }
 
+/// `repr(C)` orders the fields hot-first: the per-cycle issue path
+/// reads `ctx`/`block`/`earliest_issue`/`fetch_pc` for every slot, so
+/// they pack into the leading bytes; the window's `VecDeque` header
+/// (three pointers-worth, touched only when the slot actually decodes)
+/// trails.
 #[derive(Debug)]
+#[repr(C)]
 struct Slot {
     ctx: Option<usize>,
-    fetch_pc: u32,
-    window: VecDeque<WinEntry>,
-    earliest_issue: u64,
     /// The slot's ready-frontier state: `None` whenever no proof of a
     /// stable stall is held (mirrored by the machine's `ready` mask).
     /// Purely an optimization: replaying the block records exactly the
     /// stall a fresh evaluation would.
     block: Option<SlotBlock>,
+    earliest_issue: u64,
+    fetch_pc: u32,
+    window: VecDeque<WinEntry>,
 }
 
 impl Slot {
     fn new() -> Self {
-        Slot { ctx: None, fetch_pc: 0, window: VecDeque::new(), earliest_issue: 0, block: None }
+        Slot { ctx: None, block: None, earliest_issue: 0, fetch_pc: 0, window: VecDeque::new() }
     }
 }
 
@@ -220,31 +230,37 @@ enum CtxState {
 
 /// A context frame (§2.1.3): register sets, saved program counter,
 /// queue-register mapping, and the access requirement buffer.
+///
+/// `repr(C)` splits the frame hot-first: issue and capture touch the
+/// register bank, queue mapping, state, and `lpid` every cycle, so
+/// those lead; the trap-only resume machinery (`resume_pc`, the replay
+/// buffer, `started`) is cold and trails.
 #[derive(Debug)]
+#[repr(C)]
 struct Context {
     regs: RegBank,
+    qread: Option<Reg>,
+    qwrite: Option<Reg>,
     state: CtxState,
     lpid: i64,
     resume_pc: u32,
-    replay: Vec<(Inst, [u64; 2])>,
-    qread: Option<Reg>,
-    qwrite: Option<Reg>,
     /// False until first bound to a slot (suppresses the context-switch
     /// penalty for a thread's very first dispatch).
     started: bool,
+    replay: Vec<(Inst, [u64; 2])>,
 }
 
 impl Context {
     fn free() -> Self {
         Context {
             regs: RegBank::new(),
+            qread: None,
+            qwrite: None,
             state: CtxState::Free,
             lpid: 0,
             resume_pc: 0,
-            replay: Vec::new(),
-            qread: None,
-            qwrite: None,
             started: false,
+            replay: Vec::new(),
         }
     }
 }
@@ -311,7 +327,7 @@ pub struct Machine {
     /// fully-bound workloads); a debug assert in `wake_and_bind`
     /// rescans the frames to prove the counter exact.
     idle_contexts: usize,
-    fu_next: [Vec<u64>; FU_CLASS_COUNT],
+    fu_pool: FuPool,
     queues: QueueRing,
     fetch: FetchSystem,
     prio: Priorities,
@@ -504,7 +520,7 @@ impl Machine {
             (0..config.context_frames).map(|_| Context::free()).collect();
         contexts[0].state = CtxState::Ready;
         contexts[0].resume_pc = program.entry();
-        let fu_next = std::array::from_fn(|i| vec![0u64; config.fu.count(FuClass::ALL[i])]);
+        let fu_pool = FuPool::new(std::array::from_fn(|i| config.fu.count(FuClass::ALL[i])));
         let mut stats = RunStats { per_slot_issued: vec![0; s], ..RunStats::default() };
         for class in FuClass::ALL {
             stats.fu_instances[class.index()] = config.fu.count(class) as u64;
@@ -542,7 +558,7 @@ impl Machine {
             idle_contexts: 1, // contexts[0] starts Ready
 
             contexts,
-            fu_next,
+            fu_pool,
             memory,
             mem_model: Box::new(Wrap(mem_model)),
             program,
@@ -696,8 +712,50 @@ impl Machine {
     /// Propagates any [`MachineError`] raised during simulation,
     /// including the watchdog if `max_cycles` is exceeded.
     pub fn run(&mut self) -> Result<&RunStats, MachineError> {
-        while !self.step()? {}
+        // One sink check selects the whole loop's monomorphized
+        // kernel; the untraced path then carries no sink tests at all.
+        let mut prof = PhaseProfile::default();
+        if self.sink.is_some() {
+            while !self.step_impl::<false, true>(&mut prof)? {}
+        } else {
+            while !self.step_impl::<false, false>(&mut prof)? {}
+        }
         Ok(&self.stats)
+    }
+
+    /// Runs until the machine finishes, `stride` more cycles elapse,
+    /// or the ready frontier empties (every slot provably stalled —
+    /// the yield condition [`crate::MachineBatch`] uses to hand a
+    /// lane's remaining round to its siblings). Returns true once the
+    /// machine is finished. The sink dispatch is hoisted out of the
+    /// loop, so untraced spans run the sink-free kernel throughout.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Machine::run`].
+    pub fn run_span(&mut self, stride: u64) -> Result<bool, MachineError> {
+        let end = self.cycle.saturating_add(stride.max(1));
+        let mut prof = PhaseProfile::default();
+        if self.sink.is_some() {
+            while self.cycle < end {
+                if self.step_impl::<false, true>(&mut prof)? {
+                    return Ok(true);
+                }
+                if self.ready.is_empty() {
+                    break;
+                }
+            }
+        } else {
+            while self.cycle < end {
+                if self.step_impl::<false, false>(&mut prof)? {
+                    return Ok(true);
+                }
+                if self.ready.is_empty() {
+                    break;
+                }
+            }
+        }
+        Ok(false)
     }
 
     /// Advances one cycle. Returns true once the machine is finished.
@@ -706,7 +764,11 @@ impl Machine {
     ///
     /// As for [`Machine::run`].
     pub fn step(&mut self) -> Result<bool, MachineError> {
-        self.step_impl::<false>(&mut PhaseProfile::default())
+        if self.sink.is_some() {
+            self.step_impl::<false, true>(&mut PhaseProfile::default())
+        } else {
+            self.step_impl::<false, false>(&mut PhaseProfile::default())
+        }
     }
 
     /// [`Machine::step`] with per-phase wall-time attribution
@@ -717,10 +779,18 @@ impl Machine {
     ///
     /// As for [`Machine::run`].
     pub fn step_profiled(&mut self, profile: &mut PhaseProfile) -> Result<bool, MachineError> {
-        self.step_impl::<true>(profile)
+        if self.sink.is_some() {
+            self.step_impl::<true, true>(profile)
+        } else {
+            self.step_impl::<true, false>(profile)
+        }
     }
 
-    fn step_impl<const PROF: bool>(
+    /// The cycle kernel, monomorphized over phase profiling (`PROF`)
+    /// and trace-sink presence (`TRACED`): the common no-sink path
+    /// compiles with every sink check statically false, so tracing
+    /// costs nothing unless a sink is attached.
+    fn step_impl<const PROF: bool, const TRACED: bool>(
         &mut self,
         prof: &mut PhaseProfile,
     ) -> Result<bool, MachineError> {
@@ -738,15 +808,17 @@ impl Machine {
         if self.prio.tick(now) {
             self.stats.rotations += 1;
             let highest = self.prio.highest();
-            if let Some(sink) = self.sink.as_deref_mut() {
-                sink.event(&TraceEvent::Rotation {
-                    cycle: now,
-                    kind: RotationKind::Implicit,
-                    highest,
-                });
+            if TRACED {
+                if let Some(sink) = self.sink.as_deref_mut() {
+                    sink.event(&TraceEvent::Rotation {
+                        cycle: now,
+                        kind: RotationKind::Implicit,
+                        highest,
+                    });
+                }
             }
         }
-        self.skip_empty_priority_slots(now);
+        self.skip_empty_priority_slots::<TRACED>(now);
         let depth = self.config.pipeline.decode_depth();
         let mut deliveries = std::mem::take(&mut self.scratch.deliveries);
         deliveries.clear();
@@ -765,13 +837,19 @@ impl Machine {
                 self.slots[d.slot].block = None;
                 self.ready.insert(d.slot);
             }
-            if let Some(sink) = self.sink.as_deref_mut() {
-                sink.event(&TraceEvent::Fetch { cycle: now, slot: d.slot, redirect: d.redirect });
+            if TRACED {
+                if let Some(sink) = self.sink.as_deref_mut() {
+                    sink.event(&TraceEvent::Fetch {
+                        cycle: now,
+                        slot: d.slot,
+                        redirect: d.redirect,
+                    });
+                }
             }
         }
         self.scratch.deliveries = deliveries;
         lap.lap::<PROF>(&mut prof.fetch);
-        self.wake_and_bind(now);
+        self.wake_and_bind::<TRACED>(now);
         lap.lap::<PROF>(&mut prof.wake_bind);
         // One priority-order snapshot serves both the issue phase and
         // arbitration: nothing reorders the levels in between (chgpri
@@ -783,10 +861,10 @@ impl Machine {
         let mut cands = std::mem::take(&mut self.scratch.cands);
         cands.clear();
         let issued_before = self.stats.instructions;
-        let issue_res = self.issue_phase(&order, now, &mut cands);
+        let issue_res = self.issue_phase::<TRACED>(&order, now, &mut cands);
         lap.lap::<PROF>(&mut prof.issue);
         let arb_res = match issue_res {
-            Ok(()) => self.arbitrate::<PROF>(&order, &mut cands, now),
+            Ok(()) => self.arbitrate::<PROF, TRACED>(&order, &mut cands, now),
             Err(e) => Err(e),
         };
         lap.lap::<PROF>(&mut prof.arbitrate);
@@ -802,12 +880,14 @@ impl Machine {
         if self.prio.apply_pending(now) {
             self.stats.rotations += 1;
             let highest = self.prio.highest();
-            if let Some(sink) = self.sink.as_deref_mut() {
-                sink.event(&TraceEvent::Rotation {
-                    cycle: now,
-                    kind: RotationKind::Explicit,
-                    highest,
-                });
+            if TRACED {
+                if let Some(sink) = self.sink.as_deref_mut() {
+                    sink.event(&TraceEvent::Rotation {
+                        cycle: now,
+                        kind: RotationKind::Explicit,
+                        highest,
+                    });
+                }
             }
         }
         self.fetch.end_cycle(now);
@@ -1004,10 +1084,18 @@ impl Machine {
     /// Records one stalled slot-cycle in the stats (aggregate and
     /// per-window) and emits the matching trace event. `pc` is the
     /// blocking instruction's address, when one exists.
-    fn record_stall(&mut self, now: u64, slot: usize, reason: StallReason, pc: Option<u32>) {
+    fn record_stall<const TRACED: bool>(
+        &mut self,
+        now: u64,
+        slot: usize,
+        reason: StallReason,
+        pc: Option<u32>,
+    ) {
         self.stats.record_stall(reason, now);
-        if let Some(sink) = self.sink.as_deref_mut() {
-            sink.event(&TraceEvent::Stall { cycle: now, slot, reason, pc });
+        if TRACED {
+            if let Some(sink) = self.sink.as_deref_mut() {
+                sink.event(&TraceEvent::Stall { cycle: now, slot, reason, pc });
+            }
         }
     }
 
@@ -1021,7 +1109,7 @@ impl Machine {
     /// `killothers`, gated stores) would wedge. The schedule units
     /// therefore skip past slots with no thread and nothing left in
     /// their standby stations.
-    fn skip_empty_priority_slots(&mut self, now: u64) {
+    fn skip_empty_priority_slots<const TRACED: bool>(&mut self, now: u64) {
         for _ in 0..self.slots.len() {
             let h = self.prio.highest();
             let skippable = self.slots[h].ctx.is_none() && !self.slot_has_standby(h);
@@ -1035,19 +1123,21 @@ impl Machine {
             }
             self.prio.force_rotate(now);
             let highest = self.prio.highest();
-            if let Some(sink) = self.sink.as_deref_mut() {
-                sink.event(&TraceEvent::Rotation {
-                    cycle: now,
-                    kind: RotationKind::Forced,
-                    highest,
-                });
+            if TRACED {
+                if let Some(sink) = self.sink.as_deref_mut() {
+                    sink.event(&TraceEvent::Rotation {
+                        cycle: now,
+                        kind: RotationKind::Forced,
+                        highest,
+                    });
+                }
             }
         }
     }
 
     /// Wakes contexts whose remote access completed and binds ready
     /// contexts to free slots (concurrent multithreading, §2.1.3).
-    fn wake_and_bind(&mut self, now: u64) {
+    fn wake_and_bind<const TRACED: bool>(&mut self, now: u64) {
         debug_assert_eq!(
             self.idle_contexts,
             self.contexts
@@ -1094,8 +1184,10 @@ impl Machine {
             self.ready.insert(s);
             self.fetch.set_active(s, true);
             self.fetch.request_redirect(s, now);
-            if let Some(sink) = self.sink.as_deref_mut() {
-                sink.event(&TraceEvent::ThreadBind { cycle: now, slot: s, ctx: c, pc });
+            if TRACED {
+                if let Some(sink) = self.sink.as_deref_mut() {
+                    sink.event(&TraceEvent::ThreadBind { cycle: now, slot: s, ctx: c, pc });
+                }
             }
         }
     }
@@ -1104,7 +1196,7 @@ impl Machine {
     /// instructions; decode-unit instructions execute immediately,
     /// functional-unit instructions become schedule-unit candidates
     /// (appended to `cands`).
-    fn issue_phase(
+    fn issue_phase<const TRACED: bool>(
         &mut self,
         order: &[usize],
         now: u64,
@@ -1129,7 +1221,7 @@ impl Machine {
                 if now < b.wake {
                     #[cfg(debug_assertions)]
                     self.assert_block_matches_fresh_eval(s, &b, now);
-                    self.record_stall(now, s, b.reason, b.pc);
+                    self.record_stall::<TRACED>(now, s, b.reason, b.pc);
                     continue;
                 }
                 self.unblock(s);
@@ -1142,19 +1234,19 @@ impl Machine {
                     self.contexts[c].regs.refresh(now);
                 }
             }
-            self.issue_slot(s, now, cands)?;
+            self.issue_slot::<TRACED>(s, now, cands)?;
         }
         Ok(())
     }
 
-    fn issue_slot(
+    fn issue_slot<const TRACED: bool>(
         &mut self,
         s: usize,
         now: u64,
         cands: &mut Vec<InFlight>,
     ) -> Result<(), MachineError> {
         let Some(ctx_i) = self.slots[s].ctx else {
-            self.record_stall(now, s, StallReason::NoThread, None);
+            self.record_stall::<TRACED>(now, s, StallReason::NoThread, None);
             // Only a bind gives the slot work, and binds unblock.
             self.block_slot(s, StallReason::NoThread, None, u64::MAX);
             return Ok(());
@@ -1168,7 +1260,7 @@ impl Machine {
             // deliveries, rebinds, kills), and the fill loop below is
             // skipped throughout the shadow.
             let pc = self.next_window_pc(s);
-            self.record_stall(now, s, StallReason::BranchShadow, Some(pc));
+            self.record_stall::<TRACED>(now, s, StallReason::BranchShadow, Some(pc));
             self.block_slot(s, StallReason::BranchShadow, Some(pc), self.slots[s].earliest_issue);
             return Ok(());
         }
@@ -1196,7 +1288,7 @@ impl Machine {
             // re-evaluation, the same cycle the plain rescan would.
             debug_assert_eq!(self.fetch.credits(s), 0, "starved slot still holds fetch credits");
             let pc = self.slots[s].fetch_pc;
-            self.record_stall(now, s, StallReason::Fetch, Some(pc));
+            self.record_stall::<TRACED>(now, s, StallReason::Fetch, Some(pc));
             self.block_slot(s, StallReason::Fetch, Some(pc), u64::MAX);
             return Ok(());
         }
@@ -1208,7 +1300,7 @@ impl Machine {
                 .iter()
                 .find_map(StandbyStation::front)
                 .map(|f| f.pc);
-            self.record_stall(now, s, StallReason::FuConflict, pc);
+            self.record_stall::<TRACED>(now, s, StallReason::FuConflict, pc);
             return Ok(());
         }
 
@@ -1316,15 +1408,17 @@ impl Machine {
                     if let Some(trace) = &mut self.trace {
                         trace.push(IssueEvent { cycle: now, slot: s, ctx: ctx_i, pc });
                     }
-                    if let Some(sink) = self.sink.as_deref_mut() {
-                        sink.event(&TraceEvent::Issue { cycle: now, slot: s, ctx: ctx_i, pc });
+                    if TRACED {
+                        if let Some(sink) = self.sink.as_deref_mut() {
+                            sink.event(&TraceEvent::Issue { cycle: now, slot: s, ctx: ctx_i, pc });
+                        }
                     }
                     if let Some(class) = di.fu {
                         class_taken[class.index()] = true;
-                        let fi = self.capture(s, ctx_i, pc, &di, preset, now);
+                        let fi = self.capture::<TRACED>(s, ctx_i, pc, &di, preset, now);
                         cands.push(fi);
                     } else {
-                        let redirected = self.exec_decode(s, ctx_i, pc, di.inst, now)?;
+                        let redirected = self.exec_decode::<TRACED>(s, ctx_i, pc, di.inst, now)?;
                         if redirected || self.slots[s].ctx.is_none() {
                             break;
                         }
@@ -1333,7 +1427,7 @@ impl Machine {
             }
         }
         if issued == 0 {
-            self.record_stall(now, s, head_reason.unwrap_or(StallReason::Fetch), head_pc);
+            self.record_stall::<TRACED>(now, s, head_reason.unwrap_or(StallReason::Fetch), head_pc);
             // Block on the head stall when its outcome is provably
             // stable: single-issue decode (the window is exactly this
             // head, so re-evaluation is pure and the fill loop stays a
@@ -1583,7 +1677,7 @@ impl Machine {
 
     /// Reads operands (stage S; dequeues mapped queue reads), marks the
     /// destination scoreboard bit, and produces the in-flight record.
-    fn capture(
+    fn capture<const TRACED: bool>(
         &mut self,
         s: usize,
         ctx_i: usize,
@@ -1594,6 +1688,26 @@ impl Machine {
     ) -> InFlight {
         let vals = match preset {
             Some(v) => v,
+            // No queue read mapped: capture cannot have side effects,
+            // so the predecoded plan applies — per source slot, one
+            // indexed register-bank load (or the pre-folded immediate)
+            // and zero instruction-enum matches.
+            None if self.contexts[ctx_i].qread.is_none() => {
+                let regs = &self.contexts[ctx_i].regs;
+                let plan = |c: u8| match c {
+                    CAP_NONE => 0,
+                    CAP_IMM => di.imm,
+                    idx => regs.read_dense(idx as usize),
+                };
+                let vals = [plan(di.cap[0]), plan(di.cap[1])];
+                debug_assert_eq!(
+                    vals,
+                    resolve_operands(&di.inst, |r| regs.read_bits(r)),
+                    "capture plan diverged from fresh operand resolution for {:?}",
+                    di.inst
+                );
+                vals
+            }
             None => {
                 let link = self.queues.read_link(s);
                 let qread = self.contexts[ctx_i].qread;
@@ -1616,9 +1730,11 @@ impl Machine {
                     let writer = (link + self.slots.len() - 1) % self.slots.len();
                     self.slots[writer].block = None;
                     self.ready.insert(writer);
-                    let depth = self.queues.len(link);
-                    if let Some(sink) = self.sink.as_deref_mut() {
-                        sink.event(&TraceEvent::QueuePop { cycle: now, slot: s, link, depth });
+                    if TRACED {
+                        let depth = self.queues.len(link);
+                        if let Some(sink) = self.sink.as_deref_mut() {
+                            sink.event(&TraceEvent::QueuePop { cycle: now, slot: s, link, depth });
+                        }
                     }
                 }
                 vals
@@ -1642,7 +1758,7 @@ impl Machine {
 
     /// Executes a decode-unit instruction at issue time. Returns true
     /// if control was redirected (window flushed).
-    fn exec_decode(
+    fn exec_decode<const TRACED: bool>(
         &mut self,
         s: usize,
         ctx_i: usize,
@@ -1653,7 +1769,7 @@ impl Machine {
         match inst {
             Inst::Nop => Ok(false),
             Inst::Branch { cond, .. } => {
-                let vals = self.read_decode_operands(s, ctx_i, &inst, now);
+                let vals = self.read_decode_operands::<TRACED>(s, ctx_i, &inst, now);
                 let target = match inst {
                     Inst::Branch { target, .. } => target,
                     _ => unreachable!(),
@@ -1677,7 +1793,7 @@ impl Machine {
                 Ok(true)
             }
             Inst::JumpReg { .. } => {
-                let vals = self.read_decode_operands(s, ctx_i, &inst, now);
+                let vals = self.read_decode_operands::<TRACED>(s, ctx_i, &inst, now);
                 self.redirect(s, vals[0] as u32, now);
                 Ok(true)
             }
@@ -1726,7 +1842,13 @@ impl Machine {
 
     /// Operand read for decode-executed instructions (branches and
     /// indirect jumps); dequeues mapped queue reads like `capture`.
-    fn read_decode_operands(&mut self, s: usize, ctx_i: usize, inst: &Inst, now: u64) -> [u64; 2] {
+    fn read_decode_operands<const TRACED: bool>(
+        &mut self,
+        s: usize,
+        ctx_i: usize,
+        inst: &Inst,
+        now: u64,
+    ) -> [u64; 2] {
         let link = self.queues.read_link(s);
         let qread = self.contexts[ctx_i].qread;
         let mut dequeued: Option<u64> = None;
@@ -1744,9 +1866,11 @@ impl Machine {
             let writer = (link + self.slots.len() - 1) % self.slots.len();
             self.slots[writer].block = None;
             self.ready.insert(writer);
-            let depth = self.queues.len(link);
-            if let Some(sink) = self.sink.as_deref_mut() {
-                sink.event(&TraceEvent::QueuePop { cycle: now, slot: s, link, depth });
+            if TRACED {
+                let depth = self.queues.len(link);
+                if let Some(sink) = self.sink.as_deref_mut() {
+                    sink.event(&TraceEvent::QueuePop { cycle: now, slot: s, link, depth });
+                }
             }
         }
         vals
@@ -1856,14 +1980,14 @@ impl Machine {
     /// unless `PROF`), so the profiled step can split "arbitrate" from
     /// "writeback" without threading a profile reference through the
     /// unprofiled hot path.
-    fn arbitrate<const PROF: bool>(
+    fn arbitrate<const PROF: bool, const TRACED: bool>(
         &mut self,
         order: &[usize],
         cands: &mut Vec<InFlight>,
         now: u64,
     ) -> Result<Duration, MachineError> {
         let mut wb = Duration::ZERO;
-        let tracing = self.sink.is_some();
+        let tracing = TRACED && self.sink.is_some();
         debug_assert!(self.standby_bookkeeping_consistent(), "standby bookkeeping is in sync");
         // Every issue joins the back of its slot's standby queue up
         // front — it is the youngest there, and `class_taken` caps a
@@ -1883,6 +2007,10 @@ impl Machine {
         let competing_by_class = self.standby_mask;
         let slots = self.slots.len();
         let highest = self.prio.highest();
+        // Make the calendar ring's free masks exact at `now` before
+        // any grant decision (frees every instance whose release has
+        // passed since the last arbitration or fast-forward landing).
+        self.fu_pool.advance(now);
         for class in FuClass::ALL {
             let ci = class.index();
             let competing = competing_by_class[ci];
@@ -1900,11 +2028,11 @@ impl Machine {
                     if front.di.needs_highest_priority() && self.prio.highest() != s {
                         break;
                     }
-                    let Some(instance) = self.fu_next[ci].iter().position(|&t| t <= now) else {
+                    let Some(instance) = self.fu_pool.first_free(ci) else {
                         break;
                     };
                     let f = self.standby_pop(s, ci);
-                    self.fu_next[ci][instance] = now + f.di.issue_latency() as u64;
+                    self.fu_pool.occupy(ci, instance, now + f.di.issue_latency() as u64);
                     if tracing {
                         winner_slots.insert(s);
                         if let Some(sink) = self.sink.as_deref_mut() {
@@ -1920,7 +2048,7 @@ impl Machine {
                         }
                     }
                     let t = if PROF { Some(Instant::now()) } else { None };
-                    self.execute_selected(f, class, instance, now)?;
+                    self.execute_selected::<TRACED>(f, class, instance, now)?;
                     if let Some(t) = t {
                         wb += t.elapsed();
                     }
@@ -1992,7 +2120,7 @@ impl Machine {
         true
     }
 
-    fn execute_selected(
+    fn execute_selected<const TRACED: bool>(
         &mut self,
         f: InFlight,
         class: FuClass,
@@ -2005,13 +2133,19 @@ impl Machine {
         self.stats.fu_invocations[ci] += 1;
         self.stats.fu_busy[ci] += lat.issue as u64;
         let nlp = self.slots.len() as i64;
-        let action =
-            fu_action(&f.di.inst, f.vals, self.contexts[f.ctx].lpid, nlp).ok_or_else(|| {
-                MachineError::DecodeAtFu { slot: f.slot, pc: f.pc, inst: f.di.inst.to_string() }
-            })?;
+        let lpid = self.contexts[f.ctx].lpid;
+        let action = dispatch(f.di.exec_op, f.vals, f.di.imm, lpid, nlp).ok_or_else(|| {
+            MachineError::DecodeAtFu { slot: f.slot, pc: f.pc, inst: f.di.inst.to_string() }
+        })?;
+        debug_assert_eq!(
+            Some(action),
+            fu_action(&f.di.inst, f.vals, lpid, nlp),
+            "µop dispatch diverged from fresh enum-match evaluation for {:?}",
+            f.di.inst
+        );
         match action {
             FuAction::Write(bits) => {
-                self.write_dest(&f, bits, now, lat.result);
+                self.write_dest::<TRACED>(&f, bits, now, lat.result);
             }
             FuAction::Load { addr } => match self.timed_access(&f, addr, false, now) {
                 Access::Hit { latency } => {
@@ -2023,12 +2157,12 @@ impl Machine {
                     // Table 1's 4-cycle load result includes the
                     // 2-cycle data cache; slower accesses stretch it.
                     let result = 2 + latency;
-                    self.write_dest(&f, bits, now, result);
+                    self.write_dest::<TRACED>(&f, bits, now, result);
                     if latency as u64 > lat.issue as u64 {
-                        self.fu_next[ci][instance] = now + latency as u64;
+                        self.fu_pool.postpone(ci, instance, now + latency as u64);
                     }
                 }
-                Access::Absent { ready_after } => self.data_absence_trap(f, now + ready_after),
+                Access::Absent { ready_after } => self.data_absence_trap::<TRACED>(f, now + ready_after),
             },
             FuAction::Store { addr, bits } => match self.timed_access(&f, addr, true, now) {
                 Access::Hit { latency } => {
@@ -2038,10 +2172,10 @@ impl Machine {
                         source,
                     })?;
                     if latency as u64 > lat.issue as u64 {
-                        self.fu_next[ci][instance] = now + latency as u64;
+                        self.fu_pool.postpone(ci, instance, now + latency as u64);
                     }
                 }
-                Access::Absent { ready_after } => self.data_absence_trap(f, now + ready_after),
+                Access::Absent { ready_after } => self.data_absence_trap::<TRACED>(f, now + ready_after),
             },
         }
         Ok(())
@@ -2061,7 +2195,13 @@ impl Machine {
 
     /// Writes a result to its destination: the outgoing queue register
     /// if mapped, the context's register bank otherwise.
-    fn write_dest(&mut self, f: &InFlight, bits: u64, now: u64, result_latency: u32) {
+    fn write_dest<const TRACED: bool>(
+        &mut self,
+        f: &InFlight,
+        bits: u64,
+        now: u64,
+        result_latency: u32,
+    ) {
         let Some(d) = f.di.dest else { return };
         if self.contexts[f.ctx].qwrite == Some(d) {
             let link = self.queues.write_link(f.slot);
@@ -2073,9 +2213,17 @@ impl Machine {
             // see.
             self.slots[link].block = None;
             self.ready.insert(link);
-            let depth = self.queues.len(link);
-            if let Some(sink) = self.sink.as_deref_mut() {
-                sink.event(&TraceEvent::QueuePush { cycle: now, slot: f.slot, link, avail, depth });
+            if TRACED {
+                let depth = self.queues.len(link);
+                if let Some(sink) = self.sink.as_deref_mut() {
+                    sink.event(&TraceEvent::QueuePush {
+                        cycle: now,
+                        slot: f.slot,
+                        link,
+                        avail,
+                        depth,
+                    });
+                }
             }
         } else {
             self.contexts[f.ctx].regs.write(d, bits, now, result_latency);
@@ -2090,15 +2238,17 @@ impl Machine {
                 }
             }
             self.ready = ready;
-            if let Some(sink) = self.sink.as_deref_mut() {
-                sink.event(&TraceEvent::Writeback {
-                    cycle: now,
-                    slot: f.slot,
-                    ctx: f.ctx,
-                    pc: f.pc,
-                    dest: d,
-                    avail: now + result_latency as u64,
-                });
+            if TRACED {
+                if let Some(sink) = self.sink.as_deref_mut() {
+                    sink.event(&TraceEvent::Writeback {
+                        cycle: now,
+                        slot: f.slot,
+                        ctx: f.ctx,
+                        pc: f.pc,
+                        dest: d,
+                        avail: now + result_latency as u64,
+                    });
+                }
             }
         }
     }
@@ -2106,7 +2256,7 @@ impl Machine {
     /// The §2.1.3 data-absence trap: record the access in the context's
     /// access requirement buffer and switch the thread out until the
     /// remote access completes.
-    fn data_absence_trap(&mut self, f: InFlight, ready_at: u64) {
+    fn data_absence_trap<const TRACED: bool>(&mut self, f: InFlight, ready_at: u64) {
         let s = f.slot;
         let ls = FuClass::LoadStore.index();
         // Younger memory operations already waiting in the load/store
@@ -2145,13 +2295,15 @@ impl Machine {
         }
         self.detach(s);
         self.stats.context_switches += 1;
-        if let Some(sink) = self.sink.as_deref_mut() {
-            sink.event(&TraceEvent::ContextSwitch {
-                cycle: self.cycle,
-                slot: s,
-                ctx: f.ctx,
-                resume_at: ready_at,
-            });
+        if TRACED {
+            if let Some(sink) = self.sink.as_deref_mut() {
+                sink.event(&TraceEvent::ContextSwitch {
+                    cycle: self.cycle,
+                    slot: s,
+                    ctx: f.ctx,
+                    resume_at: ready_at,
+                });
+            }
         }
     }
 }

@@ -185,7 +185,7 @@ impl Machine {
                         })
                 });
                 if ungated {
-                    let free = self.fu_next[ci].iter().copied().min().unwrap_or(u64::MAX);
+                    let free = self.fu_pool.min_release(ci);
                     // Post-arbitration invariant: an ungated front and
                     // a free instance never coexist at span start.
                     debug_assert!(free >= from, "free FU instance left an ungated front parked");

@@ -16,11 +16,14 @@ const BUSY: u64 = u64::MAX;
 
 /// A register bank: 32 general + 32 floating registers with values and
 /// per-register ready times, plus a packed scoreboard summary.
+///
+/// `repr(C)` fixes the field order hot-first: `check_issue`'s fast
+/// path touches only `busy`, operand capture only `gvals`/`fvals`, so
+/// those share the leading cache lines while the per-register `ready`
+/// times (slow-path and writeback only) trail behind.
 #[derive(Debug, Clone)]
+#[repr(C)]
 pub(crate) struct RegBank {
-    gvals: [i64; NUM_GREGS],
-    fvals: [f64; NUM_FREGS],
-    ready: [u64; NUM_GREGS + NUM_FREGS],
     /// Packed scoreboard: bit `Reg::dense_index` per register — the 32
     /// G regs in the low word half, the 32 F regs in the high half,
     /// the exact layout of `DecodedInst::{src_mask, dest_mask}`. The
@@ -31,6 +34,9 @@ pub(crate) struct RegBank {
     /// and machine time is monotonic, so for every later cycle too.
     /// Bit 0 (r0) is never set: r0 writes are discarded.
     busy: u64,
+    gvals: [i64; NUM_GREGS],
+    fvals: [f64; NUM_FREGS],
+    ready: [u64; NUM_GREGS + NUM_FREGS],
 }
 
 /// Equality ignores the packed summary: `busy` is a cache over `ready`
@@ -45,10 +51,10 @@ impl PartialEq for RegBank {
 impl RegBank {
     pub(crate) fn new() -> Self {
         RegBank {
+            busy: 0,
             gvals: [0; NUM_GREGS],
             fvals: [0.0; NUM_FREGS],
             ready: [0; NUM_GREGS + NUM_FREGS],
-            busy: 0,
         }
     }
 
@@ -149,6 +155,21 @@ impl RegBank {
         }
     }
 
+    /// Reads the raw bit pattern of the register at dense index `idx`
+    /// (the `Reg::dense_index` layout: G0..G31, then F0..F31). The
+    /// µop capture plans store source slots in this form, so issue-time
+    /// capture is one bound check and one indexed load. `idx` 0 is r0,
+    /// whose slot in `gvals` is never written — no zero special-case
+    /// needed.
+    #[inline]
+    pub(crate) fn read_dense(&self, idx: usize) -> u64 {
+        if idx < NUM_GREGS {
+            self.gvals[idx] as u64
+        } else {
+            self.fvals[idx - NUM_GREGS].to_bits()
+        }
+    }
+
     /// Directly sets an integer register (used to seed arguments and
     /// by `fastfork`/`lpid` plumbing); leaves it ready immediately.
     pub(crate) fn poke_g(&mut self, reg: GReg, value: i64) {
@@ -206,6 +227,25 @@ impl RegBank {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn read_dense_matches_read_bits_for_every_register() {
+        let mut bank = RegBank::new();
+        for n in 1..NUM_GREGS as u8 {
+            bank.poke_g(GReg(n), -(n as i64) * 3);
+        }
+        for n in 0..NUM_FREGS as u8 {
+            bank.poke_f(FReg(n), n as f64 * 0.5 - 7.25);
+        }
+        for n in 0..NUM_GREGS as u8 {
+            let r = Reg::G(GReg(n));
+            assert_eq!(bank.read_dense(r.dense_index()), bank.read_bits(r), "G{n}");
+        }
+        for n in 0..NUM_FREGS as u8 {
+            let r = Reg::F(FReg(n));
+            assert_eq!(bank.read_dense(r.dense_index()), bank.read_bits(r), "F{n}");
+        }
+    }
 
     #[test]
     fn zero_register_is_immutable_and_always_ready() {

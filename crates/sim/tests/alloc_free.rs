@@ -12,7 +12,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use hirata_sim::{Config, Machine};
+use hirata_sim::{Config, Machine, RingSink};
 use hirata_workloads::linked_list::{eager_program, ListShape};
 
 /// Counts every allocation and reallocation made by the test binary.
@@ -105,4 +105,59 @@ fn step_is_allocation_free_in_steady_state_s4() {
 #[test]
 fn step_is_allocation_free_in_steady_state_s8() {
     assert_steady_state_allocation_free(8);
+}
+
+/// Same probe with a [`RingSink`] attached, driving the `TRACED`
+/// monomorphization of the cycle kernel: trace events are `Copy`
+/// structs pushed into a ring whose `VecDeque` stops growing once it
+/// first reaches capacity during warm-up, so a traced machine must be
+/// just as allocation-free in steady state as an untraced one. This
+/// also pins down that the µop store (operand-capture plans, `ExecOp`
+/// codes, pre-folded immediates) and the FU calendar ring are built
+/// once at construction — neither path may rebuild or grow anything
+/// per cycle, traced or not.
+fn assert_traced_steady_state_allocation_free(slots: usize) {
+    let shape = ListShape { nodes: 600, break_at: Some(599) };
+    let program = eager_program(shape);
+    let mut machine = Machine::new(Config::multithreaded(slots), &program).expect("machine builds");
+    let sink = RingSink::new(256);
+    machine.attach_trace_sink(Box::new(sink.clone()));
+
+    const WARMUP_CYCLES: u64 = 5000;
+    const MEASURED_CYCLES: u64 = 1500;
+    for _ in 0..WARMUP_CYCLES {
+        assert!(!machine.step().expect("machine runs"), "workload ended during warm-up");
+    }
+
+    let before = allocations();
+    for _ in 0..MEASURED_CYCLES {
+        assert!(!machine.step().expect("machine runs"), "workload ended during measurement");
+    }
+    let after = allocations();
+
+    assert_eq!(
+        after - before,
+        0,
+        "traced Machine::step allocated in steady state at {} slots ({} allocations over {} cycles)",
+        slots,
+        after - before,
+        MEASURED_CYCLES
+    );
+
+    // The sink really was live the whole time (the kernel took the
+    // traced specialization, not the sink-free one).
+    assert_eq!(sink.events().len(), 256, "ring should be at capacity after tens of k events");
+
+    let stats = machine.run().expect("machine completes");
+    assert!(stats.cycles > WARMUP_CYCLES + MEASURED_CYCLES);
+}
+
+#[test]
+fn traced_step_is_allocation_free_in_steady_state_s4() {
+    assert_traced_steady_state_allocation_free(4);
+}
+
+#[test]
+fn traced_step_is_allocation_free_in_steady_state_s8() {
+    assert_traced_steady_state_allocation_free(8);
 }
