@@ -126,6 +126,24 @@ impl MachineBatch {
         Some(self.lanes.remove(at).machine)
     }
 
+    /// Aggregate loop-warp counters over every resident machine — the
+    /// live lanes plus finished lanes not yet drained. Lanes with the
+    /// warp engine disabled contribute zeros, so the aggregate is
+    /// meaningful for mixed-configuration batches (e.g. the serve
+    /// daemon reporting how much simulated time the fleet leapt).
+    pub fn warp_stats(&self) -> crate::WarpStats {
+        let mut total = crate::WarpStats::default();
+        for lane in &self.lanes {
+            total.merge(&lane.machine.warp_stats());
+        }
+        for (_, result) in &self.finished {
+            if let Ok(machine) = result {
+                total.merge(&machine.warp_stats());
+            }
+        }
+        total
+    }
+
     /// Steps every live lane up to `stride` cycles (or to completion /
     /// error / panic, whichever comes first), then returns the number
     /// of lanes still live. Finished lanes move to the internal queue

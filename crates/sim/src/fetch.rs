@@ -312,6 +312,46 @@ impl FetchSystem {
         }
     }
 
+    /// Canonical image of the fetch state with every absolute time
+    /// rebased to `now` — two of these compare equal exactly when the
+    /// two underlying systems behave identically from their respective
+    /// `now`s onward. Times already in the past are clamped to their
+    /// eligibility threshold (a unit free at cycle 3 and one free at
+    /// cycle 7 are indistinguishable at cycle 40: both are "free
+    /// now"); redirect request times are rebased to the cycle they
+    /// become eligible (`t + 1`, see [`FetchSystem::end_cycle`]); the
+    /// unordered `scheduled` list is sorted by slot (at most one entry
+    /// per slot exists, so the order carries no behaviour).
+    pub(crate) fn warp_rel(&self, now: u64) -> FetchSystem {
+        let mut rel = self.clone();
+        for f in &mut rel.unit_free {
+            *f = f.saturating_sub(now);
+        }
+        for (t, _) in &mut rel.redirects {
+            *t = (*t + 1).saturating_sub(now);
+        }
+        for d in &mut rel.scheduled {
+            d.at = d.at.saturating_sub(now);
+        }
+        rel.scheduled.sort_unstable_by_key(|d| d.slot);
+        rel
+    }
+
+    /// Shifts every absolute time forward by `delta` cycles — the
+    /// loop-warp leap. Relative to the machine's equally shifted
+    /// clock, behaviour is unchanged.
+    pub(crate) fn warp_shift(&mut self, delta: u64) {
+        for f in &mut self.unit_free {
+            *f += delta;
+        }
+        for (t, _) in &mut self.redirects {
+            *t += delta;
+        }
+        for d in &mut self.scheduled {
+            d.at += delta;
+        }
+    }
+
     fn pick_for_shared_unit(&mut self, now: u64) -> Option<(usize, bool)> {
         // Redirects first (branch preemption), FIFO.
         if let Some(pos) = self.redirects.iter().position(|&(t, _)| t < now) {
@@ -514,6 +554,47 @@ mod tests {
         // happen without an external request.
         let fs = FetchSystem::new(2, 2, 4, false);
         assert_eq!(fs.next_activity(5), u64::MAX);
+    }
+
+    #[test]
+    fn warp_shift_commutes_with_stepping() {
+        // Shifting all times by D then running from now+D must behave
+        // exactly like running from now — deliveries included — and
+        // the rebased images must compare equal at every step.
+        for private in [false, true] {
+            let mut fs = FetchSystem::new(2, 2, 4, private);
+            fs.set_active(0, true);
+            fs.set_active(1, true);
+            fs.request_redirect(0, 0);
+            for now in 0..5 {
+                cycle(&mut fs, now);
+            }
+            fs.request_redirect(1, 5);
+            let mut shifted = fs.clone();
+            const D: u64 = 1_000;
+            shifted.warp_shift(D);
+            for now in 5..60 {
+                assert_eq!(fs.warp_rel(now), shifted.warp_rel(now + D), "private={private}");
+                let a = cycle(&mut fs, now);
+                let b = cycle(&mut shifted, now + D);
+                assert_eq!(a, b, "private={private} now={now}");
+            }
+        }
+    }
+
+    #[test]
+    fn warp_rel_clamps_stale_times() {
+        // Two systems whose only difference is *how far in the past*
+        // their units went free rebase to the same image.
+        let mut a = FetchSystem::new(1, 2, 2, false);
+        a.set_active(0, true);
+        let mut b = a.clone();
+        a.unit_free[0] = 3;
+        b.unit_free[0] = 7;
+        assert_eq!(a.warp_rel(40), b.warp_rel(40));
+        // A genuinely future free time is not clamped away.
+        b.unit_free[0] = 42;
+        assert_ne!(a.warp_rel(40), b.warp_rel(40));
     }
 
     #[test]

@@ -10,7 +10,10 @@ use hirata_isa::{FuClass, GReg, Inst, Program, Reg, FU_CLASS_COUNT};
 use hirata_mem::{Access, DataMemModel, IdealCache, MemStats, Memory};
 
 mod fupool;
+mod warp;
 mod wheel;
+
+pub use warp::{WarpMiss, WarpPeriodInfo, WarpStats};
 
 use crate::config::{Config, MAX_STANDBY_DEPTH};
 use crate::error::MachineError;
@@ -357,6 +360,17 @@ pub struct Machine {
     /// producing identical statistics and traces by construction.
     ff_next: u64,
     ff_stride: u32,
+    /// The loop-warp engine (see `machine/warp.rs`), present when
+    /// [`Config::warp`] is on.
+    warp: Option<Box<warp::WarpState>>,
+    /// True while the warp engine records a candidate period: the
+    /// event wheel is suppressed (identity-safe — the wheel only
+    /// skips provably-inert work) so boundaries are reached by plain
+    /// stepping, and the issue/stall/branch/store hooks log events.
+    warp_recording: bool,
+    /// Collect `--warp-debug` period reports; also enables warp
+    /// observation (detection-only) under a trace sink.
+    warp_debug: bool,
     scratch: Scratch,
     trace: Option<Vec<IssueEvent>>,
     sink: Option<Box<dyn TraceSink>>,
@@ -539,7 +553,11 @@ impl Machine {
             fn stats(&self) -> MemStats {
                 self.0.stats()
             }
+            fn bulk_store_hits(&mut self, count: u64) -> bool {
+                self.0.bulk_store_hits(count)
+            }
         }
+        let warp = config.warp.then(|| Box::new(warp::WarpState::new()));
         Ok(Machine {
             fetch: FetchSystem::new(
                 s,
@@ -575,6 +593,9 @@ impl Machine {
             head_pass: None,
             ff_next: 0,
             ff_stride: 1,
+            warp,
+            warp_recording: false,
+            warp_debug: false,
             scratch: Scratch {
                 order: Vec::with_capacity(s),
                 cands: Vec::with_capacity(s * 2),
@@ -897,6 +918,17 @@ impl Machine {
         if self.is_done() {
             return Ok(true);
         }
+        // Loop-warp (see `machine/warp.rs`): watch for a recurring
+        // timing fingerprint, record candidate periods, and leap over
+        // proven steady-state loops. Under a trace sink the engine
+        // only observes (for `--warp-debug` reports) and never leaps.
+        // While it records, the event wheel below stays suppressed so
+        // period boundaries are reached by plain stepping — an
+        // identity-safe throttle, as the wheel only skips
+        // provably-inert work.
+        if self.warp.is_some() && (!TRACED || self.warp_debug) {
+            self.warp_observe(!TRACED);
+        }
         // Event-wheel fast-forward (see `machine/wheel.rs`): if every
         // slot is provably stalled past the next cycle — by a live
         // block, a probed window head, a branch shadow, or fetch
@@ -914,6 +946,7 @@ impl Machine {
         // holds a live block, so the probe is a handful of mask and
         // descriptor reads with no `check_issue` calls.
         if self.config.fast_forward
+            && !self.warp_recording
             && (self.slots.len() == 1
                 || (self.stats.instructions == issued_before && self.cycle >= self.ff_next))
         {
@@ -1092,6 +1125,9 @@ impl Machine {
         pc: Option<u32>,
     ) {
         self.stats.record_stall(reason, now);
+        if self.warp_recording {
+            self.warp_note_stall(reason, now);
+        }
         if TRACED {
             if let Some(sink) = self.sink.as_deref_mut() {
                 sink.event(&TraceEvent::Stall { cycle: now, slot, reason, pc });
@@ -1405,6 +1441,9 @@ impl Machine {
                     issued += 1;
                     self.stats.instructions += 1;
                     self.stats.per_slot_issued[s] += 1;
+                    if self.warp_recording {
+                        self.warp_note_issue(&di, s, ctx_i, pc, now);
+                    }
                     if let Some(trace) = &mut self.trace {
                         trace.push(IssueEvent { cycle: now, slot: s, ctx: ctx_i, pc });
                     }
@@ -1774,7 +1813,11 @@ impl Machine {
                     Inst::Branch { target, .. } => target,
                     _ => unreachable!(),
                 };
-                if branch_taken(cond, vals) {
+                let taken = branch_taken(cond, vals);
+                if self.warp_recording {
+                    self.warp_note_branch(pc, cond, vals, taken);
+                }
+                if taken {
                     self.redirect(s, target, now);
                     Ok(true)
                 } else if self.config.refetch_fallthrough {
@@ -2162,7 +2205,9 @@ impl Machine {
                         self.fu_pool.postpone(ci, instance, now + latency as u64);
                     }
                 }
-                Access::Absent { ready_after } => self.data_absence_trap::<TRACED>(f, now + ready_after),
+                Access::Absent { ready_after } => {
+                    self.data_absence_trap::<TRACED>(f, now + ready_after)
+                }
             },
             FuAction::Store { addr, bits } => match self.timed_access(&f, addr, true, now) {
                 Access::Hit { latency } => {
@@ -2171,11 +2216,16 @@ impl Machine {
                         pc: f.pc,
                         source,
                     })?;
+                    if self.warp_recording {
+                        self.warp_note_store(addr, bits, now);
+                    }
                     if latency as u64 > lat.issue as u64 {
                         self.fu_pool.postpone(ci, instance, now + latency as u64);
                     }
                 }
-                Access::Absent { ready_after } => self.data_absence_trap::<TRACED>(f, now + ready_after),
+                Access::Absent { ready_after } => {
+                    self.data_absence_trap::<TRACED>(f, now + ready_after)
+                }
             },
         }
         Ok(())
@@ -2257,6 +2307,9 @@ impl Machine {
     /// access requirement buffer and switch the thread out until the
     /// remote access completes.
     fn data_absence_trap<const TRACED: bool>(&mut self, f: InFlight, ready_at: u64) {
+        if self.warp_recording {
+            self.warp_note_veto(WarpMiss::Trap);
+        }
         let s = f.slot;
         let ls = FuClass::LoadStore.index();
         // Younger memory operations already waiting in the load/store

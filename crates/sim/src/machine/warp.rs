@@ -1,0 +1,1504 @@
+//! Loop-warp: periodic steady-state detection and O(1) leaping over
+//! *issuing* cycles — the event wheel's sibling for busy spans.
+//!
+//! The event wheel (`wheel.rs`) skips spans where provably *nothing*
+//! issues. Tight loops are its blind spot: every iteration issues, so
+//! the machine crawls through millions of near-identical cycles one at
+//! a time. The warp engine closes that gap in three phases:
+//!
+//! 1. **Watch.** At the end of each step, fingerprint the machine's
+//!    timing-relevant state — program counters, decode windows,
+//!    scoreboard and FU timing rebased to "now", the priority rotation
+//!    phase, the fetch pipeline — and never data values. Hold one
+//!    *anchor* fingerprint; when it recurs at distance `p`, the
+//!    machine's timing is periodic with period `p` (timing in this
+//!    machine is data-independent except through branch outcomes,
+//!    which the next phase pins down).
+//! 2. **Record.** Step plainly for two more periods with the wheel
+//!    suppressed, logging every issue, stall, branch outcome, and
+//!    store, and capturing the bound contexts' register images at the
+//!    three boundaries. Verification demands: the timing fingerprint
+//!    recurs at both boundaries, both periods agree event-for-event
+//!    (same stall offsets, same issue offsets, same branch outcomes,
+//!    same store count), the per-period register deltas agree
+//!    (`Δ1 == Δ2`), the float halves are bit-identical, only warp-safe
+//!    instructions issued (no traps, forks, priority writes, queue
+//!    maps, loads, or multiplies), and the statistics deltas match
+//!    exactly with zero context switches and an all-hit store-only
+//!    memory profile.
+//! 3. **Leap.** The warp-safe instruction set makes the per-period
+//!    architectural map affine with a constant integer matrix, exact
+//!    modulo 2⁶⁴: `x ↦ Ax + b`. `Δ1 == Δ2` means `AΔ = Δ`, so *every*
+//!    future period's delta equals `Δ` — registers extrapolate as
+//!    `k·Δ`, store addresses and values advance by constant strides,
+//!    and branch operands advance by constant strides. The only
+//!    non-affine effects are the branch *outcomes* (signed compares)
+//!    and store *bounds* checks, so the trip bound caps `k` with exact
+//!    i128 arithmetic: each branch site must keep its recorded
+//!    outcome, each branch operand must stay inside i64 (where the
+//!    wrapped and exact models agree), and each store address must
+//!    stay inside data memory. Within that bound the leap applies
+//!    `k·Δ` to registers, replays the strided stores, synthesizes the
+//!    skipped periods' stall statistics and trace events exactly as
+//!    the per-cycle path would have recorded them, and shifts every
+//!    future-dated timer by `k·p` — byte-identical cycles, statistics,
+//!    and traces by construction.
+//!
+//! Any verification miss falls back to plain stepping with exponential
+//! backoff; `Config::warp` (CLI `--no-warp`) disables the engine
+//! entirely. With a trace sink attached the engine only observes (for
+//! `--warp-debug` period reports) and never leaps: sinks receive
+//! per-cycle events whose synthesis would cost as much as stepping.
+//!
+//! ## What the fingerprint deliberately excludes
+//!
+//! Register and memory *values*, statistics, and the memoization state
+//! the wheel maintains (`Slot::block`, the `ready` mirror, and
+//! `head_pass`) are all excluded. The memoization exclusions are
+//! load-bearing: in steady state every loop iteration lands from a
+//! wheel jump (branch-shadow fusion), so anchor fingerprints are taken
+//! with wheel-installed blocks present, while Record-phase boundaries
+//! are reached by plain stepping with the wheel suppressed and no
+//! blocks installed. The `SlotBlock` contract makes the two states
+//! behaviorally identical — replaying a block records exactly the
+//! stall a fresh evaluation would (debug builds assert this) — so two
+//! states differing only in memoization must not compare unequal.
+//! After a leap the stale throttles (`ff_next`/`ff_stride`) and the
+//! conservative `RegBank::busy` superset may diverge from a no-warp
+//! run; both are attempt-scheduling state with no behavioral effect,
+//! the same identity-safe set the wheel itself leaves behind.
+
+use hirata_isa::{BranchCond, NUM_GREGS};
+
+use super::*;
+
+/// Longest period (in cycles) the detector considers. Anchors older
+/// than this re-arm; real steady-state loops in this machine have
+/// periods of a few cycles to a few hundred (bounded by decode window
+/// depth × slots × FU latencies).
+const MAX_PERIOD: u64 = 512;
+/// Smallest number of periods worth leaping; below this the
+/// bookkeeping costs more than the stepping it saves.
+const MIN_LEAP: u64 = 4;
+/// Periods held back from every leap so the machine steps plainly
+/// into the loop exit instead of leaping exactly onto the boundary of
+/// the proven range.
+const SAFETY_PERIODS: u64 = 2;
+/// Initial verification-miss backoff, in cycles.
+const BACKOFF_BASE: u64 = 256;
+/// Backoff ceiling: an unwarpable workload pays one fingerprint build
+/// per this many cycles, asymptotically.
+const BACKOFF_CAP: u64 = 1 << 16;
+/// Hard cap on periods leapt at once; keeps every extrapolation
+/// product comfortably inside i128.
+const LEAP_CAP: u64 = 1 << 40;
+/// Cap on the `--warp-debug` period report list.
+const DEBUG_PERIODS_CAP: usize = 64;
+
+/// Why a warp attempt was abandoned. Reported per-reason by
+/// [`WarpStats::misses`] so coverage gaps are explainable (e.g. a
+/// workload whose loops all contain loads shows `UnsafeOp`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarpMiss {
+    /// A non-warp-safe instruction issued during recording (loads,
+    /// multiplies, FP ops, forks, kills, priority/rotation writes…).
+    UnsafeOp,
+    /// A running context had a queue-register mapping.
+    QueueMapped,
+    /// A queue link held data.
+    QueueDepth,
+    /// Standby stations were occupied at a would-be boundary.
+    StandbyData,
+    /// A context was mid-switch (`Ready`/`Waiting`), or a recorded
+    /// period performed a context switch or kill.
+    ContextChurn,
+    /// A decode window held a replayed access-requirement entry.
+    ReplayWindow,
+    /// A data-absence trap fired during recording.
+    Trap,
+    /// The timing fingerprint failed to recur at a period boundary.
+    TimingDrift,
+    /// Architectural effects were not an affine replayable delta
+    /// (register deltas, branch outcomes, store/stat profiles
+    /// disagreed between the two recorded periods).
+    DeltaDrift,
+    /// The loop was periodic and affine but too close to its exit for
+    /// a worthwhile leap.
+    TripBound,
+    /// The memory model could not absorb the leapt stores as hits.
+    BulkMem,
+}
+
+impl WarpMiss {
+    /// Every miss reason, in counter order.
+    pub const ALL: [WarpMiss; 11] = [
+        WarpMiss::UnsafeOp,
+        WarpMiss::QueueMapped,
+        WarpMiss::QueueDepth,
+        WarpMiss::StandbyData,
+        WarpMiss::ContextChurn,
+        WarpMiss::ReplayWindow,
+        WarpMiss::Trap,
+        WarpMiss::TimingDrift,
+        WarpMiss::DeltaDrift,
+        WarpMiss::TripBound,
+        WarpMiss::BulkMem,
+    ];
+
+    /// Short stable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            WarpMiss::UnsafeOp => "unsafe-op",
+            WarpMiss::QueueMapped => "queue-mapped",
+            WarpMiss::QueueDepth => "queue-depth",
+            WarpMiss::StandbyData => "standby-data",
+            WarpMiss::ContextChurn => "context-churn",
+            WarpMiss::ReplayWindow => "replay-window",
+            WarpMiss::Trap => "trap",
+            WarpMiss::TimingDrift => "timing-drift",
+            WarpMiss::DeltaDrift => "delta-drift",
+            WarpMiss::TripBound => "trip-bound",
+            WarpMiss::BulkMem => "bulk-mem",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Counters kept by the warp engine, reported by
+/// [`Machine::warp_stats`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct WarpStats {
+    /// Fingerprint recurrences observed (Record phases started).
+    pub periods_detected: u64,
+    /// Successful leaps performed.
+    pub leaps: u64,
+    /// Periods skipped across all leaps.
+    pub periods_leapt: u64,
+    /// Cycles covered by leaps (`Σ k·p`).
+    pub cycles_warped: u64,
+    misses: [u64; 11],
+}
+
+impl WarpStats {
+    /// Abandoned attempts for one reason.
+    pub fn misses(&self, reason: WarpMiss) -> u64 {
+        self.misses[reason.index()]
+    }
+
+    /// Accumulates another counter set into this one — the
+    /// [`crate::batch::MachineBatch`] fleet aggregate.
+    pub fn merge(&mut self, other: &WarpStats) {
+        self.periods_detected += other.periods_detected;
+        self.leaps += other.leaps;
+        self.periods_leapt += other.periods_leapt;
+        self.cycles_warped += other.cycles_warped;
+        for (a, b) in self.misses.iter_mut().zip(&other.misses) {
+            *a += b;
+        }
+    }
+
+    /// Abandoned attempts across all reasons.
+    pub fn total_misses(&self) -> u64 {
+        self.misses.iter().sum()
+    }
+
+    /// Fraction of `cycles` covered by leaps, in `[0, 1]`.
+    pub fn coverage(&self, cycles: u64) -> f64 {
+        if cycles == 0 {
+            0.0
+        } else {
+            self.cycles_warped as f64 / cycles as f64
+        }
+    }
+}
+
+/// One verified steady-state period, collected when
+/// [`Machine::set_warp_debug`] is on (the `trace --warp-debug`
+/// report). Consecutive repeats of the same loop fold into one entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarpPeriodInfo {
+    /// Cycle at which the period was first verified.
+    pub start: u64,
+    /// Period length in cycles.
+    pub period: u64,
+    /// Periods leapt from this loop (0 when observed under a trace
+    /// sink, which never leaps).
+    pub leapt: u64,
+    /// Times this loop re-verified (detection-only mode re-detects the
+    /// same loop every few periods; leaps re-detect after landing).
+    pub repeats: u64,
+    /// Distinct instruction addresses issued during one period.
+    pub footprint: Vec<u32>,
+    /// Non-zero per-period integer register deltas, as
+    /// `(context, register, delta)`.
+    pub deltas: Vec<(usize, usize, i64)>,
+}
+
+/// The timing fingerprint: every field that can influence *when*
+/// anything happens, rebased to the cycle it was taken at. Excludes
+/// data values, statistics, and wheel memoization (module docs).
+#[derive(Debug, Clone, PartialEq)]
+struct TimingKey {
+    words: Vec<u64>,
+    fetch: FetchSystem,
+}
+
+/// A branch observation: operand values and the outcome, for the
+/// affine outcome extrapolation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct BranchObs {
+    pc: u32,
+    cond: BranchCond,
+    lhs: u64,
+    rhs: u64,
+    taken: bool,
+}
+
+/// Everything logged during one recorded period. Offsets are cycles
+/// from the period's start boundary (periods are ≤ [`MAX_PERIOD`], so
+/// `u32` offsets suffice).
+#[derive(Debug, Default, Clone)]
+struct PeriodLog {
+    /// `(offset, address, bits)` per store, in execution order.
+    stores: Vec<(u32, u64, u64)>,
+    /// `(offset, reason)` per recorded slot-stall.
+    stalls: Vec<(u32, StallReason)>,
+    /// Branch issues in order.
+    branches: Vec<BranchObs>,
+    /// `(offset, slot, ctx, pc)` per issued instruction.
+    issues: Vec<(u32, u32, u32, u32)>,
+}
+
+impl PeriodLog {
+    fn clear(&mut self) {
+        self.stores.clear();
+        self.stalls.clear();
+        self.branches.clear();
+        self.issues.clear();
+    }
+}
+
+/// Snapshot of every statistic a leap must extrapolate (and every one
+/// whose per-period delta verification constrains).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct StatsMark {
+    instructions: u64,
+    per_slot: Vec<u64>,
+    fu_invocations: [u64; FU_CLASS_COUNT],
+    fu_busy: [u64; FU_CLASS_COUNT],
+    rotations: u64,
+    context_switches: u64,
+    threads_killed: u64,
+    mem: MemStats,
+}
+
+impl StatsMark {
+    fn of(m: &Machine) -> StatsMark {
+        StatsMark {
+            instructions: m.stats.instructions,
+            per_slot: m.stats.per_slot_issued.clone(),
+            fu_invocations: m.stats.fu_invocations,
+            fu_busy: m.stats.fu_busy,
+            rotations: m.stats.rotations,
+            context_switches: m.stats.context_switches,
+            threads_killed: m.stats.threads_killed,
+            mem: m.mem_model.stats(),
+        }
+    }
+
+    /// Field-wise `self − prev`; all counters are monotonic.
+    fn delta(&self, prev: &StatsMark) -> StatsMark {
+        let mut d = self.clone();
+        d.instructions -= prev.instructions;
+        for (v, p) in d.per_slot.iter_mut().zip(&prev.per_slot) {
+            *v -= p;
+        }
+        for i in 0..FU_CLASS_COUNT {
+            d.fu_invocations[i] -= prev.fu_invocations[i];
+            d.fu_busy[i] -= prev.fu_busy[i];
+        }
+        d.rotations -= prev.rotations;
+        d.context_switches -= prev.context_switches;
+        d.threads_killed -= prev.threads_killed;
+        d.mem.accesses -= prev.mem.accesses;
+        d.mem.hits -= prev.mem.hits;
+        d.mem.misses -= prev.mem.misses;
+        d.mem.absences -= prev.mem.absences;
+        d
+    }
+}
+
+/// An in-progress Record phase.
+#[derive(Debug)]
+struct Recording {
+    period: u64,
+    /// First boundary (where the fingerprint recurred).
+    start: u64,
+    /// Start boundary of the period currently being logged.
+    cur_start: u64,
+    /// Completed recorded periods (0 or 1).
+    done_periods: u32,
+    /// The boundary fingerprint every boundary must reproduce.
+    key: TimingKey,
+    /// Contexts bound to slots at `start`, in slot order.
+    ctxs: Vec<usize>,
+    /// Register images of `ctxs` at the most recent boundary.
+    img_prev: Vec<Vec<u64>>,
+    /// First period's per-context integer register deltas.
+    delta1: Vec<Vec<i64>>,
+    /// Statistics snapshot at the most recent boundary.
+    mark_prev: StatsMark,
+    /// First period's statistics delta.
+    delta_stats: Option<StatsMark>,
+    /// Log of the previous (first) period.
+    prev: PeriodLog,
+    /// Log of the period in progress.
+    cur: PeriodLog,
+}
+
+/// The anchor fingerprint the Watch phase holds, with two cheap
+/// prefilter layers so full key comparisons are rare.
+#[derive(Debug)]
+struct Anchor {
+    cycle: u64,
+    tuple: (u32, u32, u32),
+    hash: u64,
+    key: TimingKey,
+}
+
+/// Per-machine warp engine state, boxed off the `Machine` hot path.
+#[derive(Debug)]
+pub(super) struct WarpState {
+    pub(super) stats: WarpStats,
+    pub(super) periods: Vec<WarpPeriodInfo>,
+    anchor: Option<Anchor>,
+    rec: Option<Box<Recording>>,
+    /// Sticky veto raised by a record hook, consumed at the next
+    /// observe point.
+    veto: Option<WarpMiss>,
+    /// Cycle before which the Watch phase stays dormant (backoff).
+    resume_at: u64,
+    backoff: u64,
+}
+
+impl WarpState {
+    pub(super) fn new() -> Self {
+        WarpState {
+            stats: WarpStats::default(),
+            periods: Vec::new(),
+            anchor: None,
+            rec: None,
+            veto: None,
+            resume_at: 0,
+            backoff: BACKOFF_BASE,
+        }
+    }
+
+    /// Abandons the current attempt: counts the reason, drops the
+    /// anchor, and backs off exponentially.
+    fn miss(&mut self, reason: WarpMiss, now: u64) {
+        self.stats.misses[reason.index()] += 1;
+        self.anchor = None;
+        self.resume_at = now + self.backoff;
+        self.backoff = (self.backoff * 2).min(BACKOFF_CAP);
+    }
+}
+
+fn fnv(h: &mut u64, w: u64) {
+    *h = (*h ^ w).wrapping_mul(0x100000001b3);
+}
+
+/// Largest `k ≤ LEAP_CAP` such that `d0 + j·dd ≤ 0` for every
+/// `j ∈ 1..=k` (0 when even `j = 1` fails).
+fn affine_nonpositive(d0: i128, dd: i128) -> u64 {
+    if dd <= 0 {
+        // Non-increasing: holds for all j iff it holds at j = 1.
+        return if d0 + dd <= 0 { LEAP_CAP } else { 0 };
+    }
+    if d0 + dd > 0 {
+        return 0;
+    }
+    // Increasing: holds while j ≤ ⌊−d0/dd⌋ (both operands positive
+    // here, so truncation is the floor).
+    cap_u64((-d0) / dd)
+}
+
+fn cap_u64(v: i128) -> u64 {
+    if v < 0 {
+        0
+    } else if v > LEAP_CAP as i128 {
+        LEAP_CAP
+    } else {
+        v as u64
+    }
+}
+
+/// Largest `k` such that the branch `cond` applied to operands
+/// advancing as `d_j = d0 + j·dd` (the exact lhs−rhs difference)
+/// produces outcome `taken` for every `j ∈ 1..=k`.
+fn branch_outcome_bound(cond: BranchCond, taken: bool, d0: i128, dd: i128) -> u64 {
+    use BranchCond::*;
+    match (cond, taken) {
+        // d_j must stay exactly zero: forever when constant at zero,
+        // once when the first step lands on zero, never otherwise.
+        (Eq, true) | (Ne, false) => {
+            if dd == 0 {
+                if d0 == 0 {
+                    LEAP_CAP
+                } else {
+                    0
+                }
+            } else if d0 + dd == 0 {
+                1
+            } else {
+                0
+            }
+        }
+        // d_j must avoid zero: find the unique root, if any.
+        (Ne, true) | (Eq, false) => {
+            if dd == 0 {
+                return if d0 != 0 { LEAP_CAP } else { 0 };
+            }
+            if (-d0) % dd == 0 {
+                let root = (-d0) / dd;
+                if root >= 1 {
+                    cap_u64(root - 1)
+                } else {
+                    LEAP_CAP
+                }
+            } else {
+                LEAP_CAP
+            }
+        }
+        // d_j < 0  ⟺  d_j + 1 ≤ 0.
+        (Lt, true) | (Ge, false) => affine_nonpositive(d0 + 1, dd),
+        (Le, true) | (Gt, false) => affine_nonpositive(d0, dd),
+        // d_j > 0  ⟺  −d_j < 0; d_j ≥ 0  ⟺  −d_j ≤ 0.
+        (Gt, true) | (Le, false) => affine_nonpositive(1 - d0, -dd),
+        (Ge, true) | (Lt, false) => affine_nonpositive(-d0, -dd),
+    }
+}
+
+/// Largest `k` keeping `v0 + j·d` inside i64 for every `j ∈ 1..=k` —
+/// the range on which the exact affine model and the machine's
+/// wrapping arithmetic agree for signed comparison operands.
+fn operand_range_bound(v0: i64, d: i64) -> u64 {
+    if d == 0 {
+        return LEAP_CAP;
+    }
+    let v0 = v0 as i128;
+    let d = d as i128;
+    let room = if d > 0 { i64::MAX as i128 - v0 } else { v0 - i64::MIN as i128 };
+    cap_u64(room / d.abs())
+}
+
+/// Largest `k` keeping the extrapolated store address
+/// `a0 + j·d ∈ [0, mem_words)` for every `j ∈ 1..=k`.
+fn store_addr_bound(a0: u64, d: i64, mem_words: u64) -> u64 {
+    if d == 0 {
+        return LEAP_CAP;
+    }
+    let a0 = a0 as i128;
+    let d = d as i128;
+    if d > 0 {
+        cap_u64((mem_words as i128 - 1 - a0) / d)
+    } else {
+        cap_u64(a0 / (-d))
+    }
+}
+
+/// First timing disagreement between two period logs, if any.
+fn period_log_mismatch(a: &PeriodLog, b: &PeriodLog) -> Option<WarpMiss> {
+    if a.stalls != b.stalls || a.issues != b.issues {
+        return Some(WarpMiss::TimingDrift);
+    }
+    if a.branches.len() != b.branches.len() || a.stores.len() != b.stores.len() {
+        return Some(WarpMiss::TimingDrift);
+    }
+    for (x, y) in a.branches.iter().zip(&b.branches) {
+        if (x.pc, x.cond, x.taken) != (y.pc, y.cond, y.taken) {
+            return Some(WarpMiss::DeltaDrift);
+        }
+    }
+    for (x, y) in a.stores.iter().zip(&b.stores) {
+        if x.0 != y.0 {
+            return Some(WarpMiss::TimingDrift);
+        }
+    }
+    None
+}
+
+impl Machine {
+    /// Counters kept by the warp engine (zeroed defaults when warp is
+    /// disabled).
+    pub fn warp_stats(&self) -> WarpStats {
+        self.warp.as_deref().map(|w| w.stats.clone()).unwrap_or_default()
+    }
+
+    /// Steady-state periods collected under
+    /// [`Machine::set_warp_debug`].
+    pub fn warp_periods(&self) -> &[WarpPeriodInfo] {
+        self.warp.as_deref().map(|w| w.periods.as_slice()).unwrap_or(&[])
+    }
+
+    /// Enables warp-debug period collection: every verified period is
+    /// reported via [`Machine::warp_periods`]. Also enables detection
+    /// under an attached trace sink (observation only — leaps stay
+    /// off there).
+    pub fn set_warp_debug(&mut self, on: bool) {
+        self.warp_debug = on;
+    }
+
+    /// End-of-step warp hook: watches for recurrence, drives the
+    /// Record phase, and leaps when a recorded loop verifies.
+    /// `leapable` is false under a trace sink (detection only).
+    pub(super) fn warp_observe(&mut self, leapable: bool) {
+        let Some(mut w) = self.warp.take() else { return };
+        self.warp_observe_inner(&mut w, leapable);
+        self.warp = Some(w);
+    }
+
+    fn warp_observe_inner(&mut self, w: &mut WarpState, leapable: bool) {
+        let now = self.cycle;
+        if let Some(rec) = w.rec.take() {
+            self.warp_record_step(w, rec, leapable, now);
+            return;
+        }
+
+        // Watch phase.
+        if now < w.resume_at {
+            return;
+        }
+        match &w.anchor {
+            Some(a) if now - a.cycle <= MAX_PERIOD => {
+                if self.warp_tuple() != a.tuple || self.warp_hash(now) != a.hash {
+                    return;
+                }
+                let key = match self.warp_key(now) {
+                    Ok(key) => key,
+                    Err(miss) => {
+                        w.miss(miss, now);
+                        return;
+                    }
+                };
+                if key != a.key {
+                    return;
+                }
+                // Recurrence: start recording two periods.
+                let period = now - a.cycle;
+                w.stats.periods_detected += 1;
+                let ctxs: Vec<usize> = self.slots.iter().filter_map(|s| s.ctx).collect();
+                let img_prev = self.warp_images(&ctxs);
+                w.rec = Some(Box::new(Recording {
+                    period,
+                    start: now,
+                    cur_start: now,
+                    done_periods: 0,
+                    key,
+                    ctxs,
+                    img_prev,
+                    delta1: Vec::new(),
+                    mark_prev: StatsMark::of(self),
+                    delta_stats: None,
+                    prev: PeriodLog::default(),
+                    cur: PeriodLog::default(),
+                }));
+                w.anchor = None;
+                self.warp_recording = true;
+            }
+            _ => {
+                // No anchor, or the anchor aged out: place a new one.
+                match self.warp_key(now) {
+                    Ok(key) => {
+                        w.anchor = Some(Anchor {
+                            cycle: now,
+                            tuple: self.warp_tuple(),
+                            hash: self.warp_hash(now),
+                            key,
+                        });
+                    }
+                    Err(miss) => w.miss(miss, now),
+                }
+            }
+        }
+    }
+
+    /// One observe tick of the Record phase. `rec` has been taken out
+    /// of `w`; every return path either puts it back (recording
+    /// continues) or leaves it dropped with `warp_recording` false.
+    fn warp_record_step(
+        &mut self,
+        w: &mut WarpState,
+        mut rec: Box<Recording>,
+        leapable: bool,
+        now: u64,
+    ) {
+        self.warp_recording = false;
+        if let Some(miss) = w.veto.take() {
+            w.miss(miss, now);
+            return;
+        }
+        let boundary = rec.cur_start + rec.period;
+        if now < boundary {
+            w.rec = Some(rec);
+            self.warp_recording = true;
+            return;
+        }
+        if now != boundary {
+            // An observe tick was skipped (e.g. a sink was attached
+            // mid-run); the boundary state is unrecoverable.
+            w.miss(WarpMiss::TimingDrift, now);
+            return;
+        }
+
+        // Boundary: the fingerprint must recur...
+        match self.warp_key(now) {
+            Err(miss) => {
+                w.miss(miss, now);
+                return;
+            }
+            Ok(key) => {
+                if key != rec.key {
+                    w.miss(WarpMiss::TimingDrift, now);
+                    return;
+                }
+            }
+        }
+        // ...the float halves must hold still, and the integer deltas
+        // must be well-defined...
+        let imgs = self.warp_images(&rec.ctxs);
+        let mut deltas: Vec<Vec<i64>> = Vec::with_capacity(imgs.len());
+        for (prev, cur) in rec.img_prev.iter().zip(&imgs) {
+            if prev[NUM_GREGS..] != cur[NUM_GREGS..] {
+                w.miss(WarpMiss::DeltaDrift, now);
+                return;
+            }
+            deltas.push((0..NUM_GREGS).map(|r| cur[r].wrapping_sub(prev[r]) as i64).collect());
+        }
+        // ...and the statistics delta must be a pure all-hit
+        // store-only profile with no context churn.
+        let mark = StatsMark::of(self);
+        let dstats = mark.delta(&rec.mark_prev);
+        if dstats.context_switches != 0 || dstats.threads_killed != 0 {
+            w.miss(WarpMiss::ContextChurn, now);
+            return;
+        }
+        let stores = rec.cur.stores.len() as u64;
+        let expect_mem = MemStats { accesses: stores, hits: stores, misses: 0, absences: 0 };
+        if dstats.mem != expect_mem {
+            w.miss(WarpMiss::DeltaDrift, now);
+            return;
+        }
+
+        if rec.done_periods == 0 {
+            // First boundary: bank the period and record one more.
+            rec.delta1 = deltas;
+            rec.delta_stats = Some(dstats);
+            rec.img_prev = imgs;
+            rec.mark_prev = mark;
+            std::mem::swap(&mut rec.prev, &mut rec.cur);
+            rec.cur.clear();
+            rec.cur_start = now;
+            rec.done_periods = 1;
+            w.rec = Some(rec);
+            self.warp_recording = true;
+            return;
+        }
+
+        // Second boundary: full verification.
+        if deltas != rec.delta1 || Some(&dstats) != rec.delta_stats.as_ref() {
+            w.miss(WarpMiss::DeltaDrift, now);
+            return;
+        }
+        if let Some(miss) = period_log_mismatch(&rec.prev, &rec.cur) {
+            w.miss(miss, now);
+            return;
+        }
+
+        let bound = self.warp_trip_bound(&rec, now).saturating_sub(SAFETY_PERIODS);
+        let mut leapt = 0;
+        if !leapable {
+            // Detection-only (trace sink attached): report and move
+            // on; re-detection folds into the report's repeat count.
+        } else if bound < MIN_LEAP {
+            w.miss(WarpMiss::TripBound, now);
+        } else if stores != 0 && !self.mem_model.bulk_store_hits(bound * stores) {
+            w.miss(WarpMiss::BulkMem, now);
+        } else {
+            self.warp_apply_leap(&rec, bound);
+            leapt = bound;
+            w.stats.leaps += 1;
+            w.stats.periods_leapt += bound;
+            w.stats.cycles_warped += bound * rec.period;
+            w.backoff = BACKOFF_BASE;
+        }
+        if self.warp_debug {
+            warp_debug_record(w, &rec, leapt);
+        }
+    }
+
+    /// Cheapest prefilter: compared against the anchor every cycle.
+    fn warp_tuple(&self) -> (u32, u32, u32) {
+        (self.slots[0].fetch_pc, self.slots[0].window.len() as u32, self.standby_total as u32)
+    }
+
+    /// Second prefilter: an order-of-nanoseconds hash over the
+    /// per-slot timing state, only computed when the tuple matches.
+    fn warp_hash(&self, now: u64) -> u64 {
+        let mut h = 0xcbf29ce484222325;
+        for s in &self.slots {
+            fnv(&mut h, s.ctx.map_or(0, |c| c as u64 + 1));
+            fnv(&mut h, s.fetch_pc as u64);
+            fnv(&mut h, s.earliest_issue.saturating_sub(now));
+            fnv(&mut h, s.window.len() as u64);
+        }
+        fnv(&mut h, self.prio.highest() as u64);
+        fnv(&mut h, self.standby_total as u64);
+        h
+    }
+
+    /// Builds the full timing fingerprint rebased to `now`, or the
+    /// reason the current state can never anchor a warp.
+    fn warp_key(&self, now: u64) -> Result<TimingKey, WarpMiss> {
+        if self.standby_total != 0 {
+            return Err(WarpMiss::StandbyData);
+        }
+        let mut words = Vec::with_capacity(32 + 70 * self.contexts.len());
+        for s in &self.slots {
+            words.push(s.ctx.map_or(0, |c| c as u64 + 1));
+            words.push(s.fetch_pc as u64);
+            words.push(s.earliest_issue.saturating_sub(now));
+            words.push(s.window.len() as u64);
+            for e in &s.window {
+                match e {
+                    WinEntry::Fresh(pc) => words.push(*pc as u64),
+                    WinEntry::Replay(..) => return Err(WarpMiss::ReplayWindow),
+                }
+            }
+        }
+        for c in &self.contexts {
+            match c.state {
+                CtxState::Free => words.push(0),
+                CtxState::Done => words.push(1),
+                CtxState::Running => {
+                    if c.qread.is_some() || c.qwrite.is_some() {
+                        return Err(WarpMiss::QueueMapped);
+                    }
+                    if !c.replay.is_empty() {
+                        return Err(WarpMiss::ReplayWindow);
+                    }
+                    words.push(2);
+                    words.push(c.lpid as u64);
+                    c.regs.warp_key_into(now, &mut words);
+                }
+                CtxState::Ready | CtxState::Waiting { .. } => {
+                    return Err(WarpMiss::ContextChurn);
+                }
+            }
+        }
+        for link in 0..self.slots.len() {
+            if self.queues.len(link) != 0 {
+                return Err(WarpMiss::QueueDepth);
+            }
+        }
+        self.fu_pool.warp_key_into(now, &mut words);
+        self.prio.warp_key_into(now, &mut words);
+        Ok(TimingKey { words, fetch: self.fetch.warp_rel(now) })
+    }
+
+    fn warp_images(&self, ctxs: &[usize]) -> Vec<Vec<u64>> {
+        ctxs.iter().map(|&c| self.contexts[c].regs.image()).collect()
+    }
+
+    /// Conservative number of periods provably replayable from `now`
+    /// (before the safety margin): the watchdog, every branch site's
+    /// outcome and operand ranges, and every store's address bounds.
+    fn warp_trip_bound(&self, rec: &Recording, now: u64) -> u64 {
+        let p = rec.period;
+        let mut k = LEAP_CAP.min(self.config.max_cycles.saturating_sub(now) / p);
+        for (a, b) in rec.prev.branches.iter().zip(&rec.cur.branches) {
+            let dl = b.lhs.wrapping_sub(a.lhs) as i64;
+            let dr = b.rhs.wrapping_sub(a.rhs) as i64;
+            k = k.min(operand_range_bound(b.lhs as i64, dl));
+            k = k.min(operand_range_bound(b.rhs as i64, dr));
+            let d0 = b.lhs as i64 as i128 - b.rhs as i64 as i128;
+            k = k.min(branch_outcome_bound(b.cond, b.taken, d0, dl as i128 - dr as i128));
+        }
+        let mem_words = self.config.mem_words as u64;
+        for (a, b) in rec.prev.stores.iter().zip(&rec.cur.stores) {
+            let da = b.1.wrapping_sub(a.1) as i64;
+            k = k.min(store_addr_bound(b.1, da, mem_words));
+        }
+        k
+    }
+
+    /// Applies a verified leap of `k` periods in one step (memory
+    /// replay is O(k·stores); everything else is O(state)).
+    fn warp_apply_leap(&mut self, rec: &Recording, k: u64) {
+        let p = rec.period;
+        let now = self.cycle;
+        let delta = k * p;
+
+        // Registers: k·Δ on values, uniform shift on in-flight timing.
+        for (i, &ctx) in rec.ctxs.iter().enumerate() {
+            let d: &[i64; NUM_GREGS] =
+                rec.delta1[i].as_slice().try_into().expect("delta vector is NUM_GREGS long");
+            let regs = &mut self.contexts[ctx].regs;
+            regs.warp_add_gvals(d, k as i64);
+            regs.warp_shift(delta, now);
+        }
+
+        // Memory: replay the strided stores of the skipped periods
+        // (addresses proven in bounds by the trip bound).
+        for j in 1..=k {
+            for (i, &(_, addr, bits)) in rec.cur.stores.iter().enumerate() {
+                let da = addr.wrapping_sub(rec.prev.stores[i].1) as i64;
+                let dv = bits.wrapping_sub(rec.prev.stores[i].2);
+                let a = (addr as i128 + j as i128 * da as i128) as u64;
+                let v = bits.wrapping_add(j.wrapping_mul(dv));
+                self.memory.write(a, v).expect("warp-extrapolated store stays in bounds");
+            }
+        }
+
+        // Statistics: k more copies of the verified per-period delta.
+        let d = rec.delta_stats.as_ref().expect("verified recording has a stats delta");
+        self.stats.instructions += k * d.instructions;
+        for (s, &per) in d.per_slot.iter().enumerate() {
+            self.stats.per_slot_issued[s] += k * per;
+        }
+        for i in 0..FU_CLASS_COUNT {
+            self.stats.fu_invocations[i] += k * d.fu_invocations[i];
+            self.stats.fu_busy[i] += k * d.fu_busy[i];
+        }
+        self.stats.rotations += k * d.rotations;
+        for &(off, reason) in &rec.cur.stalls {
+            self.stats.record_stall_train(reason, now + off as u64, p, k);
+        }
+
+        // Trace synthesis: the issue events the skipped periods would
+        // have recorded, in order.
+        if let Some(trace) = &mut self.trace {
+            trace.reserve(k as usize * rec.cur.issues.len());
+            for j in 0..k {
+                let base = now + j * p;
+                for &(off, slot, ctx, pc) in &rec.cur.issues {
+                    trace.push(IssueEvent {
+                        cycle: base + off as u64,
+                        slot: slot as usize,
+                        ctx: ctx as usize,
+                        pc,
+                    });
+                }
+            }
+        }
+
+        // Timers: shift every future-dated time by the leap.
+        self.fu_pool.warp_shift(delta);
+        self.fetch.warp_shift(delta);
+        self.prio.warp_shift(delta);
+        for s in &mut self.slots {
+            if s.earliest_issue > now {
+                s.earliest_issue += delta;
+            }
+            if let Some(b) = &mut s.block {
+                if b.wake != u64::MAX && b.wake > now {
+                    b.wake += delta;
+                }
+            }
+        }
+        self.head_pass = None;
+        self.cycle = now + delta;
+        self.stats.cycles = self.cycle;
+    }
+
+    // ---- Record-phase hooks (called from the step path only while
+    // ---- `warp_recording` is set; the wheel is suppressed then, so
+    // ---- every event funnels through the plain per-cycle sites).
+
+    /// Records a slot-stall at its cycle offset within the period.
+    #[inline]
+    pub(super) fn warp_note_stall(&mut self, reason: StallReason, now: u64) {
+        if let Some(rec) = self.warp.as_deref_mut().and_then(|w| w.rec.as_deref_mut()) {
+            rec.cur.stalls.push(((now - rec.cur_start) as u32, reason));
+        }
+    }
+
+    /// Records an issued instruction, or vetoes the attempt if it is
+    /// not warp-safe.
+    #[inline]
+    pub(super) fn warp_note_issue(
+        &mut self,
+        di: &DecodedInst,
+        slot: usize,
+        ctx: usize,
+        pc: u32,
+        now: u64,
+    ) {
+        if let Some(w) = self.warp.as_deref_mut() {
+            if let Some(rec) = w.rec.as_deref_mut() {
+                if !di.is_warp_safe() {
+                    w.veto.get_or_insert(WarpMiss::UnsafeOp);
+                    return;
+                }
+                rec.cur.issues.push(((now - rec.cur_start) as u32, slot as u32, ctx as u32, pc));
+            }
+        }
+    }
+
+    /// Records a branch decision with its operand values.
+    #[inline]
+    pub(super) fn warp_note_branch(
+        &mut self,
+        pc: u32,
+        cond: BranchCond,
+        vals: [u64; 2],
+        taken: bool,
+    ) {
+        if let Some(rec) = self.warp.as_deref_mut().and_then(|w| w.rec.as_deref_mut()) {
+            rec.cur.branches.push(BranchObs { pc, cond, lhs: vals[0], rhs: vals[1], taken });
+        }
+    }
+
+    /// Records an executed store.
+    #[inline]
+    pub(super) fn warp_note_store(&mut self, addr: u64, bits: u64, now: u64) {
+        if let Some(rec) = self.warp.as_deref_mut().and_then(|w| w.rec.as_deref_mut()) {
+            rec.cur.stores.push(((now - rec.cur_start) as u32, addr, bits));
+        }
+    }
+
+    /// Raises a sticky veto (e.g. a data-absence trap fired while
+    /// recording).
+    #[inline]
+    pub(super) fn warp_note_veto(&mut self, miss: WarpMiss) {
+        if let Some(w) = self.warp.as_deref_mut() {
+            if w.rec.is_some() {
+                w.veto.get_or_insert(miss);
+            }
+        }
+    }
+}
+
+/// Folds one verified period into the `--warp-debug` report.
+fn warp_debug_record(w: &mut WarpState, rec: &Recording, leapt: u64) {
+    let mut footprint: Vec<u32> = rec.cur.issues.iter().map(|&(_, _, _, pc)| pc).collect();
+    footprint.sort_unstable();
+    footprint.dedup();
+    let mut deltas = Vec::new();
+    for (i, &ctx) in rec.ctxs.iter().enumerate() {
+        for (r, &d) in rec.delta1[i].iter().enumerate() {
+            if d != 0 {
+                deltas.push((ctx, r, d));
+            }
+        }
+    }
+    if let Some(last) = w.periods.last_mut() {
+        if last.period == rec.period && last.footprint == footprint && last.deltas == deltas {
+            last.repeats += 1;
+            last.leapt += leapt;
+            return;
+        }
+    }
+    if w.periods.len() < DEBUG_PERIODS_CAP {
+        w.periods.push(WarpPeriodInfo {
+            start: rec.start,
+            period: rec.period,
+            leapt,
+            repeats: 1,
+            footprint,
+            deltas,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+
+    /// Brute-force oracle for [`affine_nonpositive`].
+    fn nonpositive_oracle(d0: i128, dd: i128, up_to: u64) -> u64 {
+        let mut k = 0;
+        while k < up_to && d0 + (k as i128 + 1) * dd <= 0 {
+            k += 1;
+        }
+        k
+    }
+
+    #[test]
+    fn affine_nonpositive_matches_brute_force() {
+        for d0 in -12..=12i128 {
+            for dd in -4..=4i128 {
+                let got = affine_nonpositive(d0, dd).min(100);
+                let want = nonpositive_oracle(d0, dd, 100);
+                assert_eq!(got, want, "d0={d0} dd={dd}");
+            }
+        }
+    }
+
+    #[test]
+    fn branch_outcome_bound_matches_brute_force() {
+        use BranchCond::*;
+        let eval = |cond: BranchCond, d: i128| match cond {
+            Eq => d == 0,
+            Ne => d != 0,
+            Lt => d < 0,
+            Le => d <= 0,
+            Gt => d > 0,
+            Ge => d >= 0,
+        };
+        for cond in [Eq, Ne, Lt, Le, Gt, Ge] {
+            for taken in [false, true] {
+                for d0 in -10..=10i128 {
+                    for dd in -3..=3i128 {
+                        let got = branch_outcome_bound(cond, taken, d0, dd).min(60);
+                        let mut want = 0;
+                        while want < 60 && eval(cond, d0 + (want as i128 + 1) * dd) == taken {
+                            want += 1;
+                        }
+                        assert_eq!(got, want, "{cond:?} taken={taken} d0={d0} dd={dd}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn store_addr_bound_matches_brute_force() {
+        for a0 in 0..24u64 {
+            for d in -5..=5i64 {
+                let got = store_addr_bound(a0, d, 24).min(60);
+                let mut want = 0;
+                while want < 60 {
+                    let a = a0 as i128 + (want as i128 + 1) * d as i128;
+                    if !(0..24).contains(&a) {
+                        break;
+                    }
+                    want += 1;
+                }
+                assert_eq!(got, want, "a0={a0} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn operand_range_bound_is_exact_at_the_edge() {
+        // One step of +d from i64::MAX - d is fine; two overflow.
+        assert_eq!(operand_range_bound(i64::MAX - 10, 10), 1);
+        assert_eq!(operand_range_bound(i64::MIN + 10, -10), 1);
+        assert_eq!(operand_range_bound(i64::MAX, 1), 0);
+        assert_eq!(operand_range_bound(0, 0), LEAP_CAP);
+    }
+
+    /// A counted loop with a strided store — the warp engine's bread
+    /// and butter.
+    fn counted_loop(trips: u32, base: u32) -> hirata_isa::Program {
+        let src = format!(
+            "\
+.text
+.entry main
+main:
+  li r1, #{trips}
+  li r2, #0
+  li r3, #{base}
+loop:
+  sw r2, 0(r3)
+  add r3, r3, #1
+  add r2, r2, #3
+  sub r1, r1, #1
+  bne r1, #0, loop
+  halt
+"
+        );
+        hirata_asm::assemble(&src).expect("valid loop assembly")
+    }
+
+    fn run_pair(program: &hirata_isa::Program, slots: usize) -> (Machine, Machine) {
+        let mut warp = Machine::new(Config::multithreaded(slots), program).unwrap();
+        let mut plain =
+            Machine::new(Config::multithreaded(slots).with_warp(false), program).unwrap();
+        warp.run().unwrap();
+        plain.run().unwrap();
+        (warp, plain)
+    }
+
+    fn assert_identical(warp: &Machine, plain: &Machine, mem_range: std::ops::Range<u64>) {
+        assert_eq!(warp.cycles(), plain.cycles());
+        assert_eq!(warp.stats(), plain.stats());
+        assert_eq!(warp.mem_stats(), plain.mem_stats());
+        for ctx in 0..warp.context_frames() {
+            assert_eq!(warp.register_image(ctx), plain.register_image(ctx), "ctx {ctx}");
+        }
+        for addr in mem_range {
+            assert_eq!(
+                warp.memory().read(addr).unwrap(),
+                plain.memory().read(addr).unwrap(),
+                "addr {addr}"
+            );
+        }
+    }
+
+    #[test]
+    fn warp_leaps_a_long_counted_loop_identically() {
+        let program = counted_loop(200_000, 4096);
+        let (warp, plain) = run_pair(&program, 1);
+        assert_identical(&warp, &plain, 4096..4096 + 200_000);
+        let ws = warp.warp_stats();
+        assert!(ws.leaps >= 1, "no leap on a 200k-trip loop: {ws:?}");
+        assert!(
+            ws.coverage(warp.cycles()) > 0.5,
+            "warp covered {:.1}% of {} cycles: {ws:?}",
+            100.0 * ws.coverage(warp.cycles()),
+            warp.cycles(),
+        );
+    }
+
+    #[test]
+    fn short_loops_fall_back_without_divergence() {
+        // Trip counts too small for any leap, including 1.
+        for trips in [1u32, 2, 3, 5, 8, 13] {
+            let program = counted_loop(trips, 512);
+            let (warp, plain) = run_pair(&program, 1);
+            assert_identical(&warp, &plain, 512..512 + trips as u64);
+            assert_eq!(warp.warp_stats().leaps, 0, "trips={trips}");
+        }
+    }
+
+    #[test]
+    fn no_warp_config_keeps_engine_off() {
+        let program = counted_loop(50_000, 256);
+        let mut m = Machine::new(Config::multithreaded(1).with_warp(false), &program).unwrap();
+        m.run().unwrap();
+        assert_eq!(m.warp_stats(), WarpStats::default());
+        assert!(m.warp_periods().is_empty());
+    }
+
+    #[test]
+    fn warp_synthesizes_trace_events_across_leaps() {
+        let program = counted_loop(30_000, 1024);
+        let mut warp = Machine::new(Config::multithreaded(1), &program).unwrap();
+        let mut plain = Machine::new(Config::multithreaded(1).with_warp(false), &program).unwrap();
+        warp.set_trace(true);
+        plain.set_trace(true);
+        warp.run().unwrap();
+        plain.run().unwrap();
+        assert!(warp.warp_stats().leaps >= 1, "{:?}", warp.warp_stats());
+        assert_eq!(warp.trace(), plain.trace());
+    }
+
+    #[test]
+    fn warp_debug_reports_the_loop() {
+        let program = counted_loop(30_000, 1024);
+        let mut m = Machine::new(Config::multithreaded(1), &program).unwrap();
+        m.set_warp_debug(true);
+        m.run().unwrap();
+        let periods = m.warp_periods();
+        assert!(!periods.is_empty());
+        let info = &periods[0];
+        assert!(info.period > 0 && info.period <= MAX_PERIOD);
+        assert!(!info.footprint.is_empty());
+        // A detected period may fuse several loop iterations (state
+        // recurs at the lcm of the loop and the rotation/fetch
+        // phases). Per iteration the counter r1 steps by −1, the
+        // value r2 by +3, the pointer r3 by +1 — so the per-period
+        // deltas must be (−n, 3n, n) for one trip multiple n ≥ 1.
+        let delta_of = |reg: usize| {
+            info.deltas
+                .iter()
+                .find_map(|&(_, r, d)| (r == reg).then_some(d))
+                .unwrap_or_else(|| panic!("r{reg} missing from {info:?}"))
+        };
+        let trips = -delta_of(1);
+        assert!(trips >= 1, "{info:?}");
+        assert_eq!(delta_of(2), 3 * trips, "{info:?}");
+        assert_eq!(delta_of(3), trips, "{info:?}");
+        assert!(info.leapt > 0);
+    }
+
+    #[test]
+    fn multi_slot_counted_loops_stay_identical() {
+        // Two slots running the shared program: fastfork-free, both
+        // slots iterate the same loop body on their own contexts.
+        let program = counted_loop(40_000, 8192);
+        let (warp, plain) = run_pair(&program, 2);
+        assert_identical(&warp, &plain, 8192..8192 + 40_000);
+    }
+
+    #[test]
+    fn queue_workloads_fall_back_identically() {
+        let src = "\
+.text
+.entry main
+main:
+  qmap r10, r11
+  fastfork
+  lpid r1
+  bne r1, #0, consume
+  li r5, #0
+  li r6, #4000
+produce:
+  add r11, r5, #0
+  add r5, r5, #1
+  bne r5, #200, produce
+  drain
+  halt
+consume:
+  li r7, #0
+  li r8, #0
+consume_loop:
+  add r8, r10, r8
+  add r7, r7, #1
+  bne r7, #200, consume_loop
+  sw r8, 4000(r0)
+  halt
+";
+        let program = hirata_asm::assemble(src).expect("valid queue program");
+        let (warp, plain) = run_pair(&program, 2);
+        assert_identical(&warp, &plain, 4000..4001);
+    }
+}
+
+/// Property tests for the leap arithmetic (found regressions live in
+/// `crates/sim/tests/properties.proptest-regressions`).
+#[cfg(test)]
+mod properties {
+    use proptest::prelude::*;
+
+    use super::*;
+    use crate::config::Config;
+
+    /// A model affine machine: integer registers and a small word
+    /// memory, driven by a fixed per-period op list — the abstract
+    /// shape the warp verifier certifies. Running it `k` periods
+    /// sequentially is the ground truth the leap must match.
+    #[derive(Debug, Clone, PartialEq)]
+    struct Model {
+        regs: Vec<u64>,
+        mem: Vec<u64>,
+    }
+
+    /// One op of the model period: `Add(d, a, b)` is `r[d] = r[a] +
+    /// r[b]`, `AddImm(d, a, imm)`, and `Store(addr_reg, val_reg)`
+    /// writes `r[val]` to `mem[r[addr] % len]`.
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        Add(usize, usize, usize),
+        AddImm(usize, usize, i64),
+        Store(usize, usize),
+    }
+
+    impl Model {
+        fn step_period(&mut self, ops: &[Op]) -> Vec<(u64, u64)> {
+            let mut stores = Vec::new();
+            for &op in ops {
+                match op {
+                    Op::Add(d, a, b) => {
+                        if d != 0 {
+                            self.regs[d] = self.regs[a].wrapping_add(self.regs[b]);
+                        }
+                    }
+                    Op::AddImm(d, a, imm) => {
+                        if d != 0 {
+                            self.regs[d] = self.regs[a].wrapping_add(imm as u64);
+                        }
+                    }
+                    Op::Store(addr, val) => {
+                        let a = self.regs[addr] % self.mem.len() as u64;
+                        self.mem[a as usize] = self.regs[val];
+                        stores.push((a, self.regs[val]));
+                    }
+                }
+            }
+            stores
+        }
+    }
+
+    fn op_strategy(regs: usize) -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0..regs, 0..regs, 0..regs).prop_map(|(d, a, b)| Op::Add(d, a, b)),
+            (0..regs, 0..regs, -8i64..8).prop_map(|(d, a, imm)| Op::AddImm(d, a, imm)),
+            (0..regs, 0..regs).prop_map(|(a, v)| Op::Store(a, v)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64 })]
+
+        /// The leap arithmetic (`k·Δ` registers + strided store
+        /// replay) equals `k` sequential period replays on the model
+        /// machine whenever the verifier's own precondition
+        /// (`Δ1 == Δ2` and matching store profiles) holds — including
+        /// full 2⁶⁴ wraparound. Cases failing the precondition are
+        /// skipped, mirroring the engine's own DeltaDrift fallback.
+        #[test]
+        fn leap_equals_sequential_replay(
+            seed_regs in prop::collection::vec(0u64..u64::MAX, 8..9),
+            ops in prop::collection::vec(op_strategy(8), 1..12),
+            k in 1u64..24,
+        ) {
+            let mut m = Model { regs: seed_regs, mem: vec![0; 64] };
+            m.regs[0] = 0; // model's zero register
+
+            // Record phase: two periods, verifier-style.
+            let img0 = m.regs.clone();
+            let stores_a = m.step_period(&ops);
+            let img1 = m.regs.clone();
+            let stores_b = m.step_period(&ops);
+            let img2 = m.regs.clone();
+            let d1: Vec<i64> =
+                img1.iter().zip(&img0).map(|(c, p)| c.wrapping_sub(*p) as i64).collect();
+            let d2: Vec<i64> =
+                img2.iter().zip(&img1).map(|(c, p)| c.wrapping_sub(*p) as i64).collect();
+            if d1 != d2 || stores_a.len() != stores_b.len() {
+                continue;
+            }
+            // Address strides must replay within the model memory
+            // (the real engine bounds k by store_addr_bound instead).
+            let strides: Vec<(i64, u64)> = stores_b
+                .iter()
+                .zip(&stores_a)
+                .map(|(b, a)| (b.0.wrapping_sub(a.0) as i64, b.1.wrapping_sub(a.1)))
+                .collect();
+            let replayable = strides.iter().enumerate().all(|(i, &(da, _))| {
+                super::store_addr_bound(stores_b[i].0, da, m.mem.len() as u64) >= k
+            });
+            if !replayable {
+                continue;
+            }
+
+            // Ground truth: k more sequential periods.
+            let mut seq = m.clone();
+            for _ in 0..k {
+                seq.step_period(&ops);
+            }
+
+            // Leap: k·Δ + strided store replay.
+            let mut leap = m;
+            for (r, &d) in leap.regs.iter_mut().zip(&d1) {
+                *r = r.wrapping_add((d as u64).wrapping_mul(k));
+            }
+            for j in 1..=k {
+                for (i, &(da, dv)) in strides.iter().enumerate() {
+                    let a = (stores_b[i].0 as i128 + j as i128 * da as i128) as u64;
+                    let v = stores_b[i].1.wrapping_add(j.wrapping_mul(dv));
+                    leap.mem[a as usize] = v;
+                }
+            }
+            prop_assert_eq!(leap, seq);
+        }
+
+        /// End-to-end: the full machine with warp on reproduces the
+        /// warp-off run exactly — cycles, statistics, registers, and
+        /// memory — across trip counts straddling every leap boundary.
+        #[test]
+        fn machine_warp_equals_plain(
+            trips in 1u32..400,
+            stride in 1u32..4,
+            slots in prop::sample::select(vec![1usize, 2]),
+        ) {
+            let base = 16384;
+            let src = format!(
+                "\
+.text
+.entry main
+main:
+  li r1, #{trips}
+  li r2, #7
+  li r3, #{base}
+loop:
+  sw r2, 0(r3)
+  add r3, r3, #{stride}
+  add r2, r2, #5
+  sub r1, r1, #1
+  bne r1, #0, loop
+  halt
+"
+            );
+            let program = hirata_asm::assemble(&src).expect("valid loop");
+            let mut warp = Machine::new(Config::multithreaded(slots), &program).unwrap();
+            let mut plain =
+                Machine::new(Config::multithreaded(slots).with_warp(false), &program).unwrap();
+            warp.run().unwrap();
+            plain.run().unwrap();
+            prop_assert_eq!(warp.cycles(), plain.cycles());
+            prop_assert_eq!(warp.stats(), plain.stats());
+            prop_assert_eq!(warp.mem_stats(), plain.mem_stats());
+            for ctx in 0..warp.context_frames() {
+                prop_assert_eq!(warp.register_image(ctx), plain.register_image(ctx));
+            }
+            for addr in base..base + (trips as u64) * (stride as u64) {
+                prop_assert_eq!(
+                    warp.memory().read(addr).unwrap(),
+                    plain.memory().read(addr).unwrap()
+                );
+            }
+        }
+    }
+
+    /// Pinned replays of the `cc` entries in
+    /// `crates/sim/tests/properties.proptest-regressions` (the
+    /// vendored proptest does not auto-replay files, so the
+    /// regressions run as explicit cases).
+    #[test]
+    fn regression_store_stride_wraps_value() {
+        // cc 51e7aa: a store whose value delta wraps u64 while the
+        // address stride stays small — k·Δ must wrap identically.
+        let mut m = Model { regs: vec![0, u64::MAX - 3, 5, 0, 0, 0, 0, 0], mem: vec![0; 64] };
+        let ops = [Op::AddImm(2, 2, 7), Op::Store(3, 1), Op::AddImm(3, 3, 1), Op::AddImm(1, 1, -9)];
+        let img0 = m.regs.clone();
+        m.step_period(&ops);
+        let img1 = m.regs.clone();
+        m.step_period(&ops);
+        let d1: Vec<i64> = img1.iter().zip(&img0).map(|(c, p)| c.wrapping_sub(*p) as i64).collect();
+        let mut seq = m.clone();
+        let k = 9u64;
+        for _ in 0..k {
+            seq.step_period(&ops);
+        }
+        let mut leap = m.clone();
+        for (r, &d) in leap.regs.iter_mut().zip(&d1) {
+            *r = r.wrapping_add((d as u64).wrapping_mul(k));
+        }
+        // Reconstruct the two recorded store sets for the strides.
+        let mut probe = Model { regs: img0, mem: vec![0; 64] };
+        let stores_a = probe.step_period(&ops);
+        let stores_b = probe.step_period(&ops);
+        for j in 1..=k {
+            for (i, b) in stores_b.iter().enumerate() {
+                let da = b.0.wrapping_sub(stores_a[i].0) as i64;
+                let dv = b.1.wrapping_sub(stores_a[i].1);
+                let a = (b.0 as i128 + j as i128 * da as i128) as u64;
+                leap.mem[a as usize] = b.1.wrapping_add(j.wrapping_mul(dv));
+            }
+        }
+        assert_eq!(leap, seq);
+    }
+
+    #[test]
+    fn regression_trip_count_exactly_safety_margin() {
+        // cc c02d9b: a loop whose remaining trips equal the leap's
+        // safety margin — the bound must refuse (TripBound), and the
+        // fallback must stay byte-identical.
+        let src = "\
+.text
+.entry main
+main:
+  li r1, #9
+loop:
+  sub r1, r1, #1
+  bne r1, #0, loop
+  halt
+";
+        let program = hirata_asm::assemble(src).unwrap();
+        let mut warp = Machine::new(Config::multithreaded(1), &program).unwrap();
+        let mut plain = Machine::new(Config::multithreaded(1).with_warp(false), &program).unwrap();
+        warp.run().unwrap();
+        plain.run().unwrap();
+        assert_eq!(warp.cycles(), plain.cycles());
+        assert_eq!(warp.stats(), plain.stats());
+        assert_eq!(warp.warp_stats().leaps, 0);
+    }
+}

@@ -101,6 +101,33 @@ impl Priorities {
         count
     }
 
+    /// Appends the rotation state rebased to `now` to `out`, for the
+    /// loop-warp fingerprint: the priority order, the mode, the cycles
+    /// since the last rotation, and any pending explicit request.
+    pub(crate) fn warp_key_into(&self, now: u64, out: &mut Vec<u64>) {
+        for &s in &self.order {
+            out.push(s as u64);
+        }
+        match self.mode {
+            RotationMode::Implicit { interval } => {
+                out.push(1);
+                out.push(interval as u64);
+            }
+            RotationMode::Explicit => {
+                out.push(2);
+                out.push(0);
+            }
+        }
+        out.push(now - self.last_rotation);
+        out.push(self.pending_explicit as u64);
+    }
+
+    /// Shifts the rotation timer forward by `delta` cycles — the
+    /// loop-warp leap.
+    pub(crate) fn warp_shift(&mut self, delta: u64) {
+        self.last_rotation += delta;
+    }
+
     /// Requests an explicit rotation (`chgpri`), applied at cycle end.
     pub(crate) fn request_explicit(&mut self) {
         self.pending_explicit = true;

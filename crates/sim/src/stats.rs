@@ -242,6 +242,45 @@ impl RunStats {
         }
     }
 
+    /// Records `count` stalled slot-cycles at the arithmetic
+    /// progression of machine times `first, first + stride, ...,
+    /// first + (count - 1) * stride` — the loop-warp form of
+    /// [`RunStats::record_stall`]: one recorded stall event inside a
+    /// detected period recurs once per leapt period, `stride` cycles
+    /// apart. Equivalent to calling `record_stall(reason, t)` at each
+    /// progression point, including the per-window attribution, but
+    /// walks windows instead of cycles.
+    pub(crate) fn record_stall_train(
+        &mut self,
+        reason: StallReason,
+        first: u64,
+        stride: u64,
+        count: u64,
+    ) {
+        if count == 0 {
+            return;
+        }
+        debug_assert!(stride > 0);
+        self.stalls.record_n(reason, count);
+        let last = first + (count - 1) * stride;
+        self.ensure_windows((last / STALL_WINDOW_CYCLES) as usize);
+        let idx = reason.index();
+        // Progression points in window `w` are those `i` with
+        // `w * W <= first + i * stride < (w + 1) * W`; count them per
+        // window by dividing the progression, not by stepping cycles.
+        let mut i = 0u64;
+        while i < count {
+            let t = first + i * stride;
+            let w = t / STALL_WINDOW_CYCLES;
+            let end = (w + 1) * STALL_WINDOW_CYCLES;
+            // Points remaining in this window: ceil((end - t) / stride),
+            // capped by the points remaining overall.
+            let in_window = ((end - t).div_ceil(stride)).min(count - i);
+            self.stall_windows[w as usize][idx] += in_window;
+            i += in_window;
+        }
+    }
+
     /// Formats a utilization table resembling the analyses in §3.2,
     /// followed by the per-window stall-attribution table when any
     /// stalls were recorded.
@@ -388,6 +427,31 @@ mod tests {
                 looped.record_stall(StallReason::QueueEmpty, t);
             }
             assert_eq!(spanned, looped, "span [{from}, {to})");
+        }
+    }
+
+    #[test]
+    fn record_stall_train_equals_repeated_record_stall() {
+        let w = STALL_WINDOW_CYCLES;
+        // (first, stride, count): strides below, at, and above the
+        // window width; trains crossing zero, one, and many windows.
+        for (first, stride, count) in [
+            (0, 1, 0),
+            (0, 1, 1),
+            (3, 7, 5),
+            (w - 1, 1, 3),
+            (w / 2, w, 4),
+            (17, w + 3, 6),
+            (0, 3 * w, 3),
+            (2 * w - 2, 2, 2 * w),
+        ] {
+            let mut trained = RunStats::default();
+            trained.record_stall_train(StallReason::FuConflict, first, stride, count);
+            let mut looped = RunStats::default();
+            for i in 0..count {
+                looped.record_stall(StallReason::FuConflict, first + i * stride);
+            }
+            assert_eq!(trained, looped, "train ({first}, {stride}, {count})");
         }
     }
 

@@ -9,12 +9,15 @@
 //! arithmetic, float, and memory operations without control flow),
 //! and a seeded fuzz campaign of structured random programs —
 //! branches, counted loops, fig6-style eager queue-ring loops with
-//! `chgpri`, gated stores, and data-absence traps through the DSM
-//! memory model. Fuzzed programs run **three ways**: the emulator,
-//! the plain cycle-level machine, and the machine with the event-wheel
-//! fast-forward; the two machines must agree byte-for-byte on cycle
-//! counts, statistics, and the full trace event stream, and both must
-//! agree with the emulator on final architectural state. A fuzz
+//! `chgpri`, gated stores, data-absence traps through the DSM
+//! memory model, and long affine counted loops sized to bait the
+//! loop-warp engine. Fuzzed programs run **four ways**: the emulator,
+//! the plain cycle-level machine, the machine with the event-wheel
+//! fast-forward, and the machine with fast-forward *and* loop-warp;
+//! the machines must agree byte-for-byte on cycle counts, statistics,
+//! issue-event streams (and, for the two traced runs, the full trace
+//! event stream), and all must agree with the emulator on final
+//! architectural state. A fuzz
 //! failure is shrunk (greedy line removal preserving the failure
 //! category) and the minimal program saved under
 //! `target/diff-failures/` for replay. On divergence the lockstep
@@ -115,11 +118,12 @@ fn examples_match_the_golden_model() {
     }
 }
 
-/// Every example also runs three-way (emulator, plain machine, wheel
-/// machine): the event wheel must be invisible on real control-flow-
-/// heavy programs, not just generated ones.
+/// Every example also runs four-way (emulator, plain machine, wheel
+/// machine, warp machine): the event wheel and the loop-warp engine
+/// must be invisible on real control-flow-heavy programs, not just
+/// generated ones.
 #[test]
-fn examples_three_way_wheel_parity() {
+fn examples_four_way_warp_parity() {
     let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/asm");
     for entry in std::fs::read_dir(dir).expect("examples/asm exists") {
         let path = entry.expect("dir entry").path();
@@ -130,7 +134,7 @@ fn examples_three_way_wheel_parity() {
         let src = std::fs::read_to_string(&path).expect("example is readable");
         for slots in [1, 2, 4] {
             let case = FuzzCase { src: src.clone(), slots, remote_base: None };
-            three_way(&case, &src)
+            four_way(&case, &src)
                 .unwrap_or_else(|e| panic!("{name} at {slots} slots diverges: {e}"));
         }
     }
@@ -208,7 +212,7 @@ fn generated_straight_line_programs_match_the_golden_model() {
     }
 }
 
-// ---------------------------------------------------- three-way fuzz
+// ----------------------------------------------------- four-way fuzz
 
 /// Seeds in the default campaign; `DIFF_FUZZ_SEEDS` overrides (CI runs
 /// a larger budgeted campaign, `DIFF_FUZZ_SEEDS=50` gives a quick
@@ -230,13 +234,20 @@ struct FuzzCase {
     remote_base: Option<u64>,
 }
 
-fn run_traced(
+/// Runs one machine configuration. Every run records issue events
+/// (`set_trace`); `sink` additionally attaches a [`TextSink`] — the
+/// warp run stays sink-free because a trace sink pins the engine to
+/// detection-only mode (synthesised sink events are out of scope), so
+/// the leap path would never be exercised.
+fn run_machine(
     program: &Program,
     slots: usize,
     fast_forward: bool,
+    warp: bool,
+    sink: bool,
     remote_base: Option<u64>,
 ) -> Result<(Machine, String), String> {
-    let mut config = Config::multithreaded(slots).with_fast_forward(fast_forward);
+    let mut config = Config::multithreaded(slots).with_fast_forward(fast_forward).with_warp(warp);
     config.max_cycles = FUZZ_MAX_CYCLES;
     let mut machine = match remote_base {
         Some(base) => {
@@ -245,24 +256,28 @@ fn run_traced(
         None => Machine::new(config, program),
     }
     .map_err(|e| format!("[build] machine rejected program: {e}"))?;
-    let sink = TextSink::new();
-    machine.attach_trace_sink(Box::new(sink.clone()));
-    machine
-        .run()
-        .map_err(|e| format!("[machine-error] run (fast_forward={fast_forward}) failed: {e}"))?;
-    Ok((machine, sink.text()))
+    machine.set_trace(true);
+    let text_sink = sink.then(TextSink::new);
+    if let Some(s) = &text_sink {
+        machine.attach_trace_sink(Box::new(s.clone()));
+    }
+    machine.run().map_err(|e| {
+        format!("[machine-error] run (fast_forward={fast_forward}, warp={warp}) failed: {e}")
+    })?;
+    Ok((machine, text_sink.map(|s| s.text()).unwrap_or_default()))
 }
 
 /// The fuzz oracle. Errors carry a stable `[category]` prefix so the
 /// shrinker can insist on preserving the original failure mode.
-fn three_way(case: &FuzzCase, src: &str) -> Result<(), String> {
+fn four_way(case: &FuzzCase, src: &str) -> Result<(), String> {
     let program =
         hirata_asm::assemble(src).map_err(|e| format!("[assemble] program rejected: {e}"))?;
     let slots = case.slots;
     let golden = Emulator::execute(&program, slots, 1 << 20, 1_000_000)
         .map_err(|e| format!("[emulator] failed: {e}"))?;
-    let (plain, plain_text) = run_traced(&program, slots, false, case.remote_base)?;
-    let (wheel, wheel_text) = run_traced(&program, slots, true, case.remote_base)?;
+    let (plain, plain_text) = run_machine(&program, slots, false, false, true, case.remote_base)?;
+    let (wheel, wheel_text) = run_machine(&program, slots, true, false, true, case.remote_base)?;
+    let (warp, _) = run_machine(&program, slots, true, true, false, case.remote_base)?;
 
     // Wheel vs plain: the event wheel must be invisible — identical
     // cycle counts, statistics tables, and trace event streams.
@@ -302,6 +317,47 @@ fn three_way(case: &FuzzCase, src: &str) -> Result<(), String> {
         return Err(format!("[memory-wheel] plain and wheel memories diverge at word {at:?}"));
     }
 
+    // Warp vs plain: the loop-warp engine must be invisible too —
+    // identical cycle counts, statistics, issue-event streams (leapt
+    // periods synthesise theirs), registers, and memory.
+    if plain.cycles() != warp.cycles() {
+        return Err(format!("[cycles-warp] plain {} vs warp {}", plain.cycles(), warp.cycles()));
+    }
+    if plain.stats() != warp.stats() {
+        return Err(format!(
+            "[stats-warp] diverge:\nplain: {:?}\nwarp: {:?}",
+            plain.stats(),
+            warp.stats()
+        ));
+    }
+    if plain.trace() != warp.trace() {
+        let at = plain
+            .trace()
+            .iter()
+            .zip(warp.trace())
+            .position(|(a, b)| a != b)
+            .map(|i| {
+                format!("event {i}:\nplain: {:?}\nwarp: {:?}", plain.trace()[i], warp.trace()[i])
+            })
+            .unwrap_or_else(|| {
+                format!(
+                    "lengths differ: plain {} events, warp {} events",
+                    plain.trace().len(),
+                    warp.trace().len()
+                )
+            });
+        return Err(format!("[issue-warp] issue-event streams diverge at {at}"));
+    }
+    for ctx in 0..slots {
+        if plain.register_image(ctx) != warp.register_image(ctx) {
+            return Err(format!("[regs-warp] context {ctx} register images diverge"));
+        }
+    }
+    if *plain.memory() != *warp.memory() {
+        let at = first_memory_mismatch(plain.memory(), warp.memory());
+        return Err(format!("[memory-warp] plain and warp memories diverge at word {at:?}"));
+    }
+
     // Plain vs the golden model: final architectural state.
     if golden.memory != *plain.memory() {
         let at = first_memory_mismatch(&golden.memory, plain.memory());
@@ -322,7 +378,7 @@ fn three_way(case: &FuzzCase, src: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Generates one structured random program. Three families, all
+/// Generates one structured random program. Four families, all
 /// terminating by construction:
 ///
 /// * **branchy straight-line** — SPMD over shared addresses (every
@@ -334,12 +390,16 @@ fn three_way(case: &FuzzCase, src: &str) -> Result<(), String> {
 ///   registers mapped over the ring, each trip writes the successor
 ///   *before* reading the predecessor (so the ring never deadlocks),
 ///   `chgpri` per trip, optional priority-gated stores to the private
-///   bank.
+///   bank;
+/// * **warp bait** — long affine counted loops (strided stores,
+///   constant register increments, optional nesting and `fastfork`)
+///   sized so the loop-warp engine detects a period and leaps, with
+///   trip counts straddling the leap boundary.
 ///
 /// The straight-line and counted-loop families may additionally
 /// address the remote region (word 4096 up) to exercise data-absence
-/// traps when the case runs on the DSM model. The ring family never
-/// does: a trap unbinds the context and `wake_and_bind` may rebind it
+/// traps when the case runs on the DSM model. The ring and warp-bait
+/// families never do: a trap unbinds the context and `wake_and_bind` may rebind it
 /// to a *different* slot, while the queue links form a ring between
 /// slots — so a migrated thread legitimately orphans in-flight ring
 /// data and deadlocks. The paper uses queue registers under parallel
@@ -364,12 +424,13 @@ fn slot_choices() -> &'static [usize] {
 
 fn fuzz_case(seed: u64) -> FuzzCase {
     let mut rng = SplitMix(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1FF_CA5E);
-    let family = rng.below(3);
+    let family = rng.below(4);
     let choices = slot_choices();
     let slots = choices[rng.below(choices.len() as u64) as usize];
     // Traps in a third of the trap-safe cases; remote words live at
-    // 4096+.
-    let remote_base = (family != 2 && rng.below(3) == 0).then_some(4096);
+    // 4096+. The warp-bait family (D) stays local: its banks sit above
+    // the remote boundary by construction.
+    let remote_base = (family < 2 && rng.below(3) == 0).then_some(4096);
     let remote = remote_base.is_some();
     let mut src = String::from(".text\n.entry main\nmain:\n");
 
@@ -451,7 +512,7 @@ fn fuzz_case(seed: u64) -> FuzzCase {
             src.push_str("    sub r8, r8, #1\n    bne r8, #0, loop\ndone:\n");
         }
         // Family C: the fig6 eager shape over the queue ring.
-        _ => {
+        2 => {
             let rot = if rng.below(2) == 0 {
                 "    setrot explicit\n".to_string()
             } else {
@@ -470,6 +531,52 @@ fn fuzz_case(seed: u64) -> FuzzCase {
             src.push_str("    chgpri\n");
             src.push_str("    mv r4, r10\n    add r5, r5, r4\n");
             src.push_str("    sub r8, r8, #1\n    bne r8, #0, loop\n");
+        }
+        // Family D: warp bait — affine counted loops (optionally
+        // nested, optionally forked per LP) built from warp-safe
+        // instructions only, with trip counts straddling the leap
+        // boundary: 0, 1, a few, and long runs T with a ±1 jitter so
+        // every remainder size (p−1, p, p+1 iterations left after the
+        // leap) comes up across the campaign. A quarter of the cases
+        // plant a load in the body — not warp-safe — pinning the
+        // fallback path to plain stepping.
+        _ => {
+            let multi = rng.below(2) == 0;
+            if multi {
+                src.push_str("    fastfork\n    lpid r1\n");
+                src.push_str("    mul r9, r1, #16384\n    add r9, r9, #16384\n");
+            } else {
+                src.push_str("    li r9, #16384\n");
+            }
+            let nested = rng.below(3) == 0;
+            let outer = if nested { 2 + rng.below(2) } else { 1 };
+            // Keep the plain run under the cycle watchdog: per-trip
+            // latency grows with slot contention on the shared fetch
+            // unit, so wide machines get shorter loops (they cannot
+            // leap anyway — standby stations stay occupied at ≥4
+            // slots — so nothing is lost).
+            let max_total = 3200 / outer / (slots as u64).clamp(1, 4);
+            let trips = (match rng.below(6) {
+                0 => 0,
+                1 => 1,
+                2 => 2 + rng.below(6),
+                _ => max_total / 2 + rng.below(max_total / 2),
+            } as i64
+                + (rng.below(3) as i64 - 1))
+                .max(0);
+            let stride = 1 + rng.below(4);
+            let inc = rng.below(16) as i64 - 8;
+            let impure = rng.below(4) == 0;
+            src.push_str(&format!("    li r6, #{outer}\nouter:\n"));
+            src.push_str(&format!("    li r8, #{trips}\n    li r7, #0\n    mv r5, r9\n"));
+            src.push_str("    beq r8, #0, next\ninner:\n");
+            src.push_str(&format!("    sw r7, 0(r5)\n    add r5, r5, #{stride}\n"));
+            src.push_str(&format!("    add r7, r7, #{inc}\n"));
+            if impure {
+                src.push_str("    lw r4, 0(r9)\n");
+            }
+            src.push_str("    sub r8, r8, #1\n    bne r8, #0, inner\nnext:\n");
+            src.push_str("    sub r6, r6, #1\n    bne r6, #0, outer\n");
         }
     }
 
@@ -510,7 +617,7 @@ fn shrink(case: &FuzzCase, tag: &str) -> String {
                 cand.remove(i);
                 let cand_src = cand.join("\n");
                 let still_fails =
-                    matches!(three_way(case, &cand_src), Err(e) if failure_tag(&e) == tag);
+                    matches!(four_way(case, &cand_src), Err(e) if failure_tag(&e) == tag);
                 if still_fails {
                     lines = cand;
                     removed = true;
@@ -526,7 +633,7 @@ fn shrink(case: &FuzzCase, tag: &str) -> String {
 }
 
 #[test]
-fn fuzzed_programs_three_way_match() {
+fn fuzzed_programs_four_way_match() {
     let seeds: u64 = std::env::var("DIFF_FUZZ_SEEDS")
         .ok()
         .and_then(|s| s.parse().ok())
@@ -536,7 +643,7 @@ fn fuzzed_programs_three_way_match() {
     let mut failures = Vec::new();
     for seed in 0..seeds {
         let case = fuzz_case(seed);
-        if let Err(err) = three_way(&case, &case.src) {
+        if let Err(err) = four_way(&case, &case.src) {
             let minimal = shrink(&case, failure_tag(&err));
             std::fs::create_dir_all(&out_dir).expect("create target/diff-failures");
             let path = out_dir.join(format!("seed-{seed}.s"));

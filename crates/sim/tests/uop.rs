@@ -268,7 +268,7 @@ fn random_inst(rng: &mut SplitMix) -> Inst {
 #[test]
 fn seeded_random_programs_dispatch_identically_to_the_oracle() {
     for seed in 0..64u64 {
-        let mut rng = SplitMix(0x00b0_0b5 ^ seed.wrapping_mul(0x9E3779B9));
+        let mut rng = SplitMix(0x00b00b5 ^ seed.wrapping_mul(0x9E3779B9));
         for _ in 0..64 {
             let inst = random_inst(&mut rng);
             let vals = [[rng.next(), rng.next()], [rng.next(), 0], [0, rng.next()]];

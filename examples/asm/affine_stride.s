@@ -1,0 +1,24 @@
+; Affine strided fill: every logical processor writes an arithmetic
+; progression over its private bank. The loop body is built entirely
+; from warp-safe instructions (strided store, constant register
+; increments, a counted branch), so this example is the loop-warp
+; engine's positive control — the steady state is detected, verified,
+; and leapt, and `--no-warp` must reproduce it byte for byte.
+;   hirata run examples/asm/affine_stride.s --slots 4 --dump 65536..65544
+;   hirata trace examples/asm/affine_stride.s --warp-debug
+.text
+.entry main
+main:
+    fastfork
+    lpid r1
+    add  r9, r1, #1
+    mul  r9, r9, #65536  ; bank base: 65536 * (lpid + 1)
+    li   r8, #3000       ; trip count
+    li   r7, #0          ; value: 5*i
+loop:
+    sw   r7, 0(r9)
+    add  r9, r9, #1
+    add  r7, r7, #5
+    sub  r8, r8, #1
+    bne  r8, #0, loop
+    halt

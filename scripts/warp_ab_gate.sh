@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Loop-warp A/B byte-identity gate.
+#
+# Usage:
+#   scripts/warp_ab_gate.sh [path-to-hirata-binary]
+#
+# Runs every checked-in example at 1, 2, 4 and 8 thread slots twice —
+# default configuration (loop-warp on) and `--no-warp` — and requires
+# the *entire* `hirata run` output to match byte for byte: cycle
+# count, instruction count, IPC, the functional-unit utilisation
+# table, and a memory dump over the region the example writes. The
+# warp engine's contract is that leaping is invisible; this gate
+# enforces it on the real example programs with the real CLI, so a
+# divergence that somehow slipped past the differential tests still
+# cannot reach a release binary.
+#
+# The untraced `run` path is the one that actually leaps (a trace
+# sink pins the engine to detection-only mode), so this compares
+# genuinely warped output against genuinely stepped output.
+
+set -euo pipefail
+
+BIN="${1:-target/release/hirata}"
+if [ ! -x "$BIN" ]; then
+    echo "error: $BIN is not an executable (build with: cargo build --release -p hirata-cli)" >&2
+    exit 2
+fi
+
+# Per-example memory dump range covering its stores (default: the low
+# words every other example writes).
+dump_range() {
+    case "$(basename "$1")" in
+        affine_stride.s) echo "65536..66560" ;; # banks at 65536*(lpid+1)
+        *) echo "0..4096" ;;
+    esac
+}
+
+fail=0
+for ex in examples/asm/*.s; do
+    range="$(dump_range "$ex")"
+    for slots in 1 2 4 8; do
+        a="$("$BIN" run "$ex" --slots "$slots" --dump "$range")"
+        b="$("$BIN" run "$ex" --slots "$slots" --no-warp --dump "$range")"
+        if [ "$a" != "$b" ]; then
+            echo "FAIL: $ex at $slots slots diverges between warp and --no-warp:" >&2
+            diff <(printf '%s\n' "$a") <(printf '%s\n' "$b") >&2 || true
+            fail=1
+        else
+            echo "ok: $ex s$slots"
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "warp A/B gate FAILED" >&2
+    exit 1
+fi
+echo "warp A/B gate passed: all examples byte-identical with and without loop-warp"
